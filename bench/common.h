@@ -1,0 +1,233 @@
+#ifndef REFLEX_BENCH_COMMON_H_
+#define REFLEX_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/flash_service.h"
+#include "core/reflex_server.h"
+#include "flash/calibration.h"
+#include "flash/flash_device.h"
+#include "net/network.h"
+#include "sim/histogram.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace reflex::bench {
+
+/** Prints the standard bench banner with the experiment mapping. */
+inline void Banner(const char* experiment, const char* paper_summary) {
+  std::printf("==============================================================\n");
+  std::printf("ReFlex reproduction: %s\n", experiment);
+  std::printf("Paper reference: %s\n", paper_summary);
+  std::printf("==============================================================\n");
+}
+
+/**
+ * The calibration used by all server benches: the synthetic fit for
+ * device A. Identical to what flash::Calibrate recovers (verified by
+ * flash/calibration_test.cc and regenerated live by fig3_cost_models)
+ * but instant, keeping every bench's runtime in the measurement
+ * itself.
+ */
+inline flash::CalibrationResult CalibrationA() {
+  flash::CalibrationResult c;
+  c.write_cost = 10.0;
+  c.read_cost_readonly = 0.5;
+  c.token_capacity_per_sec = 547000.0;
+  c.latency_curve = {
+      {54696.4, 28945.0, sim::Micros(145), sim::Micros(113)},
+      {109392.7, 58120.0, sim::Micros(162), sim::Micros(121)},
+      {164089.1, 86995.0, sim::Micros(178), sim::Micros(126)},
+      {218785.5, 115525.0, sim::Micros(199), sim::Micros(137)},
+      {273481.9, 144005.0, sim::Micros(223), sim::Micros(150)},
+      {328178.2, 172470.0, sim::Micros(260), sim::Micros(166)},
+      {355526.4, 186700.0, sim::Micros(291), sim::Micros(179)},
+      {382874.6, 201237.5, sim::Micros(348), sim::Micros(199)},
+      {410222.8, 215507.5, sim::Micros(397), sim::Micros(210)},
+      {437571.0, 229790.0, sim::Micros(614), sim::Micros(248)},
+      {464919.2, 244222.5, sim::Micros(909), sim::Micros(287)},
+      {492267.4, 258982.5, sim::Micros(1622), sim::Micros(404)},
+      {508676.3, 267547.5, sim::Micros(2015), sim::Micros(505)},
+      {525085.2, 276207.5, sim::Micros(2785), sim::Micros(755)},
+      {536024.5, 282335.0, sim::Micros(3113), sim::Micros(924)},
+  };
+  return c;
+}
+
+/** A complete ReFlex deployment for benches. */
+struct BenchWorld {
+  explicit BenchWorld(core::ServerOptions options = core::ServerOptions(),
+                      int num_client_machines = 4, uint64_t seed = 42)
+      : net(sim), device(sim, flash::DeviceProfile::DeviceA(), seed) {
+    server_machine = net.AddMachine("reflex-server");
+    for (int i = 0; i < num_client_machines; ++i) {
+      client_machines.push_back(
+          net.AddMachine("client-" + std::to_string(i)));
+    }
+    server = std::make_unique<core::ReflexServer>(
+        sim, net, server_machine, device, CalibrationA(), options);
+  }
+
+  /** Steps the simulator until the future resolves. */
+  template <typename T>
+  T Await(sim::Future<T> future, sim::TimeNs deadline = sim::Seconds(600)) {
+    while (!future.Ready() && sim.Now() < deadline) {
+      sim.RunUntil(sim.Now() + sim::Millis(1));
+    }
+    if (!future.Ready()) {
+      std::fprintf(stderr, "bench deadline exceeded\n");
+      std::abort();
+    }
+    return future.Get();
+  }
+
+  void RunFor(sim::TimeNs duration) { sim.RunUntil(sim.Now() + duration); }
+
+  sim::Simulator sim;
+  net::Network net;
+  flash::FlashDevice device;
+  net::Machine* server_machine = nullptr;
+  std::vector<net::Machine*> client_machines;
+  std::unique_ptr<core::ReflexServer> server;
+};
+
+/**
+ * QD-1 latency probe over any FlashService: issues `samples` random
+ * 4KB I/Os one at a time and returns the latency histogram (the
+ * methodology of the paper's Table 2 and of mutilate's latency agent).
+ */
+inline sim::Histogram ProbeLatency(BenchWorld& world,
+                                   client::FlashService& service,
+                                   bool is_read, int samples,
+                                   uint64_t seed = 7) {
+  sim::Histogram hist;
+  sim::Rng rng(seed, "bench_probe");
+  for (int i = 0; i < samples; ++i) {
+    const uint64_t lba = rng.NextBounded(4000000) * 8;
+    auto f = service.SubmitIo(is_read, lba, 8, nullptr);
+    hist.Record(world.Await(std::move(f)).Latency());
+  }
+  return hist;
+}
+
+/** Closed-loop saturation driver over a FlashService. */
+inline sim::Task SaturationWorker(sim::Simulator& sim,
+                                  client::FlashService& service,
+                                  sim::TimeNs end, uint32_t sectors,
+                                  double read_fraction, int64_t* completed,
+                                  uint64_t salt) {
+  sim::Rng rng(salt, "bench_saturate");
+  while (sim.Now() < end) {
+    const uint64_t lba = rng.NextBounded(4000000) * 8;
+    co_await service.SubmitIo(rng.NextBernoulli(read_fraction), lba,
+                              sectors, nullptr);
+    ++*completed;
+  }
+}
+
+/** One measured point of a latency-throughput curve. */
+struct LoadPoint {
+  double offered_iops = 0.0;
+  double achieved_iops = 0.0;
+  sim::TimeNs read_p95 = 0;
+  sim::TimeNs read_mean = 0;
+};
+
+namespace internal {
+
+/** Open-loop Poisson generator over a set of FlashServices. */
+class OpenLoopDriver {
+ public:
+  OpenLoopDriver(BenchWorld& world, std::vector<client::FlashService*> svcs,
+                 double offered_iops, double read_fraction,
+                 uint32_t sectors, uint64_t seed)
+      : world_(world),
+        services_(std::move(svcs)),
+        read_fraction_(read_fraction),
+        sectors_(sectors),
+        rng_(seed, "open_loop_driver"),
+        mean_gap_(1e9 / offered_iops) {}
+
+  LoadPoint Measure(sim::TimeNs warmup, sim::TimeNs duration) {
+    warm_end_ = world_.sim.Now() + warmup;
+    end_ = warm_end_ + duration;
+    ScheduleNext();
+    while ((world_.sim.Now() < end_ || outstanding_ > 0) &&
+           world_.sim.Now() < end_ + sim::Seconds(5)) {
+      world_.sim.RunUntil(world_.sim.Now() + sim::Millis(1));
+    }
+    LoadPoint point;
+    point.offered_iops = 1e9 / mean_gap_;
+    point.achieved_iops =
+        static_cast<double>(ops_in_window_) / sim::ToSeconds(end_ - warm_end_);
+    point.read_p95 = hist_.Percentile(0.95);
+    point.read_mean = static_cast<sim::TimeNs>(hist_.Mean());
+    return point;
+  }
+
+ private:
+  void ScheduleNext() {
+    const auto gap = static_cast<sim::TimeNs>(
+        rng_.NextExponential(mean_gap_));
+    world_.sim.ScheduleAfter(gap, [this] {
+      if (world_.sim.Now() >= end_) return;
+      ++outstanding_;
+      IssueOne(services_[next_service_]);
+      next_service_ = (next_service_ + 1) % services_.size();
+      ScheduleNext();
+    });
+  }
+
+  sim::Task IssueOne(client::FlashService* service) {
+    const bool is_read = rng_.NextBernoulli(read_fraction_);
+    const uint64_t lba = rng_.NextBounded(4000000) * 8;
+    client::IoResult r =
+        co_await service->SubmitIo(is_read, lba, sectors_, nullptr);
+    --outstanding_;
+    if (r.ok() && r.complete_time >= warm_end_ && r.complete_time < end_) {
+      ++ops_in_window_;
+      if (is_read && r.issue_time >= warm_end_) hist_.Record(r.Latency());
+    }
+  }
+
+  BenchWorld& world_;
+  std::vector<client::FlashService*> services_;
+  double read_fraction_;
+  uint32_t sectors_;
+  sim::Rng rng_;
+  double mean_gap_;
+  sim::TimeNs warm_end_ = 0;
+  sim::TimeNs end_ = 0;
+  size_t next_service_ = 0;
+  int64_t outstanding_ = 0;
+  int64_t ops_in_window_ = 0;
+  sim::Histogram hist_;
+};
+
+}  // namespace internal
+
+/**
+ * Measures one open-loop point: `offered_iops` spread round-robin over
+ * the given services (Poisson arrivals). Returns achieved throughput
+ * and read-latency stats over the window.
+ */
+inline LoadPoint MeasureOpenLoop(BenchWorld& world,
+                                 std::vector<client::FlashService*> services,
+                                 double offered_iops, double read_fraction,
+                                 uint32_t sectors,
+                                 sim::TimeNs warmup = sim::Millis(50),
+                                 sim::TimeNs duration = sim::Millis(250),
+                                 uint64_t seed = 9) {
+  internal::OpenLoopDriver driver(world, std::move(services), offered_iops,
+                                  read_fraction, sectors, seed);
+  return driver.Measure(warmup, duration);
+}
+
+}  // namespace reflex::bench
+
+#endif  // REFLEX_BENCH_COMMON_H_

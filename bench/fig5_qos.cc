@@ -1,0 +1,164 @@
+// Reproduces Figure 5: tail latency and IOPS for 4 tenants sharing a
+// single-threaded ReFlex server, with the QoS scheduler disabled and
+// enabled, in two scenarios.
+//
+// Tenants (as in the paper):
+//   A: latency-critical, 120K IOPS @ 100% read, p95 <= 500us
+//   B: latency-critical,  70K IOPS @  80% read, p95 <= 500us
+//   C: best-effort, 95% read
+//   D: best-effort, 25% read
+//
+// Scenario 1: A and B drive their full reservations. Scenario 2: B
+// only drives 45K IOPS, and the BE tenants pick up its unused tokens
+// (work conservation through the global token bucket).
+//
+// Expected: without the scheduler every tenant sees >2ms p95 because
+// of write interference; with it, A and B meet both SLOs while C and D
+// split the leftover throughput (D lower than C: its writes cost 10x).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "client/load_generator.h"
+#include "client/reflex_client.h"
+
+namespace reflex {
+namespace {
+
+struct TenantSetup {
+  const char* name;
+  core::TenantClass cls;
+  core::SloSpec slo;        // LC only
+  double offered_iops;      // open loop (LC); 0 => closed loop QD32 (BE)
+  double read_fraction;
+  core::Tenant* tenant = nullptr;
+  std::unique_ptr<client::ReflexClient> client;
+  std::unique_ptr<client::LoadGenerator> generator;
+};
+
+void RunScenario(int scenario, bool sched_enabled) {
+  core::ServerOptions options;
+  options.num_threads = 1;
+  options.qos.enforce = sched_enabled;
+  // NEG_LIMIT is an empirical knob (the paper uses -50 on its device);
+  // our device needs a slightly deeper burst allowance to absorb runs
+  // of 10-token writes from tenant B without queueing its reads.
+  options.qos.neg_limit = -150.0;
+  bench::BenchWorld world(options);
+
+  const double b_offered = scenario == 1 ? 70000.0 : 45000.0;
+
+  // SLOs carry ~8% headroom over the offered load: a token bucket
+  // drained at exactly its fill rate is a critically-loaded queue
+  // whose delay grows without bound, so any real SLO reservation must
+  // exceed the expected demand (mutilate's Poisson arrivals make this
+  // visible; see EXPERIMENTS.md).
+  std::vector<TenantSetup> setups;
+  {
+    TenantSetup a;
+    a.name = "A(LC,100%rd)";
+    a.cls = core::TenantClass::kLatencyCritical;
+    a.slo = {130000, 1.0, sim::Micros(500), 0.95, 4096};
+    a.offered_iops = 120000;
+    a.read_fraction = 1.0;
+    setups.push_back(std::move(a));
+  }
+  {
+    TenantSetup b;
+    b.name = "B(LC,80%rd)";
+    b.cls = core::TenantClass::kLatencyCritical;
+    b.slo = {76000, 0.8, sim::Micros(500), 0.95, 4096};
+    b.offered_iops = b_offered;
+    b.read_fraction = 0.8;
+    setups.push_back(std::move(b));
+  }
+  {
+    TenantSetup c;
+    c.name = "C(BE,95%rd)";
+    c.cls = core::TenantClass::kBestEffort;
+    c.offered_iops = 0;
+    c.read_fraction = 0.95;
+    setups.push_back(std::move(c));
+  }
+  {
+    TenantSetup d;
+    d.name = "D(BE,25%rd)";
+    d.cls = core::TenantClass::kBestEffort;
+    d.offered_iops = 0;
+    d.read_fraction = 0.25;
+    setups.push_back(std::move(d));
+  }
+
+  int idx = 0;
+  for (TenantSetup& s : setups) {
+    core::ReqStatus status;
+    s.tenant = world.server->RegisterTenant(s.slo, s.cls, &status);
+    if (s.tenant == nullptr) {
+      std::fprintf(stderr, "tenant %s inadmissible!\n", s.name);
+      std::abort();
+    }
+    client::ReflexClient::Options copts;
+    copts.stack = net::StackCosts::IxDataplane();
+    copts.num_connections = 8;
+    copts.seed = 500 + idx;
+    s.client = std::make_unique<client::ReflexClient>(
+        world.sim, *world.server,
+        world.client_machines[idx % world.client_machines.size()], copts);
+    s.client->BindAll(s.tenant->handle());
+
+    client::LoadGenSpec spec;
+    spec.read_fraction = s.read_fraction;
+    spec.request_bytes = 4096;
+    if (s.offered_iops > 0) {
+      spec.offered_iops = s.offered_iops;
+      // LC load is paced (mutilate agents driving a fixed rate).
+      spec.poisson_arrivals = false;
+    } else {
+      spec.queue_depth = 32;
+    }
+    spec.seed = 900 + idx;
+    s.generator = std::make_unique<client::LoadGenerator>(
+        world.sim, *s.client, s.tenant->handle(), spec);
+    ++idx;
+  }
+
+  const sim::TimeNs warm = sim::Millis(150);
+  const sim::TimeNs end = sim::Millis(650);
+  for (TenantSetup& s : setups) s.generator->Run(warm, end);
+  for (TenantSetup& s : setups) {
+    world.Await(s.generator->Done(), sim::Seconds(120));
+  }
+
+  std::printf("Scenario %d, I/O sched %s:\n", scenario,
+              sched_enabled ? "ENABLED" : "DISABLED");
+  std::printf("  %-14s %12s %12s %10s\n", "tenant", "iops",
+              "p95_read_us", "SLO_us");
+  for (TenantSetup& s : setups) {
+    const bool lc = s.cls == core::TenantClass::kLatencyCritical;
+    std::printf("  %-14s %12.0f %12.1f %10s\n", s.name,
+                s.generator->AchievedIops(),
+                s.generator->read_latency().Percentile(0.95) / 1e3,
+                lc ? "500" : "-");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace reflex
+
+int main() {
+  reflex::bench::Banner(
+      "Figure 5 - QoS scheduling and isolation (4 tenants, 1 thread)",
+      "LC tenants meet 500us/IOPS SLOs only with the scheduler on");
+  reflex::RunScenario(1, false);
+  reflex::RunScenario(1, true);
+  reflex::RunScenario(2, false);
+  reflex::RunScenario(2, true);
+  std::printf(
+      "Check: sched ON => A ~120K IOPS and B at its offered load, both\n"
+      "p95 <= 500us; C > D (writes cost 10x). Scenario 2: C and D gain\n"
+      "B's unused tokens. Sched OFF => p95 >> 2ms for everyone.\n");
+  return 0;
+}

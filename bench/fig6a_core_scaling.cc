@@ -1,0 +1,138 @@
+// Reproduces Figure 6a: multi-core scaling of the QoS scheduler.
+//
+// Each added core serves one latency-critical tenant with an SLO of
+// 20K IOPS (90% read, 4KB) at a 2ms p95 read SLO; two best-effort
+// tenants (80% read) consume whatever is left. The paper shows LC
+// IOPS scaling linearly to 12 cores with no scheduler bottleneck, BE
+// IOPS shrinking as LC tenants claim bandwidth, and total token usage
+// pinned at the device cap (~570K tokens/s) once any LC tenant exists.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "client/load_generator.h"
+#include "client/reflex_client.h"
+
+namespace reflex {
+namespace {
+
+struct Gen {
+  std::unique_ptr<client::ReflexClient> client;
+  std::unique_ptr<client::LoadGenerator> generator;
+};
+
+Gen MakeGen(bench::BenchWorld& world, core::Tenant* tenant,
+            client::LoadGenSpec spec, int idx) {
+  Gen g;
+  client::ReflexClient::Options copts;
+  copts.stack = net::StackCosts::IxDataplane();
+  copts.num_connections = 4;
+  copts.seed = 1000 + idx;
+  g.client = std::make_unique<client::ReflexClient>(
+      world.sim, *world.server,
+      world.client_machines[idx % world.client_machines.size()], copts);
+  g.client->BindAll(tenant->handle());
+  g.generator = std::make_unique<client::LoadGenerator>(
+      world.sim, *g.client, tenant->handle(), spec);
+  return g;
+}
+
+void RunPoint(int num_lc) {
+  core::ServerOptions options;
+  options.num_threads = std::max(2, num_lc);
+  options.max_threads = 12;
+  bench::BenchWorld world(options);
+
+  std::vector<Gen> gens;
+  int idx = 0;
+  double lc_slo_iops = 0;
+
+  for (int i = 0; i < num_lc; ++i) {
+    core::SloSpec slo;
+    // 10% reservation headroom over the offered 20K IOPS; with it, 12
+    // tenants (12 x 41.8K = 501.6K tokens/s) are exactly the most the
+    // 2ms cap (~508K tokens/s) admits -- the paper's "up to 12 such
+    // tenants" limit.
+    slo.iops = 22000;
+    slo.read_fraction = 0.9;
+    slo.latency = sim::Millis(2);
+    core::Tenant* t = world.server->RegisterTenant(
+        slo, core::TenantClass::kLatencyCritical);
+    if (t == nullptr) {
+      std::fprintf(stderr, "LC tenant %d inadmissible\n", i);
+      std::abort();
+    }
+    client::LoadGenSpec spec;
+    spec.offered_iops = 20000;
+    spec.poisson_arrivals = false;  // paced agents, as in mutilate
+    spec.read_fraction = 0.9;
+    spec.seed = 2000 + i;
+    gens.push_back(MakeGen(world, t, spec, idx++));
+    lc_slo_iops += 20000;
+  }
+  std::vector<size_t> be_indices;
+  for (int i = 0; i < 2; ++i) {
+    core::Tenant* t = world.server->RegisterTenant(
+        core::SloSpec{}, core::TenantClass::kBestEffort);
+    client::LoadGenSpec spec;
+    spec.queue_depth = 64;
+    spec.read_fraction = 0.8;
+    spec.seed = 3000 + i;
+    be_indices.push_back(gens.size());
+    gens.push_back(MakeGen(world, t, spec, idx++));
+  }
+
+  const double tokens_before = world.server->shared().tokens_spent_total;
+  const sim::TimeNs warm = sim::Millis(100);
+  const sim::TimeNs end = sim::Millis(500);
+  for (Gen& g : gens) g.generator->Run(warm, end);
+  for (Gen& g : gens) world.Await(g.generator->Done(), sim::Seconds(60));
+  const double window_s = sim::ToSeconds(end - warm);
+
+  double lc_iops = 0, be_iops = 0;
+  double lc_worst_p95 = 0;
+  for (size_t i = 0; i < gens.size(); ++i) {
+    const double iops = gens[i].generator->AchievedIops();
+    const bool is_be = i == be_indices[0] || i == be_indices[1];
+    if (is_be) {
+      be_iops += iops;
+    } else {
+      lc_iops += iops;
+      lc_worst_p95 = std::max(
+          lc_worst_p95,
+          gens[i].generator->read_latency().Percentile(0.95) / 1e3);
+    }
+  }
+  // Token usage over the whole run (close to the window under steady
+  // state; the paper plots exactly this rate).
+  const double token_rate =
+      (world.server->shared().tokens_spent_total - tokens_before) /
+      sim::ToSeconds(world.sim.Now()) ;
+
+  std::printf("%6d %14.0f %14.0f %16.0f %14.1f %12.0f\n", num_lc, lc_iops,
+              be_iops, token_rate / 1e3, lc_worst_p95,
+              lc_slo_iops);
+  (void)window_s;
+}
+
+}  // namespace
+}  // namespace reflex
+
+int main() {
+  reflex::bench::Banner(
+      "Figure 6a - multi-core scaling (1 LC tenant per core + 2 BE)",
+      "LC IOPS scale linearly to 12 cores; tokens pinned at the cap");
+  std::printf("%6s %14s %14s %16s %14s %12s\n", "cores", "lc_iops",
+              "be_iops", "ktokens_per_s", "lc_p95_us", "lc_slo_iops");
+  for (int cores = 0; cores <= 12; ++cores) {
+    reflex::RunPoint(cores);
+  }
+  std::printf(
+      "\nCheck: lc_iops == 20K x cores (linear, no scheduler\n"
+      "bottleneck); be_iops decreases as cores grow; token rate ~570K\n"
+      "tokens/s once LC tenants exist (slightly higher with BE only);\n"
+      "lc_p95 stays below the 2000us SLO.\n");
+  return 0;
+}

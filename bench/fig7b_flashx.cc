@@ -1,0 +1,136 @@
+// Reproduces Figure 7b: FlashX-style out-of-core graph analytics on
+// local vs remote Flash. Four algorithms (WCC, PageRank, BFS, SCC) run
+// over a synthetic R-MAT graph whose edge lists live on Flash behind a
+// SAFS-like page cache (see DESIGN.md for the SOC-LiveJournal1
+// substitution).
+//
+// Paper: ReFlex slows execution by only 1% (WCC) to 3.8% (BFS)
+// relative to local Flash; iSCSI costs 15% (PR) to 40% (BFS/SCC).
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/graph/engine.h"
+#include "apps/graph/graph_gen.h"
+#include "apps/graph/graph_store.h"
+#include "baseline/kernel_server.h"
+#include "baseline/local_nvme_driver.h"
+#include "bench/common.h"
+#include "client/block_device.h"
+#include "client/storage_backend.h"
+
+namespace reflex {
+namespace {
+
+constexpr uint32_t kVertices = 100000;
+constexpr uint64_t kEdges = 1600000;
+
+struct AlgoTimes {
+  double wcc_ms = 0, pr_ms = 0, bfs_ms = 0, scc_ms = 0;
+};
+
+AlgoTimes RunAll(bench::BenchWorld& world, client::StorageBackend& backend,
+                 const std::vector<apps::graph::Edge>& edges) {
+  auto meta_future = apps::graph::BuildGraphOnFlash(
+      world.sim, backend, edges, kVertices, /*base=*/1ULL << 30);
+  apps::graph::GraphMeta meta = world.Await(meta_future, sim::Seconds(300));
+
+  apps::graph::GraphEngine::Options options;  // engine defaults
+  apps::graph::GraphEngine engine(world.sim, backend, meta, options);
+  world.Await(engine.Init(), sim::Seconds(300));
+
+  AlgoTimes t;
+  auto wcc = world.Await(engine.RunWcc(), sim::Seconds(600));
+  t.wcc_ms = sim::ToMillis(wcc.exec_time);
+  auto pr = world.Await(engine.RunPageRank(10), sim::Seconds(600));
+  t.pr_ms = sim::ToMillis(pr.exec_time);
+  auto bfs = world.Await(engine.RunBfs(0), sim::Seconds(600));
+  t.bfs_ms = sim::ToMillis(bfs.exec_time);
+  auto scc = world.Await(engine.RunScc(), sim::Seconds(1200));
+  t.scc_ms = sim::ToMillis(scc.exec_time);
+
+  std::printf(
+      "#   results: wcc_components=%llu pr_checksum=%llu bfs_reached=%llu "
+      "scc_count=%llu\n",
+      static_cast<unsigned long long>(wcc.result_value),
+      static_cast<unsigned long long>(pr.result_value),
+      static_cast<unsigned long long>(bfs.result_value),
+      static_cast<unsigned long long>(scc.result_value));
+  return t;
+}
+
+void Run() {
+  const std::vector<apps::graph::Edge> edges =
+      apps::graph::GenerateRmat(kVertices, kEdges, 2026);
+
+  AlgoTimes local_t;
+  {
+    bench::BenchWorld world;
+    baseline::LocalNvmeDriver::Options o;
+    o.num_contexts = 5;
+    baseline::LocalNvmeDriver local(world.sim, world.device, o);
+    client::ServiceStorageAdapter backend(local, 64ULL << 30);
+    std::printf("# Local (kernel NVMe driver)\n");
+    local_t = RunAll(world, backend, edges);
+  }
+  AlgoTimes iscsi_t;
+  {
+    bench::BenchWorld world;
+    baseline::KernelStorageServer iscsi(
+        world.sim, world.net, world.client_machines[0],
+        world.server_machine, world.device,
+        baseline::BaselineCosts::Iscsi(), 12, "iSCSI");
+    client::ServiceStorageAdapter backend(iscsi, 64ULL << 30);
+    std::printf("# iSCSI\n");
+    iscsi_t = RunAll(world, backend, edges);
+  }
+  AlgoTimes reflex_t;
+  {
+    bench::BenchWorld world;
+    core::Tenant* tenant = world.server->RegisterTenant(
+        core::SloSpec{}, core::TenantClass::kBestEffort);
+    client::BlockDevice bdev(world.sim, *world.server,
+                             world.client_machines[0], tenant->handle(),
+                             client::BlockDevice::Options{});
+    std::printf("# ReFlex (remote block device)\n");
+    reflex_t = RunAll(world, bdev, edges);
+  }
+
+  auto print_row = [&](const char* algo, double local_ms, double iscsi_ms,
+                       double reflex_ms, double paper_iscsi,
+                       double paper_reflex) {
+    std::printf(
+        "%-6s %10.1f %10.1f %10.1f | slowdown: iSCSI %.2fx (paper "
+        "~%.2fx), ReFlex %.2fx (paper ~%.2fx)\n",
+        algo, local_ms, iscsi_ms, reflex_ms, iscsi_ms / local_ms,
+        paper_iscsi, reflex_ms / local_ms, paper_reflex);
+  };
+  std::printf("\n%-6s %10s %10s %10s\n", "algo", "local_ms", "iscsi_ms",
+              "reflex_ms");
+  print_row("WCC", local_t.wcc_ms, iscsi_t.wcc_ms, reflex_t.wcc_ms, 1.25,
+            1.01);
+  print_row("PR", local_t.pr_ms, iscsi_t.pr_ms, reflex_t.pr_ms, 1.15,
+            1.02);
+  print_row("BFS", local_t.bfs_ms, iscsi_t.bfs_ms, reflex_t.bfs_ms, 1.40,
+            1.04);
+  print_row("SCC", local_t.scc_ms, iscsi_t.scc_ms, reflex_t.scc_ms, 1.40,
+            1.03);
+  std::printf(
+      "\nCheck: ReFlex within a few percent of local for every\n"
+      "algorithm; iSCSI 15-40%% slower, worst for the random-access\n"
+      "BFS/SCC.\n");
+}
+
+}  // namespace
+}  // namespace reflex
+
+int main() {
+  reflex::bench::Banner(
+      "Figure 7b - FlashX-style graph analytics slowdown vs local",
+      "WCC / PageRank / BFS / SCC on local, iSCSI and ReFlex");
+  reflex::Run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "apps/fio/fio.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace reflex::apps::fio {
+
+FioRunner::FioRunner(sim::Simulator& sim, client::StorageBackend& backend,
+                     FioJob job)
+    : sim_(sim),
+      backend_(backend),
+      job_(job),
+      rng_(job.seed, "fio"),
+      done_promise_(std::make_unique<sim::VoidPromise>(sim)) {
+  REFLEX_CHECK(job_.num_threads >= 1);
+  REFLEX_CHECK(job_.queue_depth >= 1);
+  REFLEX_CHECK(job_.block_bytes > 0);
+  uint64_t span = job_.span;
+  if (span == 0) span = backend_.CapacityBytes() - job_.offset;
+  REFLEX_CHECK(span >= job_.block_bytes);
+  span_blocks_ = span / job_.block_bytes;
+  seq_cursor_.assign(job_.num_threads, 0);
+  for (int t = 0; t < job_.num_threads; ++t) {
+    // Sequential threads start striped across the span.
+    seq_cursor_[t] = (span_blocks_ / job_.num_threads) * t;
+  }
+}
+
+void FioRunner::Run(sim::TimeNs warm_end, sim::TimeNs end) {
+  warm_end_ = warm_end;
+  end_ = end;
+  workers_left_ = job_.num_threads * job_.queue_depth;
+  for (int t = 0; t < job_.num_threads; ++t) {
+    for (int d = 0; d < job_.queue_depth; ++d) Worker(t);
+  }
+}
+
+uint64_t FioRunner::NextOffset(int thread_id) {
+  uint64_t block;
+  if (job_.sequential) {
+    block = seq_cursor_[thread_id];
+    seq_cursor_[thread_id] = (block + 1) % span_blocks_;
+  } else {
+    block = rng_.NextBounded(span_blocks_);
+  }
+  return job_.offset + block * job_.block_bytes;
+}
+
+sim::Task FioRunner::Worker(int thread_id) {
+  while (sim_.Now() < end_) {
+    const bool is_read = rng_.NextBernoulli(job_.read_fraction);
+    const uint64_t offset = NextOffset(thread_id);
+    co_await sim::Delay(sim_, job_.app_cpu_per_io);
+    client::IoResult r =
+        is_read
+            ? co_await backend_.ReadBytes(offset, job_.block_bytes, nullptr)
+            : co_await backend_.WriteBytes(offset, job_.block_bytes,
+                                           nullptr);
+    if (!r.ok()) {
+      ++result_.errors;
+      continue;
+    }
+    if (r.complete_time >= warm_end_ && r.complete_time < end_) {
+      if (r.issue_time >= warm_end_) {
+        (is_read ? result_.read_latency : result_.write_latency)
+            .Record(r.Latency());
+      }
+      const double window_s = sim::ToSeconds(end_ - warm_end_);
+      result_.iops += 1.0 / window_s;
+      result_.throughput_mb_s +=
+          static_cast<double>(job_.block_bytes) / window_s / 1e6;
+    }
+  }
+  if (--workers_left_ == 0) done_promise_->Set(sim::Unit{});
+}
+
+}  // namespace reflex::apps::fio

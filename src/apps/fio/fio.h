@@ -1,0 +1,85 @@
+#ifndef REFLEX_APPS_FIO_FIO_H_
+#define REFLEX_APPS_FIO_FIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/storage_backend.h"
+#include "sim/histogram.h"
+#include "sim/random.h"
+#include "sim/task.h"
+
+namespace reflex::apps::fio {
+
+/**
+ * Job description in the spirit of the Flexible I/O tester: a number
+ * of worker threads, each maintaining a queue depth of random or
+ * sequential I/Os of a fixed size and mix over a byte range.
+ */
+struct FioJob {
+  int num_threads = 1;
+  int queue_depth = 32;
+  uint32_t block_bytes = 4096;
+  double read_fraction = 1.0;
+  bool sequential = false;
+
+  uint64_t offset = 0;
+  /** Byte span exercised; 0 = whole backend. */
+  uint64_t span = 0;
+
+  /** Per-I/O application-side CPU cost (request setup, buffers). */
+  sim::TimeNs app_cpu_per_io = sim::TimeNs(500);
+
+  uint64_t seed = 101;
+};
+
+/** Aggregate results of one FIO run. */
+struct FioResult {
+  double iops = 0.0;
+  double throughput_mb_s = 0.0;
+  sim::Histogram read_latency;
+  sim::Histogram write_latency;
+  int64_t errors = 0;
+};
+
+/**
+ * Runs a FIO-style job against any storage backend for the window
+ * [warm_end, end). Latency statistics cover completions inside the
+ * window, as in FIO's ramp_time semantics.
+ */
+class FioRunner {
+ public:
+  FioRunner(sim::Simulator& sim, client::StorageBackend& backend,
+            FioJob job);
+
+  /** Starts the job; Done() resolves when all workers finish. */
+  void Run(sim::TimeNs warm_end, sim::TimeNs end);
+
+  sim::VoidFuture Done() const { return done_promise_->GetFuture(); }
+
+  /** Valid after Done() resolves. */
+  const FioResult& result() const { return result_; }
+
+ private:
+  sim::Task Worker(int thread_id);
+  uint64_t NextOffset(int thread_id);
+
+  sim::Simulator& sim_;
+  client::StorageBackend& backend_;
+  FioJob job_;
+  sim::Rng rng_;
+  uint64_t span_blocks_ = 0;
+  std::vector<uint64_t> seq_cursor_;
+
+  sim::TimeNs warm_end_ = 0;
+  sim::TimeNs end_ = 0;
+  int workers_left_ = 0;
+  FioResult result_;
+  std::unique_ptr<sim::VoidPromise> done_promise_;
+};
+
+}  // namespace reflex::apps::fio
+
+#endif  // REFLEX_APPS_FIO_FIO_H_

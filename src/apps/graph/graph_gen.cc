@@ -1,0 +1,59 @@
+#include "apps/graph/graph_gen.h"
+
+#include <bit>
+
+#include "sim/logging.h"
+#include "sim/random.h"
+
+namespace reflex::apps::graph {
+
+std::vector<Edge> GenerateRmat(uint32_t num_vertices, uint64_t num_edges,
+                               uint64_t seed, double a, double b,
+                               double c) {
+  REFLEX_CHECK(num_vertices >= 2);
+  REFLEX_CHECK(a + b + c < 1.0);
+  sim::Rng rng(seed, "rmat");
+  const int levels = 64 - std::countl_zero(
+                              static_cast<uint64_t>(num_vertices - 1));
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    uint64_t src = 0, dst = 0;
+    for (int l = 0; l < levels; ++l) {
+      const double p = rng.NextDouble();
+      src <<= 1;
+      dst <<= 1;
+      if (p < a) {
+        // top-left quadrant
+      } else if (p < a + b) {
+        dst |= 1;
+      } else if (p < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (src >= num_vertices || dst >= num_vertices || src == dst) continue;
+    edges.emplace_back(static_cast<uint32_t>(src),
+                       static_cast<uint32_t>(dst));
+  }
+  return edges;
+}
+
+std::vector<Edge> GenerateUniform(uint32_t num_vertices,
+                                  uint64_t num_edges, uint64_t seed) {
+  REFLEX_CHECK(num_vertices >= 2);
+  sim::Rng rng(seed, "uniform_graph");
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    const auto src = static_cast<uint32_t>(rng.NextBounded(num_vertices));
+    const auto dst = static_cast<uint32_t>(rng.NextBounded(num_vertices));
+    if (src == dst) continue;
+    edges.emplace_back(src, dst);
+  }
+  return edges;
+}
+
+}  // namespace reflex::apps::graph

@@ -1,0 +1,28 @@
+#ifndef REFLEX_APPS_GRAPH_GRAPH_GEN_H_
+#define REFLEX_APPS_GRAPH_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace reflex::apps::graph {
+
+using Edge = std::pair<uint32_t, uint32_t>;
+
+/**
+ * Generates a directed R-MAT graph (Chakrabarti et al.): a synthetic
+ * power-law graph standing in for the paper's SOC-LiveJournal1 (see
+ * DESIGN.md substitution table). Self-loops are dropped; duplicate
+ * edges may remain, as in real crawls.
+ */
+std::vector<Edge> GenerateRmat(uint32_t num_vertices, uint64_t num_edges,
+                               uint64_t seed, double a = 0.57,
+                               double b = 0.19, double c = 0.19);
+
+/** Uniform random directed graph (for tests). */
+std::vector<Edge> GenerateUniform(uint32_t num_vertices,
+                                  uint64_t num_edges, uint64_t seed);
+
+}  // namespace reflex::apps::graph
+
+#endif  // REFLEX_APPS_GRAPH_GRAPH_GEN_H_

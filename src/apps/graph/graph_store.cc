@@ -1,0 +1,125 @@
+#include "apps/graph/graph_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace reflex::apps::graph {
+
+namespace {
+
+constexpr uint64_t kAlign = 4096;
+constexpr uint32_t kWriteChunk = 256 * 1024;
+
+uint64_t AlignUp(uint64_t v) { return (v + kAlign - 1) / kAlign * kAlign; }
+
+/** Serializes one CSR direction into `image` at `index_off`/`edges_off`. */
+void FillCsr(const std::vector<Edge>& edges, uint32_t n, bool reverse,
+             std::vector<uint8_t>& image, uint64_t index_off,
+             uint64_t edges_off) {
+  std::vector<uint64_t> index(n + 1, 0);
+  for (const Edge& e : edges) {
+    const uint32_t src = reverse ? e.second : e.first;
+    ++index[src + 1];
+  }
+  for (uint32_t v = 0; v < n; ++v) index[v + 1] += index[v];
+  std::vector<uint64_t> cursor(index.begin(), index.end() - 1);
+  auto* edge_out = reinterpret_cast<uint32_t*>(image.data() + edges_off);
+  for (const Edge& e : edges) {
+    const uint32_t src = reverse ? e.second : e.first;
+    const uint32_t dst = reverse ? e.first : e.second;
+    edge_out[cursor[src]++] = dst;
+  }
+  std::memcpy(image.data() + index_off, index.data(),
+              (n + 1) * sizeof(uint64_t));
+}
+
+sim::Task WriteImageTask(sim::Simulator& sim,
+                         client::StorageBackend& backend,
+                         std::vector<uint8_t> image, uint64_t base_offset,
+                         GraphMeta meta, sim::Promise<GraphMeta> promise) {
+  for (uint64_t off = 0; off < image.size(); off += kWriteChunk) {
+    const auto n = static_cast<uint32_t>(
+        std::min<uint64_t>(kWriteChunk, image.size() - off));
+    client::IoResult r =
+        co_await backend.WriteBytes(base_offset + off, n, image.data() + off);
+    if (!r.ok()) {
+      REFLEX_PANIC("graph image write failed at offset %llu",
+                   static_cast<unsigned long long>(off));
+    }
+  }
+  promise.Set(meta);
+}
+
+sim::Task LoadIndexTask(sim::Simulator& sim,
+                        client::StorageBackend& backend, uint64_t offset,
+                        uint32_t num_vertices,
+                        sim::Promise<std::vector<uint64_t>> promise) {
+  const uint64_t bytes = (static_cast<uint64_t>(num_vertices) + 1) * 8;
+  std::vector<uint8_t> buf(AlignUp(bytes));
+  for (uint64_t off = 0; off < buf.size(); off += kWriteChunk) {
+    const auto n = static_cast<uint32_t>(
+        std::min<uint64_t>(kWriteChunk, buf.size() - off));
+    client::IoResult r =
+        co_await backend.ReadBytes(offset + off, n, buf.data() + off);
+    if (!r.ok()) REFLEX_PANIC("graph index read failed");
+  }
+  std::vector<uint64_t> index(num_vertices + 1);
+  std::memcpy(index.data(), buf.data(), bytes);
+  promise.Set(std::move(index));
+}
+
+}  // namespace
+
+sim::Future<GraphMeta> BuildGraphOnFlash(sim::Simulator& sim,
+                                         client::StorageBackend& backend,
+                                         const std::vector<Edge>& edges,
+                                         uint32_t num_vertices,
+                                         uint64_t base_offset) {
+  REFLEX_CHECK(base_offset % kAlign == 0);
+  const uint64_t m = edges.size();
+  const uint64_t index_bytes =
+      (static_cast<uint64_t>(num_vertices) + 1) * 8;
+  const uint64_t edge_bytes = m * 4;
+
+  GraphMeta meta;
+  meta.num_vertices = num_vertices;
+  meta.num_edges = m;
+  uint64_t cursor = 0;
+  meta.fwd_index_offset = base_offset + cursor;
+  cursor += AlignUp(index_bytes);
+  meta.fwd_edges_offset = base_offset + cursor;
+  cursor += AlignUp(edge_bytes);
+  meta.rev_index_offset = base_offset + cursor;
+  cursor += AlignUp(index_bytes);
+  meta.rev_edges_offset = base_offset + cursor;
+  cursor += AlignUp(edge_bytes);
+  meta.total_bytes = cursor;
+
+  std::vector<uint8_t> image(cursor, 0);
+  FillCsr(edges, num_vertices, /*reverse=*/false, image,
+          meta.fwd_index_offset - base_offset,
+          meta.fwd_edges_offset - base_offset);
+  FillCsr(edges, num_vertices, /*reverse=*/true, image,
+          meta.rev_index_offset - base_offset,
+          meta.rev_edges_offset - base_offset);
+
+  sim::Promise<GraphMeta> promise(sim);
+  auto future = promise.GetFuture();
+  WriteImageTask(sim, backend, std::move(image), base_offset, meta,
+                 std::move(promise));
+  return future;
+}
+
+sim::Future<std::vector<uint64_t>> LoadIndex(
+    sim::Simulator& sim, client::StorageBackend& backend, uint64_t offset,
+    uint32_t num_vertices) {
+  sim::Promise<std::vector<uint64_t>> promise(sim);
+  auto future = promise.GetFuture();
+  LoadIndexTask(sim, backend, offset, num_vertices, std::move(promise));
+  return future;
+}
+
+}  // namespace reflex::apps::graph

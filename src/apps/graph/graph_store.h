@@ -1,0 +1,45 @@
+#ifndef REFLEX_APPS_GRAPH_GRAPH_STORE_H_
+#define REFLEX_APPS_GRAPH_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/graph/graph_gen.h"
+#include "client/storage_backend.h"
+#include "sim/task.h"
+
+namespace reflex::apps::graph {
+
+/** On-Flash layout of a CSR graph (forward and reverse adjacency). */
+struct GraphMeta {
+  uint32_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t fwd_index_offset = 0;  // (n+1) x uint64
+  uint64_t fwd_edges_offset = 0;  // m x uint32
+  uint64_t rev_index_offset = 0;
+  uint64_t rev_edges_offset = 0;
+  uint64_t total_bytes = 0;
+};
+
+/**
+ * Builds CSR + reverse-CSR images of an edge list and writes them to
+ * the storage backend at `base_offset` (4KB aligned sections). The
+ * returned future resolves when all writes are durable.
+ */
+sim::Future<GraphMeta> BuildGraphOnFlash(sim::Simulator& sim,
+                                         client::StorageBackend& backend,
+                                         const std::vector<Edge>& edges,
+                                         uint32_t num_vertices,
+                                         uint64_t base_offset);
+
+/**
+ * Loads an index section ((n+1) uint64 values at `offset`) into
+ * memory, as FlashX keeps vertex indexes resident.
+ */
+sim::Future<std::vector<uint64_t>> LoadIndex(
+    sim::Simulator& sim, client::StorageBackend& backend, uint64_t offset,
+    uint32_t num_vertices);
+
+}  // namespace reflex::apps::graph
+
+#endif  // REFLEX_APPS_GRAPH_GRAPH_STORE_H_

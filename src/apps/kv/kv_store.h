@@ -1,0 +1,176 @@
+#ifndef REFLEX_APPS_KV_KV_STORE_H_
+#define REFLEX_APPS_KV_KV_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/kv/sstable.h"
+#include "client/page_cache.h"
+#include "client/storage_backend.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace reflex::apps::kv {
+
+/** Result of a Get. */
+struct GetResult {
+  bool found = false;
+  std::string value;
+};
+
+/**
+ * A miniature LSM-tree key-value store in the mold of RocksDB:
+ * write-ahead log + memtable, L0 of overlapping SSTables flushed from
+ * the memtable, and a sorted, non-overlapping L1 maintained by
+ * compaction. Data blocks live on the storage backend (local NVMe,
+ * iSCSI or ReFlex block device); index and bloom blocks stay resident,
+ * and a bounded block cache stands in for the cgroup-limited page
+ * cache of the paper's RocksDB experiment (Figure 7c).
+ */
+class KvStore {
+ public:
+  struct Options {
+    /** Byte region of the backend owned by this store. */
+    uint64_t region_offset = 0;
+    uint64_t region_bytes = 2ULL << 30;
+
+    /** WAL ring size, carved from the head of the region. */
+    uint64_t wal_bytes = 64ULL << 20;
+
+    /** Memtable flush threshold. */
+    uint64_t memtable_bytes = 4ULL << 20;
+
+    /** L0 table count triggering compaction into L1. */
+    int l0_compaction_trigger = 4;
+
+    /** L0 table count at which writers stall until compaction ends
+     * (RocksDB's level0_stop_writes_trigger). */
+    int l0_stall_trigger = 8;
+
+    /** Block cache capacity (4KB blocks). */
+    uint32_t block_cache_blocks = 1024;
+
+    int bloom_bits_per_key = 10;
+
+    // Modeled CPU costs.
+    sim::TimeNs cpu_per_get = sim::Micros(8.0);
+    sim::TimeNs cpu_per_put = sim::Micros(3.0);
+    sim::TimeNs cpu_per_block_search = sim::Micros(2.0);
+    sim::TimeNs cpu_per_compaction_entry = sim::TimeNs(250);
+  };
+
+  struct Stats {
+    int64_t puts = 0;
+    int64_t deletes = 0;
+    int64_t gets = 0;
+    int64_t hits = 0;
+    int64_t bloom_skips = 0;       // tables skipped by bloom filters
+    int64_t block_reads = 0;       // data blocks fetched (incl. cache)
+    int64_t memtable_flushes = 0;
+    int64_t compactions = 0;
+    int64_t bytes_flushed = 0;
+    int64_t bytes_compacted = 0;
+    int64_t wal_appends = 0;
+  };
+
+  KvStore(sim::Simulator& sim, client::StorageBackend& backend,
+          Options options);
+
+  /** Inserts or overwrites a key (WAL append + memtable insert). */
+  sim::Future<bool> Put(std::string key, std::string value);
+
+  /** Deletes a key by writing a tombstone; dropped at compaction. */
+  sim::Future<bool> Delete(std::string key);
+
+  /**
+   * Enables/disables the write-ahead log (db_bench's bulkload phase
+   * runs with WAL off, making load throughput Flash-flush-limited).
+   */
+  void set_wal_enabled(bool enabled) { wal_enabled_ = enabled; }
+  bool wal_enabled() const { return wal_enabled_; }
+
+  /** Point lookup through memtable, L0 (newest first), then L1. */
+  sim::Future<GetResult> Get(std::string key);
+
+  /** Flushes the memtable to an L0 SSTable (if non-empty). */
+  sim::VoidFuture Flush();
+
+  /** Resolves once no background compaction is running. */
+  sim::VoidFuture WaitCompactionIdle();
+
+  const Stats& stats() const { return stats_; }
+  int l0_tables() const { return static_cast<int>(l0_.size()); }
+  int l1_tables() const { return static_cast<int>(l1_.size()); }
+  uint64_t memtable_entries() const { return memtable_.size(); }
+
+ private:
+  using TableRef = std::shared_ptr<SSTableMeta>;
+
+  sim::Task PutTask(std::string key, std::string value, bool tombstone,
+                    sim::Promise<bool> promise);
+  sim::Task GetTask(std::string key, sim::Promise<GetResult> promise);
+  sim::Task FlushTask(sim::VoidPromise promise);
+
+  /** Searches one table; sets *found / *tombstone_out / *value_out. */
+  sim::Task SearchTable(TableRef table, std::string key, bool* found,
+                        bool* tombstone_out, std::string* value_out,
+                        sim::VoidPromise promise);
+
+  /** Writes sorted entries as a new SSTable; returns its metadata. */
+  sim::Task WriteTable(std::vector<KvEntry> entries,
+                       sim::Promise<TableRef> promise);
+
+  /** Merges L0 + L1 into a fresh L1 (simple full-merge compaction). */
+  sim::Task CompactTask(sim::VoidPromise promise);
+
+  /** Reads all entries of a table (sequential block reads). */
+  sim::Task ReadAllEntries(TableRef table, std::vector<KvEntry>* out,
+                           sim::VoidPromise promise);
+
+  uint64_t AllocateExtent(uint64_t bytes);
+  void FreeExtent(uint64_t offset, uint64_t bytes);
+
+  sim::Simulator& sim_;
+  client::StorageBackend& backend_;
+  Options options_;
+  client::PageCache block_cache_;
+
+  struct MemValue {
+    bool tombstone = false;
+    std::string value;
+  };
+  std::map<std::string, MemValue> memtable_;
+  uint64_t memtable_size_bytes_ = 0;
+
+  std::vector<TableRef> l0_;  // newest last
+  std::vector<TableRef> l1_;  // sorted by first_key, non-overlapping
+  uint64_t next_table_id_ = 1;
+
+  // WAL state: one 4KB staging block rewritten in place until full.
+  bool wal_enabled_ = true;
+  uint64_t wal_head_ = 0;
+  uint32_t wal_block_used_ = 0;
+  std::vector<uint8_t> wal_block_;
+
+  // Extent allocator: bump pointer + first-fit free list.
+  uint64_t alloc_cursor_;
+  std::vector<std::pair<uint64_t, uint64_t>> free_extents_;
+
+  /** Serializes writers (Put/Flush), like the RocksDB write thread;
+   * readers proceed concurrently and compaction runs in background. */
+  sim::Semaphore write_lock_;
+
+  /** Background compaction state. */
+  bool compacting_ = false;
+  std::vector<sim::VoidPromise> compaction_waiters_;
+
+  Stats stats_;
+};
+
+}  // namespace reflex::apps::kv
+
+#endif  // REFLEX_APPS_KV_KV_STORE_H_

@@ -1,0 +1,139 @@
+#include "apps/kv/sstable.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.h"
+
+namespace reflex::apps::kv {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view s, uint64_t seed) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key,
+                         int hashes)
+    : hashes_(hashes) {
+  size_t bits = std::max<size_t>(64, expected_keys * bits_per_key);
+  bits_.assign(bits, false);
+}
+
+uint64_t BloomFilter::HashN(std::string_view key, int i) const {
+  // Double hashing: h1 + i*h2.
+  const uint64_t h1 = Fnv1a(key, 0);
+  const uint64_t h2 = Fnv1a(key, 0x9e3779b97f4a7c15ULL) | 1;
+  return h1 + static_cast<uint64_t>(i) * h2;
+}
+
+void BloomFilter::Add(std::string_view key) {
+  for (int i = 0; i < hashes_; ++i) {
+    bits_[HashN(key, i) % bits_.size()] = true;
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  for (int i = 0; i < hashes_; ++i) {
+    if (!bits_[HashN(key, i) % bits_.size()]) return false;
+  }
+  return true;
+}
+
+int SSTableMeta::FindBlock(std::string_view key) const {
+  if (block_first_keys.empty()) return -1;
+  // Last block whose first key is <= key.
+  auto it = std::upper_bound(block_first_keys.begin(),
+                             block_first_keys.end(), key,
+                             [](std::string_view k, const std::string& b) {
+                               return k < std::string_view(b);
+                             });
+  if (it == block_first_keys.begin()) return -1;
+  return static_cast<int>(it - block_first_keys.begin()) - 1;
+}
+
+std::vector<uint8_t> BuildSSTableImage(const std::vector<KvEntry>& entries,
+                                       int bloom_bits_per_key,
+                                       SSTableMeta* meta) {
+  REFLEX_CHECK(!entries.empty());
+  REFLEX_CHECK(meta != nullptr);
+  meta->bloom = std::make_unique<BloomFilter>(entries.size(),
+                                              bloom_bits_per_key);
+  meta->num_entries = entries.size();
+  meta->first_key = entries.front().key;
+  meta->last_key = entries.back().key;
+  meta->block_first_keys.clear();
+
+  std::vector<uint8_t> image;
+  size_t block_used = kBlockBytes;  // force a new block immediately
+  for (const KvEntry& e : entries) {
+    REFLEX_CHECK(e.key.size() < 65535 && e.value.size() < 65534);
+    const size_t value_size = e.tombstone ? 0 : e.value.size();
+    const size_t rec = 4 + e.key.size() + value_size;
+    REFLEX_CHECK(rec <= kBlockBytes);
+    if (block_used + rec > kBlockBytes) {
+      // Open a new zero-filled block; the zero bytes left in the
+      // previous block act as its terminator (klen == 0).
+      image.insert(image.end(), kBlockBytes, 0);
+      block_used = 0;
+      meta->block_first_keys.push_back(e.key);
+    }
+    uint8_t* out = image.data() + image.size() - kBlockBytes + block_used;
+    const auto klen = static_cast<uint16_t>(e.key.size());
+    const uint16_t vlen = e.tombstone
+                              ? kTombstoneVlen
+                              : static_cast<uint16_t>(e.value.size());
+    std::memcpy(out, &klen, 2);
+    std::memcpy(out + 2, &vlen, 2);
+    std::memcpy(out + 4, e.key.data(), klen);
+    if (!e.tombstone) {
+      std::memcpy(out + 4 + klen, e.value.data(), e.value.size());
+    }
+    block_used += rec;
+    meta->bloom->Add(e.key);
+  }
+  meta->data_bytes = image.size();
+  return image;
+}
+
+std::vector<KvEntry> ParseBlock(const uint8_t* block) {
+  std::vector<KvEntry> entries;
+  size_t pos = 0;
+  while (pos + 4 <= kBlockBytes) {
+    uint16_t klen, vlen;
+    std::memcpy(&klen, block + pos, 2);
+    std::memcpy(&vlen, block + pos + 2, 2);
+    if (klen == 0) break;
+    const uint16_t value_bytes = vlen == kTombstoneVlen ? 0 : vlen;
+    if (pos + 4 + klen + value_bytes > kBlockBytes) break;
+    KvEntry e;
+    e.key.assign(reinterpret_cast<const char*>(block + pos + 4), klen);
+    if (vlen == kTombstoneVlen) {
+      e.tombstone = true;
+    } else {
+      e.value.assign(
+          reinterpret_cast<const char*>(block + pos + 4 + klen), vlen);
+    }
+    entries.push_back(std::move(e));
+    pos += 4 + klen + value_bytes;
+  }
+  return entries;
+}
+
+const KvEntry* FindInBlock(const std::vector<KvEntry>& entries,
+                           std::string_view key) {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const KvEntry& e, std::string_view k) { return e.key < k; });
+  if (it != entries.end() && it->key == key) return &*it;
+  return nullptr;
+}
+
+}  // namespace reflex::apps::kv

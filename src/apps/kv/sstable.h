@@ -1,0 +1,93 @@
+#ifndef REFLEX_APPS_KV_SSTABLE_H_
+#define REFLEX_APPS_KV_SSTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "client/storage_backend.h"
+#include "sim/task.h"
+
+namespace reflex::apps::kv {
+
+/**
+ * Bloom filter over keys (k hash functions over a bit array), as kept
+ * per SSTable by LSM stores to skip tables that cannot contain a key.
+ */
+class BloomFilter {
+ public:
+  BloomFilter(size_t expected_keys, int bits_per_key = 10, int hashes = 6);
+
+  void Add(std::string_view key);
+  bool MayContain(std::string_view key) const;
+  size_t SizeBytes() const { return bits_.size() / 8; }
+
+ private:
+  uint64_t HashN(std::string_view key, int i) const;
+
+  std::vector<bool> bits_;
+  int hashes_;
+};
+
+/**
+ * In-memory metadata of one on-Flash SSTable: key range, block index,
+ * and bloom filter (index/filter blocks are cache-resident, as in
+ * RocksDB with cache_index_and_filter_blocks=false). The data blocks
+ * live on Flash.
+ */
+struct SSTableMeta {
+  uint64_t extent_offset = 0;  // byte offset of the data blocks
+  uint64_t extent_bytes = 0;   // allocated extent size
+  uint64_t data_bytes = 0;     // bytes actually used by data blocks
+  uint64_t num_entries = 0;
+  std::string first_key;
+  std::string last_key;
+  /** First key of each 4KB data block, for binary search. */
+  std::vector<std::string> block_first_keys;
+  std::unique_ptr<BloomFilter> bloom;
+  uint64_t id = 0;
+
+  uint32_t NumBlocks() const {
+    return static_cast<uint32_t>(block_first_keys.size());
+  }
+
+  /** Index of the block that could contain `key`. */
+  int FindBlock(std::string_view key) const;
+};
+
+/** One key/value pair (or a deletion tombstone). */
+struct KvEntry {
+  std::string key;
+  std::string value;
+  bool tombstone = false;
+};
+
+inline constexpr uint32_t kBlockBytes = 4096;
+
+/**
+ * Serializes sorted entries into 4KB data blocks. Record format:
+ * [u16 klen][u16 vlen][key][value]; a zero klen terminates a block and
+ * vlen = 0xFFFF marks a deletion tombstone (no value bytes). Returns
+ * the block image (multiple of 4KB) and fills `meta` (bloom, index,
+ * key range).
+ */
+std::vector<uint8_t> BuildSSTableImage(const std::vector<KvEntry>& entries,
+                                       int bloom_bits_per_key,
+                                       SSTableMeta* meta);
+
+/** Parses one 4KB block into entries (for reads and compaction). */
+std::vector<KvEntry> ParseBlock(const uint8_t* block);
+
+/** Searches a parsed block for a key (tombstones included). Returns
+ * nullptr if absent. */
+const KvEntry* FindInBlock(const std::vector<KvEntry>& entries,
+                           std::string_view key);
+
+/** vlen sentinel marking a tombstone record. */
+inline constexpr uint16_t kTombstoneVlen = 0xFFFF;
+
+}  // namespace reflex::apps::kv
+
+#endif  // REFLEX_APPS_KV_SSTABLE_H_

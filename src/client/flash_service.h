@@ -1,0 +1,57 @@
+#ifndef REFLEX_CLIENT_FLASH_SERVICE_H_
+#define REFLEX_CLIENT_FLASH_SERVICE_H_
+
+#include <cstdint>
+
+#include "client/io_result.h"
+#include "client/reflex_client.h"
+#include "sim/task.h"
+
+namespace reflex::client {
+
+/**
+ * Uniform Flash access interface used by the comparison benches
+ * (Table 2, Figure 4, Figure 7a): local SPDK, iSCSI, the libaio
+ * baseline server and ReFlex all implement it, so one workload driver
+ * measures every system.
+ */
+class FlashService {
+ public:
+  virtual ~FlashService() = default;
+
+  /**
+   * Issues one I/O; the future resolves when the application would
+   * observe the completion (all stack costs included).
+   */
+  virtual sim::Future<IoResult> SubmitIo(bool is_read, uint64_t lba,
+                                         uint32_t sectors,
+                                         uint8_t* data) = 0;
+
+  /** Human-readable system name for bench output. */
+  virtual const char* name() const = 0;
+};
+
+/** FlashService adapter over the ReFlex user-level client library. */
+class ReflexService : public FlashService {
+ public:
+  ReflexService(ReflexClient& client, uint32_t tenant_handle,
+                const char* name = "ReFlex")
+      : client_(client), tenant_(tenant_handle), name_(name) {}
+
+  sim::Future<IoResult> SubmitIo(bool is_read, uint64_t lba,
+                                 uint32_t sectors, uint8_t* data) override {
+    return is_read ? client_.Read(tenant_, lba, sectors, data)
+                   : client_.Write(tenant_, lba, sectors, data);
+  }
+
+  const char* name() const override { return name_; }
+
+ private:
+  ReflexClient& client_;
+  uint32_t tenant_;
+  const char* name_;
+};
+
+}  // namespace reflex::client
+
+#endif  // REFLEX_CLIENT_FLASH_SERVICE_H_

@@ -1,0 +1,23 @@
+#ifndef REFLEX_CLIENT_IO_RESULT_H_
+#define REFLEX_CLIENT_IO_RESULT_H_
+
+#include "core/protocol.h"
+#include "sim/time.h"
+
+namespace reflex::client {
+
+/** Completion of one remote (or local) Flash I/O, as seen end-to-end
+ * by the application: status plus total latency including client-side
+ * stack costs. */
+struct IoResult {
+  core::ReqStatus status = core::ReqStatus::kOk;
+  sim::TimeNs issue_time = 0;
+  sim::TimeNs complete_time = 0;
+
+  bool ok() const { return status == core::ReqStatus::kOk; }
+  sim::TimeNs Latency() const { return complete_time - issue_time; }
+};
+
+}  // namespace reflex::client
+
+#endif  // REFLEX_CLIENT_IO_RESULT_H_

@@ -1,0 +1,156 @@
+#include "client/load_generator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace reflex::client {
+
+LoadGenerator::LoadGenerator(sim::Simulator& sim, ReflexClient& client,
+                             uint32_t tenant_handle, LoadGenSpec spec)
+    : sim_(sim),
+      client_(client),
+      tenant_(tenant_handle),
+      spec_(spec),
+      rng_(spec.seed, "load_generator"),
+      done_promise_(std::make_unique<sim::VoidPromise>(sim)) {
+  const auto& profile = client_.server().device().profile();
+  sectors_ = std::max<uint32_t>(
+      1, spec_.request_bytes / profile.sector_bytes);
+  uint64_t span = spec_.lba_span_sectors;
+  if (span == 0) span = profile.capacity_sectors - spec_.lba_offset;
+  const uint32_t spp = profile.SectorsPerPage();
+  REFLEX_CHECK(span >= sectors_);
+  max_page_ = (span - sectors_) / spp;
+  const bool open_loop = spec_.offered_iops > 0.0;
+  const bool closed_loop = spec_.queue_depth > 0;
+  REFLEX_CHECK(open_loop != closed_loop);
+}
+
+double LoadGenerator::AchievedIops() const {
+  if (end_ <= warm_end_) return 0.0;
+  return static_cast<double>(ops_in_window_) /
+         sim::ToSeconds(end_ - warm_end_);
+}
+
+void LoadGenerator::Run(sim::TimeNs warm_end, sim::TimeNs end) {
+  warm_end_ = warm_end;
+  end_ = end;
+  if (spec_.stop_after_ops > 0) {
+    REFLEX_CHECK(spec_.queue_depth > 0);
+    probe_ops_left_ = spec_.stop_after_ops;
+    for (int i = 0; i < spec_.queue_depth; ++i) {
+      ++outstanding_;
+      ProbeWorker();
+    }
+    return;
+  }
+  if (spec_.queue_depth > 0) {
+    for (int i = 0; i < spec_.queue_depth; ++i) {
+      ++outstanding_;
+      ClosedLoopWorker(i % client_.num_connections());
+    }
+    return;
+  }
+  mean_interarrival_ = 1e9 / spec_.offered_iops;
+  ScheduleNextArrival();
+}
+
+std::pair<uint64_t, bool> LoadGenerator::PickOp() {
+  const bool is_read = rng_.NextBernoulli(spec_.read_fraction);
+  const auto& profile = client_.server().device().profile();
+  const uint64_t page = rng_.NextBounded(max_page_ + 1);
+  const uint64_t lba =
+      spec_.lba_offset + page * profile.SectorsPerPage();
+  return {lba, is_read};
+}
+
+void LoadGenerator::Record(const IoResult& result, bool is_read) {
+  if (!result.ok()) {
+    ++errors_;
+    return;
+  }
+  if (spec_.stop_after_ops > 0) {
+    ++probe_recorded_;
+    if (probe_recorded_ <= spec_.warmup_ops) return;
+    ++ops_in_window_;
+    (is_read ? read_latency_ : write_latency_).Record(result.Latency());
+    return;
+  }
+  if (result.complete_time >= warm_end_ && result.complete_time < end_) {
+    ++ops_in_window_;
+    if (result.issue_time >= warm_end_) {
+      (is_read ? read_latency_ : write_latency_).Record(result.Latency());
+    }
+  }
+}
+
+void LoadGenerator::MaybeFinish() {
+  if (!finished_ && generation_done_ && outstanding_ == 0) {
+    finished_ = true;
+    done_promise_->Set(sim::Unit{});
+  }
+}
+
+sim::Task LoadGenerator::ClosedLoopWorker(int conn_index) {
+  while (sim_.Now() < end_) {
+    auto [lba, is_read] = PickOp();
+    IoResult result =
+        is_read
+            ? co_await client_.Read(tenant_, lba, sectors_, nullptr,
+                                    conn_index)
+            : co_await client_.Write(tenant_, lba, sectors_, nullptr,
+                                     conn_index);
+    Record(result, is_read);
+  }
+  --outstanding_;
+  generation_done_ = true;
+  MaybeFinish();
+}
+
+sim::Task LoadGenerator::ProbeWorker() {
+  while (probe_ops_left_ > 0) {
+    --probe_ops_left_;
+    auto [lba, is_read] = PickOp();
+    IoResult result =
+        is_read ? co_await client_.Read(tenant_, lba, sectors_)
+                : co_await client_.Write(tenant_, lba, sectors_);
+    Record(result, is_read);
+  }
+  --outstanding_;
+  generation_done_ = true;
+  MaybeFinish();
+}
+
+void LoadGenerator::ScheduleNextArrival() {
+  const auto gap = static_cast<sim::TimeNs>(
+      spec_.poisson_arrivals ? rng_.NextExponential(mean_interarrival_)
+                             : mean_interarrival_);
+  sim_.ScheduleAfter(gap, [this] {
+    if (sim_.Now() >= end_) {
+      generation_done_ = true;
+      MaybeFinish();
+      return;
+    }
+    ++outstanding_;
+    IssueOpenLoopOp(next_conn_);
+    next_conn_ = (next_conn_ + 1) % client_.num_connections();
+    ScheduleNextArrival();
+  });
+}
+
+sim::Task LoadGenerator::IssueOpenLoopOp(int conn_index) {
+  auto [lba, is_read] = PickOp();
+  IoResult result =
+      is_read
+          ? co_await client_.Read(tenant_, lba, sectors_, nullptr,
+                                  conn_index)
+          : co_await client_.Write(tenant_, lba, sectors_, nullptr,
+                                   conn_index);
+  Record(result, is_read);
+  --outstanding_;
+  MaybeFinish();
+}
+
+}  // namespace reflex::client

@@ -1,0 +1,119 @@
+#ifndef REFLEX_CLIENT_LOAD_GENERATOR_H_
+#define REFLEX_CLIENT_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "client/io_result.h"
+#include "client/reflex_client.h"
+#include "sim/histogram.h"
+#include "sim/random.h"
+#include "sim/task.h"
+
+namespace reflex::client {
+
+/**
+ * Workload description for a LoadGenerator. Exactly one of
+ * `offered_iops` (open-loop Poisson arrivals, mutilate-style) or
+ * `queue_depth` (closed loop) must be set.
+ */
+struct LoadGenSpec {
+  double read_fraction = 1.0;
+  uint32_t request_bytes = 4096;
+
+  /** Open-loop offered load (requests/second); 0 disables. */
+  double offered_iops = 0.0;
+
+  /**
+   * Open-loop arrival process: true = Poisson (exponential gaps),
+   * false = uniformly paced (mutilate agents pacing a target rate).
+   */
+  bool poisson_arrivals = true;
+
+  /** Closed-loop concurrency; 0 disables. */
+  int queue_depth = 0;
+
+  /**
+   * If > 0, closed-loop mode issues exactly this many operations and
+   * finishes (latency-probe mode, e.g. Table 2's QD-1 measurements);
+   * the first `warmup_ops` are not recorded.
+   */
+  int64_t stop_after_ops = 0;
+  int64_t warmup_ops = 0;
+
+  /** LBA span; 0 means the server device's full capacity. */
+  uint64_t lba_offset = 0;
+  uint64_t lba_span_sectors = 0;
+
+  uint64_t seed = 9;
+};
+
+/**
+ * Generates read/write load against a ReFlex tenant through a
+ * ReflexClient, mimicking the paper's extended mutilate load
+ * generator: many connections generate throughput while latency is
+ * recorded per request; statistics are confined to the measurement
+ * window [warm_end, end).
+ */
+class LoadGenerator {
+ public:
+  LoadGenerator(sim::Simulator& sim, ReflexClient& client,
+                uint32_t tenant_handle, LoadGenSpec spec);
+
+  /**
+   * Starts generation. In windowed mode (offered_iops or queue_depth
+   * with no stop_after_ops), traffic flows until `end` and statistics
+   * cover [warm_end, end). In probe mode (stop_after_ops > 0) the
+   * window arguments are ignored.
+   */
+  void Run(sim::TimeNs warm_end, sim::TimeNs end);
+
+  /** Resolves once generation stopped and all requests completed. */
+  sim::VoidFuture Done() const { return done_promise_->GetFuture(); }
+
+  const sim::Histogram& read_latency() const { return read_latency_; }
+  const sim::Histogram& write_latency() const { return write_latency_; }
+  int64_t ops_in_window() const { return ops_in_window_; }
+  int64_t errors() const { return errors_; }
+
+  /** Achieved throughput over the measurement window. */
+  double AchievedIops() const;
+
+ private:
+  sim::Task ClosedLoopWorker(int conn_index);
+  sim::Task ProbeWorker();
+  void ScheduleNextArrival();
+  sim::Task IssueOpenLoopOp(int conn_index);
+  std::pair<uint64_t, bool> PickOp();
+  void Record(const IoResult& result, bool is_read);
+  void MaybeFinish();
+
+  sim::Simulator& sim_;
+  ReflexClient& client_;
+  uint32_t tenant_;
+  LoadGenSpec spec_;
+  sim::Rng rng_;
+  uint64_t max_page_ = 0;
+  uint32_t sectors_ = 8;
+
+  sim::TimeNs warm_end_ = 0;
+  sim::TimeNs end_ = 0;
+  double mean_interarrival_ = 0.0;
+
+  int64_t outstanding_ = 0;
+  int64_t ops_in_window_ = 0;
+  int64_t probe_ops_left_ = 0;
+  int64_t probe_recorded_ = 0;
+  int64_t errors_ = 0;
+  bool generation_done_ = false;
+  bool finished_ = false;
+
+  sim::Histogram read_latency_;
+  sim::Histogram write_latency_;
+  std::unique_ptr<sim::VoidPromise> done_promise_;
+  int next_conn_ = 0;
+};
+
+}  // namespace reflex::client
+
+#endif  // REFLEX_CLIENT_LOAD_GENERATOR_H_

@@ -1,0 +1,136 @@
+#include "client/page_cache.h"
+
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace reflex::client {
+
+PageCache::PageCache(sim::Simulator& sim, client::StorageBackend& backend,
+                     uint32_t capacity_pages, int max_outstanding,
+                     int readahead_pages)
+    : sim_(sim),
+      backend_(backend),
+      capacity_pages_(capacity_pages),
+      readahead_pages_(readahead_pages),
+      io_slots_(sim, max_outstanding) {
+  REFLEX_CHECK(capacity_pages >= 1);
+  REFLEX_CHECK(readahead_pages >= 0);
+}
+
+sim::Future<const uint8_t*> PageCache::GetPage(uint64_t byte_offset) {
+  const uint64_t page_id = byte_offset / kPageBytes;
+  sim::Promise<const uint8_t*> promise(sim_);
+  auto future = promise.GetFuture();
+
+  // A hit on a readahead-produced page extends its stream so that
+  // steady sequential consumption never stalls.
+  auto stream_it = stream_pages_.find(page_id);
+  if (stream_it != stream_pages_.end()) {
+    stream_pages_.erase(stream_it);
+    StartFetch(page_id + static_cast<uint64_t>(readahead_pages_));
+  }
+
+  auto it = pages_.find(page_id);
+  if (it != pages_.end()) {
+    ++stats_.hits;
+    Touch(page_id, it->second);
+    promise.Set(it->second.data.get());
+    return future;
+  }
+
+  auto fl = in_flight_.find(page_id);
+  if (fl != in_flight_.end()) {
+    // A fetch is already outstanding; wait for it (counts as a hit:
+    // one Flash access serves all waiters).
+    ++stats_.hits;
+    fl->second.push_back(std::move(promise));
+    return future;
+  }
+
+  ++stats_.misses;
+  auto& waiters = in_flight_[page_id];
+  waiters.push_back(std::move(promise));
+  Fetch(page_id);
+  // Readahead only on sequential misses (the page following a recent
+  // miss), so random access patterns do not flood the device.
+  bool sequential = false;
+  for (uint64_t recent : recent_misses_) {
+    if (page_id == recent + 1) {
+      sequential = true;
+      break;
+    }
+  }
+  recent_misses_[recent_cursor_] = page_id;
+  recent_cursor_ = (recent_cursor_ + 1) % recent_misses_.size();
+  if (sequential) {
+    for (int i = 1; i <= readahead_pages_; ++i) {
+      StartFetch(page_id + static_cast<uint64_t>(i));
+    }
+  }
+  return future;
+}
+
+void PageCache::StartFetch(uint64_t page_id) {
+  if (pages_.count(page_id) > 0 || in_flight_.count(page_id) > 0) return;
+  ++stats_.readaheads;
+  stream_pages_.insert(page_id);
+  in_flight_.emplace(page_id,
+                     std::vector<sim::Promise<const uint8_t*>>());
+  Fetch(page_id);
+}
+
+sim::Task PageCache::Fetch(uint64_t page_id) {
+  co_await io_slots_.Acquire();
+  auto data = std::make_unique<uint8_t[]>(kPageBytes);
+  client::IoResult r = co_await backend_.ReadBytes(
+      page_id * kPageBytes, kPageBytes, data.get());
+  io_slots_.Release();
+  if (!r.ok()) {
+    REFLEX_PANIC("page cache read failed at page %llu (status %d)",
+                 static_cast<unsigned long long>(page_id),
+                 static_cast<int>(r.status));
+  }
+
+  EvictIfNeeded();
+  PageEntry entry;
+  entry.data = std::move(data);
+  lru_.push_front(page_id);
+  entry.lru_it = lru_.begin();
+  const uint8_t* raw = entry.data.get();
+  pages_.emplace(page_id, std::move(entry));
+
+  auto fl = in_flight_.find(page_id);
+  REFLEX_CHECK(fl != in_flight_.end());
+  for (auto& waiter : fl->second) waiter.Set(raw);
+  in_flight_.erase(fl);
+}
+
+void PageCache::Invalidate(uint64_t byte_offset, uint64_t bytes) {
+  const uint64_t first = byte_offset / kPageBytes;
+  const uint64_t last = (byte_offset + bytes + kPageBytes - 1) / kPageBytes;
+  for (uint64_t page = first; page < last; ++page) {
+    auto it = pages_.find(page);
+    if (it == pages_.end()) continue;
+    lru_.erase(it->second.lru_it);
+    pages_.erase(it);
+  }
+}
+
+void PageCache::Touch(uint64_t page_id, PageEntry& entry) {
+  lru_.erase(entry.lru_it);
+  lru_.push_front(page_id);
+  entry.lru_it = lru_.begin();
+}
+
+void PageCache::EvictIfNeeded() {
+  while (pages_.size() >= capacity_pages_) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    pages_.erase(victim);
+    stream_pages_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace reflex::client

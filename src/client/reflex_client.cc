@@ -1,0 +1,157 @@
+#include "client/reflex_client.h"
+
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace reflex::client {
+
+ReflexClient::ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
+                           net::Machine* machine, Options options)
+    : sim_(sim),
+      server_(server),
+      machine_(machine),
+      options_(options),
+      rng_(options.seed, "reflex_client") {
+  REFLEX_CHECK(options_.num_connections >= 1);
+  for (int i = 0; i < options_.num_connections; ++i) OpenConnection();
+}
+
+int ReflexClient::OpenConnection() {
+  core::ServerConnection* conn = server_.Connect(
+      machine_,
+      [this](const core::ResponseMsg& resp) { OnResponse(resp); });
+  connections_.push_back(conn);
+  return static_cast<int>(connections_.size()) - 1;
+}
+
+void ReflexClient::BindAll(uint32_t tenant_handle) {
+  for (core::ServerConnection* conn : connections_) {
+    server_.BindConnection(conn, tenant_handle);
+  }
+}
+
+sim::Future<core::ResponseMsg> ReflexClient::Register(
+    const core::SloSpec& slo, core::TenantClass cls) {
+  core::RequestMsg msg;
+  msg.type = core::ReqType::kRegister;
+  msg.slo = slo;
+  msg.tenant_class = cls;
+  msg.cookie = next_cookie_++;
+  sim::Promise<core::ResponseMsg> promise(sim_);
+  auto future = promise.GetFuture();
+  pending_control_.emplace(msg.cookie, std::move(promise));
+  core::ServerConnection* conn = connections_[0];
+  sim_.ScheduleAfter(
+      options_.stack.TxCost(core::kRegisterMsgBytes),
+      [conn, msg] { conn->Deliver(msg); });
+  return future;
+}
+
+sim::Future<core::ResponseMsg> ReflexClient::Unregister(uint32_t handle) {
+  core::RequestMsg msg;
+  msg.type = core::ReqType::kUnregister;
+  msg.handle = handle;
+  msg.cookie = next_cookie_++;
+  sim::Promise<core::ResponseMsg> promise(sim_);
+  auto future = promise.GetFuture();
+  pending_control_.emplace(msg.cookie, std::move(promise));
+  core::ServerConnection* conn = connections_[0];
+  sim_.ScheduleAfter(
+      options_.stack.TxCost(core::kRegisterMsgBytes),
+      [conn, msg] { conn->Deliver(msg); });
+  return future;
+}
+
+sim::Future<IoResult> ReflexClient::Read(uint32_t handle, uint64_t lba,
+                                         uint32_t sectors, uint8_t* data,
+                                         int conn_index) {
+  return SubmitIo(core::ReqType::kRead, handle, lba, sectors, data,
+                  conn_index);
+}
+
+sim::Future<IoResult> ReflexClient::Write(uint32_t handle, uint64_t lba,
+                                          uint32_t sectors, uint8_t* data,
+                                          int conn_index) {
+  return SubmitIo(core::ReqType::kWrite, handle, lba, sectors, data,
+                  conn_index);
+}
+
+sim::Future<IoResult> ReflexClient::Barrier(uint32_t handle,
+                                            int conn_index) {
+  return SubmitIo(core::ReqType::kBarrier, handle, 0, 0, nullptr,
+                  conn_index);
+}
+
+sim::Future<IoResult> ReflexClient::SubmitIo(core::ReqType type,
+                                             uint32_t handle, uint64_t lba,
+                                             uint32_t sectors, uint8_t* data,
+                                             int conn_index) {
+  core::RequestMsg msg;
+  msg.type = type;
+  msg.handle = handle;
+  msg.lba = lba;
+  msg.sectors = sectors;
+  msg.data = data;
+  msg.cookie = next_cookie_++;
+
+  if (conn_index < 0) {
+    conn_index = next_conn_;
+    next_conn_ = (next_conn_ + 1) % static_cast<int>(connections_.size());
+  }
+  core::ServerConnection* conn =
+      connections_[static_cast<size_t>(conn_index)];
+
+  sim::Promise<IoResult> promise(sim_);
+  auto future = promise.GetFuture();
+  const uint32_t payload_bytes =
+      type == core::ReqType::kRead ? sectors * core::kSectorBytes : 0;
+  pending_.emplace(msg.cookie,
+                   PendingOp{std::move(promise), sim_.Now(), payload_bytes});
+
+  // Client-side transmit processing, then ship over TCP.
+  const uint32_t wire = msg.WireBytes(core::kSectorBytes);
+  sim_.ScheduleAfter(options_.stack.TxCost(wire),
+                     [conn, msg] { conn->Deliver(msg); });
+  return future;
+}
+
+void ReflexClient::OnResponse(const core::ResponseMsg& resp) {
+  if (resp.type == core::RespType::kRegistered ||
+      resp.type == core::RespType::kUnregistered) {
+    auto it = pending_control_.find(resp.cookie);
+    REFLEX_CHECK(it != pending_control_.end());
+    sim::Promise<core::ResponseMsg> promise = std::move(it->second);
+    pending_control_.erase(it);
+    const sim::TimeNs delay =
+        options_.stack.SampleDeliveryDelay(rng_) +
+        options_.stack.RxCost(core::kRegisterMsgBytes);
+    sim_.ScheduleAfter(delay, [promise, resp]() mutable {
+      promise.Set(resp);
+    });
+    return;
+  }
+
+  auto it = pending_.find(resp.cookie);
+  REFLEX_CHECK(it != pending_.end());
+  PendingOp op = std::move(it->second);
+  pending_.erase(it);
+
+  // Client-side receive processing: interrupt/scheduling delay (Linux
+  // stacks) plus per-message stack cost and payload copy.
+  const sim::TimeNs delay = options_.stack.SampleDeliveryDelay(rng_) +
+                            options_.stack.RxCost(op.payload_bytes);
+  sim::Promise<IoResult> promise = std::move(op.promise);
+  const sim::TimeNs issue_time = op.issue_time;
+  const core::ReqStatus status = resp.status;
+  sim_.ScheduleAfter(delay, [promise, issue_time, status,
+                             this]() mutable {
+    IoResult result;
+    result.status = status;
+    result.issue_time = issue_time;
+    result.complete_time = sim_.Now();
+    promise.Set(result);
+  });
+}
+
+}  // namespace reflex::client

@@ -1,0 +1,111 @@
+#ifndef REFLEX_CLIENT_REFLEX_CLIENT_H_
+#define REFLEX_CLIENT_REFLEX_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "client/io_result.h"
+#include "core/reflex_server.h"
+#include "net/network.h"
+#include "net/stack_costs.h"
+#include "sim/random.h"
+#include "sim/task.h"
+
+namespace reflex::client {
+
+/**
+ * The ReFlex user-level client library (paper section 4.2): opens TCP
+ * connections to a ReFlex server and issues read/write requests for
+ * logical blocks, bypassing the client's filesystem and block layers.
+ *
+ * The client's network stack is configurable: StackCosts::IxDataplane()
+ * models the paper's "IX client" rows and StackCosts::LinuxEpoll() the
+ * "Linux client" rows of Table 2.
+ */
+class ReflexClient {
+ public:
+  struct Options {
+    net::StackCosts stack = net::StackCosts::IxDataplane();
+    /** Number of TCP connections to open up front. */
+    int num_connections = 1;
+    uint64_t seed = 1;
+  };
+
+  ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
+               net::Machine* machine, Options options);
+
+  /** Registers a tenant in-band; resolves with the assigned handle. */
+  sim::Future<core::ResponseMsg> Register(const core::SloSpec& slo,
+                                          core::TenantClass cls);
+
+  /** Unregisters a tenant in-band. */
+  sim::Future<core::ResponseMsg> Unregister(uint32_t handle);
+
+  /**
+   * Issues a read of `sectors` 512B sectors at `lba` on behalf of
+   * `handle`. `data` (optional) receives the payload. The returned
+   * future resolves after client-side receive processing, so its
+   * latency is the full application-observed round trip.
+   */
+  sim::Future<IoResult> Read(uint32_t handle, uint64_t lba,
+                             uint32_t sectors, uint8_t* data = nullptr,
+                             int conn_index = -1);
+
+  /** Issues a write; see Read(). */
+  sim::Future<IoResult> Write(uint32_t handle, uint64_t lba,
+                              uint32_t sectors, uint8_t* data = nullptr,
+                              int conn_index = -1);
+
+  /**
+   * Issues an ordering barrier (paper section 4.1 extension): resolves
+   * once every I/O of `handle` issued before it has completed on the
+   * device; I/Os issued after it are not submitted until then.
+   */
+  sim::Future<IoResult> Barrier(uint32_t handle, int conn_index = -1);
+
+  /** Opens one more connection; returns its index. */
+  int OpenConnection();
+
+  int num_connections() const {
+    return static_cast<int>(connections_.size());
+  }
+  net::Machine* machine() { return machine_; }
+  core::ReflexServer& server() { return server_; }
+  const Options& options() const { return options_; }
+
+  /** Binds all connections to a tenant's dataplane thread. */
+  void BindAll(uint32_t tenant_handle);
+
+ private:
+  struct PendingOp {
+    sim::Promise<IoResult> promise;
+    sim::TimeNs issue_time;
+    uint32_t payload_bytes;
+  };
+
+  sim::Future<IoResult> SubmitIo(core::ReqType type, uint32_t handle,
+                                 uint64_t lba, uint32_t sectors,
+                                 uint8_t* data, int conn_index);
+  void OnResponse(const core::ResponseMsg& resp);
+
+  sim::Simulator& sim_;
+  core::ReflexServer& server_;
+  net::Machine* machine_;
+  Options options_;
+  sim::Rng rng_;
+
+  std::vector<core::ServerConnection*> connections_;
+  int next_conn_ = 0;
+
+  uint64_t next_cookie_ = 1;
+  std::unordered_map<uint64_t, PendingOp> pending_;
+  std::unordered_map<uint64_t, sim::Promise<core::ResponseMsg>>
+      pending_control_;
+};
+
+}  // namespace reflex::client
+
+#endif  // REFLEX_CLIENT_REFLEX_CLIENT_H_

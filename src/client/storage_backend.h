@@ -1,0 +1,76 @@
+#ifndef REFLEX_CLIENT_STORAGE_BACKEND_H_
+#define REFLEX_CLIENT_STORAGE_BACKEND_H_
+
+#include <cstdint>
+
+#include "client/flash_service.h"
+#include "client/io_result.h"
+#include "core/protocol.h"
+#include "sim/task.h"
+
+namespace reflex::client {
+
+/**
+ * Byte-addressed storage interface used by the applications (FIO, the
+ * graph engine, the LSM key-value store). Implemented by the legacy
+ * BlockDevice driver (remote ReFlex) and by ServiceStorageAdapter for
+ * any FlashService (local NVMe, iSCSI), so each application runs
+ * unmodified on every system under comparison -- exactly how the
+ * paper's Figure 7 swaps block devices under unchanged binaries.
+ */
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /** Reads `bytes` at `offset` (512-aligned when data is non-null). */
+  virtual sim::Future<IoResult> ReadBytes(uint64_t offset, uint32_t bytes,
+                                          uint8_t* data) = 0;
+
+  /** Writes; see ReadBytes(). */
+  virtual sim::Future<IoResult> WriteBytes(uint64_t offset, uint32_t bytes,
+                                           const uint8_t* data) = 0;
+
+  /** Usable capacity in bytes. */
+  virtual uint64_t CapacityBytes() const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/** Adapts a sector-addressed FlashService to the byte interface. */
+class ServiceStorageAdapter : public StorageBackend {
+ public:
+  ServiceStorageAdapter(FlashService& service, uint64_t capacity_bytes)
+      : service_(service), capacity_bytes_(capacity_bytes) {}
+
+  sim::Future<IoResult> ReadBytes(uint64_t offset, uint32_t bytes,
+                                  uint8_t* data) override {
+    return service_.SubmitIo(/*is_read=*/true, offset / core::kSectorBytes,
+                             SectorsFor(offset, bytes), data);
+  }
+
+  sim::Future<IoResult> WriteBytes(uint64_t offset, uint32_t bytes,
+                                   const uint8_t* data) override {
+    return service_.SubmitIo(/*is_read=*/false,
+                             offset / core::kSectorBytes,
+                             SectorsFor(offset, bytes),
+                             const_cast<uint8_t*>(data));
+  }
+
+  uint64_t CapacityBytes() const override { return capacity_bytes_; }
+  const char* name() const override { return service_.name(); }
+
+ private:
+  static uint32_t SectorsFor(uint64_t offset, uint32_t bytes) {
+    const uint64_t first = offset / core::kSectorBytes;
+    const uint64_t end =
+        (offset + bytes + core::kSectorBytes - 1) / core::kSectorBytes;
+    return static_cast<uint32_t>(end - first);
+  }
+
+  FlashService& service_;
+  uint64_t capacity_bytes_;
+};
+
+}  // namespace reflex::client
+
+#endif  // REFLEX_CLIENT_STORAGE_BACKEND_H_

@@ -1,0 +1,216 @@
+#include "core/control_plane.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/reflex_server.h"
+#include "sim/logging.h"
+
+namespace reflex::core {
+
+ControlPlane::ControlPlane(ReflexServer& server) : server_(server) {}
+
+Tenant* ControlPlane::TryRegister(const SloSpec& slo, TenantClass cls,
+                                  ReqStatus* status) {
+  auto set_status = [status](ReqStatus s) {
+    if (status != nullptr) *status = s;
+  };
+
+  if (cls == TenantClass::kLatencyCritical) {
+    if (slo.iops == 0 || slo.latency <= 0 || slo.read_fraction < 0.0 ||
+        slo.read_fraction > 1.0) {
+      set_status(ReqStatus::kOutOfResources);
+      return nullptr;
+    }
+    // Admission control: with the new tenant included, the strictest
+    // latency SLO determines the device token cap; all LC reservations
+    // must fit within it.
+    sim::TimeNs strictest = slo.latency;
+    double lc_rate_sum =
+        server_.cost_model().TokenRateForSlo(slo);
+    for (Tenant* t : server_.tenants()) {
+      if (!t->active() || !t->IsLatencyCritical()) continue;
+      strictest = std::min(strictest, t->slo().latency);
+      lc_rate_sum += t->token_rate();
+    }
+    const double cap =
+        server_.calibration().MaxTokenRateForSlo(strictest);
+    if (lc_rate_sum > cap) {
+      set_status(ReqStatus::kOutOfResources);
+      return nullptr;
+    }
+  }
+
+  Tenant* tenant = server_.CreateTenant(slo, cls);
+  const int thread_idx = PickThreadForTenant();
+  server_.thread(thread_idx).AdoptTenant(tenant);
+  RecomputeRates();
+  set_status(ReqStatus::kOk);
+  return tenant;
+}
+
+void ControlPlane::Unregister(Tenant* tenant) {
+  REFLEX_CHECK(tenant != nullptr);
+  if (!tenant->active()) return;
+  tenant->set_active(false);
+  server_.thread(tenant->thread_index()).DropTenant(tenant);
+  RecomputeRates();
+}
+
+void ControlPlane::OnNegLimit(Tenant& tenant) {
+  ++neg_limit_notifications_;
+  // Persistent bursting indicates an SLO that needs renegotiation
+  // (paper section 3.2.2). Flag after a burst of notifications.
+  if (tenant.neg_limit_hits == 100) {
+    flagged_tenants_.push_back(tenant.handle());
+  }
+}
+
+void ControlPlane::RecomputeRates() {
+  // Token cap: the rate the device sustains at the strictest LC SLO;
+  // without LC tenants, BE traffic may use full device capacity.
+  sim::TimeNs strictest = std::numeric_limits<sim::TimeNs>::max();
+  double lc_rate_sum = 0.0;
+  int num_be = 0;
+  for (Tenant* t : server_.tenants()) {
+    if (!t->active()) continue;
+    if (t->IsLatencyCritical()) {
+      strictest = std::min(strictest, t->slo().latency);
+      const double rate = server_.cost_model().TokenRateForSlo(t->slo());
+      t->set_token_rate(rate);
+      lc_rate_sum += rate;
+    } else {
+      ++num_be;
+    }
+  }
+  if (strictest == std::numeric_limits<sim::TimeNs>::max()) {
+    strictest_slo_ = 0;
+    scheduler_token_rate_ = server_.calibration().token_capacity_per_sec;
+  } else {
+    strictest_slo_ = strictest;
+    scheduler_token_rate_ =
+        server_.calibration().MaxTokenRateForSlo(strictest);
+  }
+  const double be_share =
+      num_be > 0
+          ? std::max(0.0, scheduler_token_rate_ - lc_rate_sum) / num_be
+          : 0.0;
+  for (Tenant* t : server_.tenants()) {
+    if (t->active() && !t->IsLatencyCritical()) t->set_token_rate(be_share);
+  }
+}
+
+int ControlPlane::PickThreadForTenant() const {
+  // Least-loaded active thread: fewest LC tenants first (LC load
+  // dominates), then fewest tenants overall. O(threads) so that
+  // registering thousands of tenants stays cheap.
+  int best = 0;
+  int best_lc = std::numeric_limits<int>::max();
+  int best_count = std::numeric_limits<int>::max();
+  for (int i = 0; i < server_.num_active_threads(); ++i) {
+    const QosScheduler& sched = server_.thread(i).scheduler();
+    const int lc = sched.NumLcTenants();
+    const int count = sched.NumTenants();
+    if (lc < best_lc || (lc == best_lc && count < best_count)) {
+      best = i;
+      best_lc = lc;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+bool ControlPlane::ScaleTo(int n) {
+  if (n < 1 || n > server_.options().max_threads) return false;
+  while (server_.num_active_threads() < n) {
+    server_.AddThreadInternal();
+  }
+  if (server_.num_active_threads() > n) {
+    // Shrink: move tenants off the highest-index threads, then stop
+    // them. Threads are not destroyed (stats remain readable).
+    for (int i = n; i < server_.num_active_threads(); ++i) {
+      DataplaneThread& victim = server_.thread(i);
+      for (Tenant* t : server_.tenants()) {
+        if (t->active() && t->thread_index() == i) {
+          victim.scheduler().RemoveTenant(t);
+          const int target = i % n;
+          server_.thread(target).AdoptTenant(t);
+        }
+      }
+      victim.Shutdown();
+    }
+    server_.active_threads_ = n;
+    server_.shared().num_threads = n;
+  }
+  RebalanceTenants();
+  return true;
+}
+
+void ControlPlane::RebalanceTenants() {
+  const int n = server_.num_active_threads();
+  if (n <= 1) return;
+  // Greedy rebalance: assign tenants (largest reservation first) to
+  // the least-loaded thread. Mirrors the connection rebalancing the
+  // paper inherits from IX, at tenant granularity.
+  std::vector<Tenant*> active;
+  for (Tenant* t : server_.tenants()) {
+    if (t->active()) active.push_back(t);
+  }
+  std::sort(active.begin(), active.end(), [](Tenant* a, Tenant* b) {
+    if (a->token_rate() != b->token_rate()) {
+      return a->token_rate() > b->token_rate();
+    }
+    return a->handle() < b->handle();
+  });
+  std::vector<double> load(n, 0.0);
+  for (Tenant* t : active) {
+    int best = 0;
+    for (int i = 1; i < n; ++i) {
+      if (load[i] < load[best]) best = i;
+    }
+    load[best] += std::max(t->token_rate(), 1.0);
+    if (t->thread_index() != best) {
+      server_.thread(t->thread_index()).scheduler().RemoveTenant(t);
+      server_.thread(best).AdoptTenant(t);
+    }
+  }
+}
+
+void ControlPlane::StartMonitor() {
+  if (monitor_running_) return;
+  monitor_running_ = true;
+  MonitorLoop();
+}
+
+sim::Task ControlPlane::MonitorLoop() {
+  sim::Simulator& sim = server_.sim();
+  last_monitor_time_ = sim.Now();
+  for (;;) {
+    co_await sim::Delay(sim, server_.options().monitor_interval);
+    const sim::TimeNs now = sim.Now();
+    const sim::TimeNs window = now - last_monitor_time_;
+    last_monitor_time_ = now;
+    const int n = server_.num_active_threads();
+    last_busy_ns_.resize(server_.num_threads(), 0);
+    double max_util = 0.0;
+    double total_util = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const sim::TimeNs busy = server_.thread(i).stats().busy_ns;
+      const double util =
+          static_cast<double>(busy - last_busy_ns_[i]) /
+          static_cast<double>(window);
+      last_busy_ns_[i] = busy;
+      max_util = std::max(max_util, util);
+      total_util += util;
+    }
+    if (max_util > server_.options().scale_up_utilization &&
+        n < server_.options().max_threads) {
+      ScaleTo(n + 1);
+    } else if (n > 1 &&
+               total_util / n < server_.options().scale_down_utilization) {
+      ScaleTo(n - 1);
+    }
+  }
+}
+
+}  // namespace reflex::core

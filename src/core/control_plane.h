@@ -1,0 +1,104 @@
+#ifndef REFLEX_CORE_CONTROL_PLANE_H_
+#define REFLEX_CORE_CONTROL_PLANE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.h"
+#include "core/slo.h"
+#include "core/tenant.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace reflex::core {
+
+class ReflexServer;
+
+/**
+ * The local control plane (paper section 4.3). Responsibilities:
+ *
+ *  - admission control for new latency-critical tenants, using the
+ *    calibrated latency-vs-token-rate curve of the device;
+ *  - recomputing token generation rates for LC and BE tenants whenever
+ *    a tenant registers or terminates;
+ *  - handling NEG_LIMIT notifications from the scheduler (tenants that
+ *    persistently burst above their SLO need renegotiation);
+ *  - monitoring thread load and scaling the number of dataplane
+ *    threads up/down, rebalancing tenants across threads.
+ */
+class ControlPlane {
+ public:
+  explicit ControlPlane(ReflexServer& server);
+
+  /**
+   * Admission-checks and registers a tenant. For LC tenants the SLO is
+   * admissible iff the sum of all LC token reservations (including the
+   * new one) fits within the device's token rate at the strictest
+   * latency SLO. Returns nullptr with *status = kOutOfResources on
+   * rejection.
+   */
+  Tenant* TryRegister(const SloSpec& slo, TenantClass cls,
+                      ReqStatus* status = nullptr);
+
+  /** Unregisters a tenant and recomputes rates. */
+  void Unregister(Tenant* tenant);
+
+  /** Scheduler callback: an LC tenant hit its token deficit limit. */
+  void OnNegLimit(Tenant& tenant);
+
+  /**
+   * Recomputes the device token cap (strictest LC SLO) and the per-
+   * tenant token rates; called on registration changes and by tests.
+   */
+  void RecomputeRates();
+
+  /** Current device-wide token generation cap (tokens/sec). */
+  double scheduler_token_rate() const { return scheduler_token_rate_; }
+
+  /** Strictest LC latency SLO, or 0 when no LC tenant exists. */
+  sim::TimeNs strictest_slo() const { return strictest_slo_; }
+
+  /** Total NEG_LIMIT notifications received (renegotiation signal). */
+  int64_t neg_limit_notifications() const {
+    return neg_limit_notifications_;
+  }
+
+  /** Tenants flagged for SLO renegotiation (persistent bursting). */
+  const std::vector<uint32_t>& flagged_tenants() const {
+    return flagged_tenants_;
+  }
+
+  /**
+   * Grows or shrinks the active dataplane thread count and rebalances
+   * tenants. Returns false if n is out of [1, max_threads].
+   */
+  bool ScaleTo(int n);
+
+  /** Spreads tenants across active threads, balancing token load. */
+  void RebalanceTenants();
+
+  /**
+   * Starts the periodic monitor that right-sizes the thread count
+   * based on measured thread utilization (IX-style, section 4.3).
+   */
+  void StartMonitor();
+
+ private:
+  sim::Task MonitorLoop();
+  int PickThreadForTenant() const;
+
+  ReflexServer& server_;
+  double scheduler_token_rate_ = 0.0;
+  sim::TimeNs strictest_slo_ = 0;
+  int64_t neg_limit_notifications_ = 0;
+  std::vector<uint32_t> flagged_tenants_;
+  bool monitor_running_ = false;
+
+  // Utilization snapshot state for the monitor.
+  std::vector<sim::TimeNs> last_busy_ns_;
+  sim::TimeNs last_monitor_time_ = 0;
+};
+
+}  // namespace reflex::core
+
+#endif  // REFLEX_CORE_CONTROL_PLANE_H_

@@ -1,0 +1,34 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+
+namespace reflex::core {
+
+void ReadRatioTracker::Decay(sim::TimeNs now) const {
+  if (now <= last_update_) return;
+  const double dt = static_cast<double>(now - last_update_);
+  const double factor =
+      std::exp2(-dt / static_cast<double>(half_life_));
+  reads_ *= factor;
+  writes_ *= factor;
+  last_update_ = now;
+}
+
+void ReadRatioTracker::Observe(sim::TimeNs now, bool is_read,
+                               double weight) {
+  Decay(now);
+  if (is_read) {
+    reads_ += weight;
+  } else {
+    writes_ += weight;
+  }
+}
+
+double ReadRatioTracker::ReadFraction(sim::TimeNs now) const {
+  Decay(now);
+  const double total = reads_ + writes_;
+  if (total < 1e-9) return 1.0;
+  return reads_ / total;
+}
+
+}  // namespace reflex::core

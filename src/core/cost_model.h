@@ -1,0 +1,105 @@
+#ifndef REFLEX_CORE_COST_MODEL_H_
+#define REFLEX_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "core/slo.h"
+#include "flash/calibration.h"
+#include "flash/flash_device.h"
+#include "sim/time.h"
+
+namespace reflex::core {
+
+/**
+ * Tracks the device-wide read/write request mix over a sliding
+ * exponential window. The QoS scheduler uses the current ratio r to
+ * price reads (r = 100% gets the calibrated read-only discount).
+ */
+class ReadRatioTracker {
+ public:
+  /** half_life: how fast history decays. */
+  explicit ReadRatioTracker(sim::TimeNs half_life = sim::Millis(1))
+      : half_life_(half_life) {}
+
+  void Observe(sim::TimeNs now, bool is_read, double weight = 1.0);
+
+  /**
+   * Current read fraction in [0, 1]. An idle or never-written device
+   * reports 1.0 (read-only).
+   */
+  double ReadFraction(sim::TimeNs now) const;
+
+  /** True when the recent mix is effectively read-only. */
+  bool IsReadOnly(sim::TimeNs now) const {
+    return ReadFraction(now) >= 0.9995;
+  }
+
+ private:
+  void Decay(sim::TimeNs now) const;
+
+  sim::TimeNs half_life_;
+  mutable sim::TimeNs last_update_ = 0;
+  mutable double reads_ = 0.0;
+  mutable double writes_ = 0.0;
+};
+
+/**
+ * The request cost model of paper section 3.2.1:
+ *
+ *   cost = ceil(I/O size / 4KB) * C(I/O type, r)
+ *
+ * with C in tokens, where one token is the cost of a 4KB random read
+ * under mixed load. Constructed from a device CalibrationResult.
+ */
+class RequestCostModel {
+ public:
+  RequestCostModel(double write_cost, double read_cost_readonly,
+                   uint32_t page_bytes = 4096)
+      : write_cost_(write_cost),
+        read_cost_readonly_(read_cost_readonly),
+        page_bytes_(page_bytes) {}
+
+  static RequestCostModel FromCalibration(
+      const flash::CalibrationResult& calibration,
+      uint32_t page_bytes = 4096) {
+    return RequestCostModel(calibration.write_cost,
+                            calibration.read_cost_readonly, page_bytes);
+  }
+
+  /** Cost in tokens of one request given the current device mix. */
+  double TokensFor(flash::FlashOp op, uint32_t bytes,
+                   bool device_read_only) const {
+    const double pages = static_cast<double>(PagesFor(bytes));
+    if (op == flash::FlashOp::kWrite) return pages * write_cost_;
+    return pages * (device_read_only ? read_cost_readonly_ : 1.0);
+  }
+
+  /**
+   * Token rate reserving an SLO (paper example: 100K IOPS at 80% reads
+   * and write cost 10 reserves 280K tokens/s). Reads are priced at the
+   * conservative mixed-load cost of 1 token.
+   */
+  double TokenRateForSlo(const SloSpec& slo) const {
+    const double pages = static_cast<double>(PagesFor(slo.request_bytes));
+    const double per_io =
+        slo.read_fraction * 1.0 + (1.0 - slo.read_fraction) * write_cost_;
+    return static_cast<double>(slo.iops) * per_io * pages;
+  }
+
+  double write_cost() const { return write_cost_; }
+  double read_cost_readonly() const { return read_cost_readonly_; }
+
+  uint32_t PagesFor(uint32_t bytes) const {
+    if (bytes == 0) return 1;
+    return (bytes + page_bytes_ - 1) / page_bytes_;
+  }
+
+ private:
+  double write_cost_;
+  double read_cost_readonly_;
+  uint32_t page_bytes_;
+};
+
+}  // namespace reflex::core
+
+#endif  // REFLEX_CORE_COST_MODEL_H_

@@ -1,0 +1,318 @@
+#include "core/dataplane.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/reflex_server.h"
+#include "sim/logging.h"
+
+namespace reflex::core {
+
+void ServerConnection::Deliver(const RequestMsg& msg) {
+  DataplaneThread* thread = thread_;
+  ServerConnection* self = this;
+  tcp_->SendToServer(msg.WireBytes(kSectorBytes),
+                     [thread, self, msg] { thread->EnqueueRx(self, msg); });
+}
+
+DataplaneThread::DataplaneThread(sim::Simulator& sim, ReflexServer& server,
+                                 int index, flash::FlashDevice& device,
+                                 SchedulerShared& shared,
+                                 const RequestCostModel& cost_model,
+                                 const DataplaneConfig& config,
+                                 QosScheduler::Config qos_config)
+    : sim_(sim),
+      server_(server),
+      index_(index),
+      device_(device),
+      qp_(device.AllocQueuePair()),
+      config_(config),
+      scheduler_(shared, cost_model, qos_config) {
+  if (qp_ == nullptr) {
+    REFLEX_FATAL("device out of hardware queue pairs for thread %d", index);
+  }
+  if (server.options().transport == net::Transport::kUdp) {
+    // Datagram processing skips stream reassembly, ACK generation and
+    // congestion-control bookkeeping: roughly half the per-message
+    // protocol cost (section 4.1: a lighter transport improves both
+    // tail latency and throughput).
+    config_.tcp_rx_per_msg /= 2;
+    config_.tcp_tx_per_msg /= 2;
+  }
+  scheduler_.set_neg_limit_callback(
+      [this](Tenant& t) { server_.control_plane().OnNegLimit(t); });
+}
+
+DataplaneThread::~DataplaneThread() {
+  if (qp_ != nullptr && qp_->Outstanding() == 0) {
+    device_.FreeQueuePair(qp_);
+  }
+}
+
+void DataplaneThread::Start() {
+  REFLEX_CHECK(!running_);
+  running_ = true;
+  start_time_ = sim_.Now();
+  RunLoop();
+}
+
+void DataplaneThread::Shutdown() {
+  running_ = false;
+  Wake();
+}
+
+void DataplaneThread::EnqueueRx(ServerConnection* conn,
+                                const RequestMsg& msg) {
+  rx_ring_.push_back(RxItem{conn, msg});
+  Wake();
+}
+
+void DataplaneThread::AdoptTenant(Tenant* tenant) {
+  scheduler_.AddTenant(tenant);
+  tenant->set_thread_index(index_);
+}
+
+void DataplaneThread::DropTenant(Tenant* tenant) {
+  scheduler_.RemoveTenant(tenant);
+  for (PendingIo& io : tenant->TakeQueue()) {
+    FailIo(io, ReqStatus::kNoSuchTenant);
+  }
+}
+
+void DataplaneThread::Wake() {
+  if (idle_ && wake_promise_.has_value()) {
+    idle_ = false;
+    wake_promise_->Set(sim::Unit{});
+    wake_promise_.reset();
+  }
+}
+
+void DataplaneThread::ArmRescheduleTimer() {
+  if (resched_armed_) return;
+  resched_armed_ = true;
+  sim_.ScheduleAfter(config_.idle_resched_delay, [this] {
+    resched_armed_ = false;
+    if (running_) Wake();
+  });
+}
+
+double DataplaneThread::LlcFactor() const {
+  const int64_t per_conn =
+      server_.options().transport == net::Transport::kTcp
+          ? net::TcpConnection::kStateBytes
+          : net::TcpConnection::kUdpStateBytes;
+  const int64_t state_bytes =
+      static_cast<int64_t>(server_.NumConnections()) * per_conn;
+  if (state_bytes <= config_.llc_bytes) return 0.0;
+  return 1.0 - static_cast<double>(config_.llc_bytes) /
+                   static_cast<double>(state_bytes);
+}
+
+sim::Task DataplaneThread::RunLoop() {
+  while (running_) {
+    if (rx_ring_.empty() && cq_ring_.empty()) {
+      // Nothing to poll. A real dataplane would spin; we sleep until a
+      // packet or completion arrives (equivalent timing, no wasted
+      // simulation events). If tenants still have queued demand that
+      // is waiting for tokens, re-run the scheduler soon.
+      if (scheduler_.HasPendingDemand()) ArmRescheduleTimer();
+      idle_ = true;
+      wake_promise_.emplace(sim_);
+      co_await wake_promise_->GetFuture();
+      if (!running_) break;
+    }
+
+    // --- Gather this iteration's batch (adaptive, capped at 64) ---
+    const int nrx = std::min<int>(static_cast<int>(rx_ring_.size()),
+                                  config_.max_batch);
+    const int ncq = std::min<int>(static_cast<int>(cq_ring_.size()),
+                                  config_.max_batch);
+    std::vector<RxItem> rx_batch;
+    rx_batch.reserve(nrx);
+    for (int i = 0; i < nrx; ++i) {
+      rx_batch.push_back(std::move(rx_ring_.front()));
+      rx_ring_.pop_front();
+    }
+    std::vector<CqItem> cq_batch;
+    cq_batch.reserve(ncq);
+    for (int i = 0; i < ncq; ++i) {
+      cq_batch.push_back(std::move(cq_ring_.front()));
+      cq_ring_.pop_front();
+    }
+
+    // --- Charge this iteration's CPU time ---
+    const auto llc_extra = static_cast<sim::TimeNs>(
+        LlcFactor() *
+        static_cast<double>(config_.llc_miss_penalty_per_msg));
+    sim::TimeNs tcp_cost = 0;
+    sim::TimeNs flash_cost = 0;
+    sim::TimeNs parse_cost = 0;
+    tcp_cost += nrx * (config_.tcp_rx_per_msg + llc_extra);
+    parse_cost += nrx * config_.parse_per_msg;
+    flash_cost += nrx * config_.submit_per_req;
+    flash_cost += ncq * config_.completion_per_req;
+    tcp_cost += ncq * (config_.tcp_tx_per_msg + llc_extra);
+    sim::TimeNs sched_cost = nrx * config_.sched_admission_per_req;
+    if (scheduler_.NumTenants() > 0) {
+      sched_cost += config_.sched_round_base +
+                    scheduler_.NumTenants() * config_.sched_per_tenant;
+    }
+    const sim::TimeNs total =
+        config_.poll_fixed + tcp_cost + parse_cost + flash_cost + sched_cost;
+    co_await sim::Delay(sim_, total);
+
+    stats_.busy_ns += total;
+    stats_.tcp_ns += tcp_cost;
+    stats_.sched_ns += sched_cost;
+    stats_.flash_ns += flash_cost;
+    ++stats_.iterations;
+    stats_.batch_sum += nrx + ncq;
+
+    // --- Act: parse + enqueue requests ---
+    const sim::TimeNs now = sim_.Now();
+    for (RxItem& item : rx_batch) {
+      ++stats_.requests_rx;
+      RequestMsg& msg = item.msg;
+      if (msg.type == ReqType::kRegister ||
+          msg.type == ReqType::kUnregister) {
+        HandleControlMsg(item.conn, msg);
+        continue;
+      }
+      Tenant* tenant = server_.FindTenant(msg.handle);
+      if (tenant == nullptr || !tenant->active()) {
+        ResponseMsg resp;
+        resp.type = msg.type == ReqType::kRead ? RespType::kResponse
+                                               : RespType::kWritten;
+        resp.status = ReqStatus::kNoSuchTenant;
+        resp.handle = msg.handle;
+        resp.cookie = msg.cookie;
+        SendResponse(item.conn, resp);
+        continue;
+      }
+      ReqStatus acl = ReqStatus::kOk;
+      if (msg.type != ReqType::kBarrier) {
+        acl = server_.acl().CheckIo(msg.handle, msg.type, msg.lba,
+                                    msg.sectors);
+        if (acl == ReqStatus::kOk &&
+            (msg.sectors == 0 ||
+             msg.lba + msg.sectors > device_.profile().capacity_sectors)) {
+          acl = ReqStatus::kInvalidRange;
+        }
+      }
+      if (acl != ReqStatus::kOk) {
+        ResponseMsg resp;
+        resp.type = msg.type == ReqType::kRead ? RespType::kResponse
+                                               : RespType::kWritten;
+        resp.status = acl;
+        resp.handle = msg.handle;
+        resp.cookie = msg.cookie;
+        SendResponse(item.conn, resp);
+        continue;
+      }
+      PendingIo io;
+      io.msg = msg;
+      io.conn = item.conn;
+      // Route to the tenant's owning thread (tenants may have been
+      // rebalanced after the connection was opened).
+      DataplaneThread& owner = server_.thread(tenant->thread_index());
+      owner.scheduler_.Enqueue(now, tenant, std::move(io));
+      if (&owner != this) owner.Wake();
+    }
+
+    // --- QoS scheduling round (Algorithm 1) ---
+    if (scheduler_.NumTenants() > 0) {
+      ++stats_.sched_rounds;
+      scheduler_.RunRound(now, [this](Tenant& t, PendingIo&& io) {
+        SubmitToFlash(t, std::move(io));
+      });
+    }
+
+    // --- Completions: build and transmit responses ---
+    for (CqItem& item : cq_batch) {
+      Tenant* tenant = item.tenant;
+      // An I/O counts as completed (for barriers) once its response is
+      // on the wire, so barrier acks can never overtake it.
+      --tenant->inflight;
+      const bool is_read = item.io.msg.type == ReqType::kRead;
+      if (is_read) {
+        ++tenant->completed_reads;
+      } else {
+        ++tenant->completed_writes;
+      }
+      ResponseMsg resp;
+      resp.type = is_read ? RespType::kResponse : RespType::kWritten;
+      resp.status = item.completion.status == flash::FlashStatus::kOk
+                        ? ReqStatus::kOk
+                        : ReqStatus::kDeviceError;
+      resp.handle = tenant->handle();
+      resp.cookie = item.io.msg.cookie;
+      resp.sectors = item.io.msg.sectors;
+      SendResponse(item.io.conn, resp);
+    }
+  }
+}
+
+void DataplaneThread::HandleControlMsg(ServerConnection* conn,
+                                       const RequestMsg& msg) {
+  SendResponse(conn, server_.HandleRegisterMsg(conn, msg));
+}
+
+void DataplaneThread::SubmitToFlash(Tenant& tenant, PendingIo&& io) {
+  if (io.msg.type == ReqType::kBarrier) {
+    // The scheduler releases a barrier only once the tenant has no
+    // in-flight I/O; acknowledge it to the client.
+    ResponseMsg resp;
+    resp.type = RespType::kBarrierDone;
+    resp.status = ReqStatus::kOk;
+    resp.handle = tenant.handle();
+    resp.cookie = io.msg.cookie;
+    SendResponse(io.conn, resp);
+    return;
+  }
+  ++stats_.flash_submitted;
+  flash::FlashCommand cmd;
+  cmd.op = io.msg.type == ReqType::kRead ? flash::FlashOp::kRead
+                                         : flash::FlashOp::kWrite;
+  cmd.lba = io.msg.lba;
+  cmd.sectors = io.msg.sectors;
+  cmd.data = io.msg.data;
+  cmd.cookie = io.msg.cookie;
+  Tenant* tenant_ptr = &tenant;
+  ++tenant.inflight;
+  auto shared_io = std::make_shared<PendingIo>(std::move(io));
+  const bool ok = device_.Submit(
+      qp_, cmd,
+      [this, tenant_ptr, shared_io](const flash::FlashCompletion& c) {
+        cq_ring_.push_back(CqItem{tenant_ptr, std::move(*shared_io), c});
+        Wake();
+      });
+  if (!ok) {
+    // Ranges were validated at parse time, so a failed submission
+    // means the hardware queue pair is full.
+    --tenant.inflight;
+    FailIo(*shared_io, ReqStatus::kOutOfResources);
+  }
+}
+
+void DataplaneThread::SendResponse(ServerConnection* conn,
+                                   const ResponseMsg& resp) {
+  ++stats_.responses_tx;
+  ServerConnection* c = conn;
+  ResponseMsg r = resp;
+  conn->tcp()->SendToClient(resp.WireBytes(kSectorBytes), [c, r] {
+    if (c->on_response) c->on_response(r);
+  });
+}
+
+void DataplaneThread::FailIo(const PendingIo& io, ReqStatus status) {
+  ResponseMsg resp;
+  resp.type = io.msg.type == ReqType::kRead ? RespType::kResponse
+                                            : RespType::kWritten;
+  resp.status = status;
+  resp.handle = io.msg.handle;
+  resp.cookie = io.msg.cookie;
+  SendResponse(io.conn, resp);
+}
+
+}  // namespace reflex::core

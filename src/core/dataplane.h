@@ -1,0 +1,215 @@
+#ifndef REFLEX_CORE_DATAPLANE_H_
+#define REFLEX_CORE_DATAPLANE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/protocol.h"
+#include "core/qos_scheduler.h"
+#include "core/tenant.h"
+#include "flash/flash_device.h"
+#include "net/network.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace reflex::core {
+
+class ReflexServer;
+class DataplaneThread;
+
+/**
+ * Server-side endpoint of one client TCP connection. Requests arriving
+ * on the connection are processed by the dataplane thread the
+ * connection is bound to (the thread of its tenant).
+ */
+class ServerConnection {
+ public:
+  net::TcpConnection* tcp() { return tcp_.get(); }
+  DataplaneThread* thread() const { return thread_; }
+  const std::string& client_name() const { return client_name_; }
+
+  /**
+   * Client-side delivery hook: invoked when a response message has
+   * fully arrived at the *client* NIC. The client library layers its
+   * own stack costs on top before surfacing the completion.
+   */
+  std::function<void(const ResponseMsg&)> on_response;
+
+  /**
+   * Ingress path used by client libraries: ships `msg` over the
+   * simulated TCP connection and enqueues it at the server dataplane
+   * when the last frame arrives.
+   */
+  void Deliver(const RequestMsg& msg);
+
+ private:
+  friend class ReflexServer;
+  friend class DataplaneThread;
+
+  ServerConnection(std::unique_ptr<net::TcpConnection> tcp,
+                   DataplaneThread* thread, std::string client_name)
+      : tcp_(std::move(tcp)),
+        thread_(thread),
+        client_name_(std::move(client_name)) {}
+
+  std::unique_ptr<net::TcpConnection> tcp_;
+  DataplaneThread* thread_;
+  std::string client_name_;
+};
+
+/**
+ * CPU cost constants of the ReFlex dataplane (calibrated in DESIGN.md
+ * section 5 to reproduce 850K IOPS/core, ~20% of cycles in TCP, and
+ * 2-8% in QoS scheduling).
+ */
+struct DataplaneConfig {
+  /** Fixed cost of one polling iteration that found work. */
+  sim::TimeNs poll_fixed = sim::TimeNs(600);
+
+  /** TCP/IP receive processing per message. */
+  sim::TimeNs tcp_rx_per_msg = sim::TimeNs(130);
+
+  /** Message parse + access-control + protocol handling per request
+   * (libix event dispatch plus the user-level server code). */
+  sim::TimeNs parse_per_msg = sim::TimeNs(380);
+
+  /** Per-request QoS admission check (token spend). */
+  sim::TimeNs sched_admission_per_req = sim::TimeNs(50);
+
+  /** Per-request NVMe submission (command build + doorbell). */
+  sim::TimeNs submit_per_req = sim::TimeNs(150);
+
+  /** NVMe completion handling per request. */
+  sim::TimeNs completion_per_req = sim::TimeNs(300);
+
+  /** TCP/IP transmit processing per response. */
+  sim::TimeNs tcp_tx_per_msg = sim::TimeNs(130);
+
+  /** QoS scheduling round: fixed + per-tenant cost. */
+  sim::TimeNs sched_round_base = sim::TimeNs(300);
+  sim::TimeNs sched_per_tenant = sim::TimeNs(60);
+
+  /** Adaptive batching cap (paper: 64). */
+  int max_batch = 64;
+
+  /**
+   * When demand waits for tokens and the thread would otherwise idle,
+   * re-run the scheduler after this delay. The control plane bounds it
+   * to 5% of the strictest SLO (section 3.2.2).
+   */
+  sim::TimeNs idle_resched_delay = sim::Micros(5);
+
+  /**
+   * LLC pressure model (Figure 6c): effective last-level-cache budget
+   * for connection state on this thread, and the extra per-message
+   * cost when all state misses.
+   */
+  int64_t llc_bytes = int64_t{7} * 1024 * 1024;
+  sim::TimeNs llc_miss_penalty_per_msg = sim::TimeNs(350);
+};
+
+/** Cycle-accounting counters for one dataplane thread (section 5.3). */
+struct DataplaneStats {
+  int64_t iterations = 0;
+  int64_t requests_rx = 0;
+  int64_t responses_tx = 0;
+  int64_t sched_rounds = 0;
+  int64_t flash_submitted = 0;
+  sim::TimeNs busy_ns = 0;
+  sim::TimeNs tcp_ns = 0;
+  sim::TimeNs sched_ns = 0;
+  sim::TimeNs flash_ns = 0;  // submit + completion handling
+  int64_t batch_sum = 0;     // for mean batch size
+};
+
+/**
+ * One ReFlex dataplane thread (paper Figure 2): a pinned core with
+ * exclusive NIC and NVMe queue pairs, running the two-step
+ * run-to-completion loop with adaptive batching, polling, zero-copy
+ * and the QoS scheduler.
+ */
+class DataplaneThread {
+ public:
+  DataplaneThread(sim::Simulator& sim, ReflexServer& server, int index,
+                  flash::FlashDevice& device, SchedulerShared& shared,
+                  const RequestCostModel& cost_model,
+                  const DataplaneConfig& config,
+                  QosScheduler::Config qos_config);
+  ~DataplaneThread();
+
+  DataplaneThread(const DataplaneThread&) = delete;
+  DataplaneThread& operator=(const DataplaneThread&) = delete;
+
+  /** Starts the polling loop. */
+  void Start();
+
+  /** Stops the loop (the thread finishes its current iteration). */
+  void Shutdown();
+
+  int index() const { return index_; }
+  QosScheduler& scheduler() { return scheduler_; }
+  const DataplaneStats& stats() const { return stats_; }
+  const DataplaneConfig& config() const { return config_; }
+
+  /** Network ingress: called when a request arrives at the server NIC. */
+  void EnqueueRx(ServerConnection* conn, const RequestMsg& msg);
+
+  /** Moves a tenant (and its queued requests) onto this thread. */
+  void AdoptTenant(Tenant* tenant);
+
+  /** Unbinds a tenant; its queued requests are failed back to clients. */
+  void DropTenant(Tenant* tenant);
+
+  /** CPU utilization over the thread lifetime. */
+  double Utilization(sim::TimeNs now) const {
+    return now > start_time_
+               ? static_cast<double>(stats_.busy_ns) /
+                     static_cast<double>(now - start_time_)
+               : 0.0;
+  }
+
+ private:
+  struct RxItem {
+    ServerConnection* conn;
+    RequestMsg msg;
+  };
+  struct CqItem {
+    Tenant* tenant;
+    PendingIo io;
+    flash::FlashCompletion completion;
+  };
+
+  sim::Task RunLoop();
+  void Wake();
+  void ArmRescheduleTimer();
+  double LlcFactor() const;
+  void HandleControlMsg(ServerConnection* conn, const RequestMsg& msg);
+  void SubmitToFlash(Tenant& tenant, PendingIo&& io);
+  void SendResponse(ServerConnection* conn, const ResponseMsg& resp);
+  void FailIo(const PendingIo& io, ReqStatus status);
+
+  sim::Simulator& sim_;
+  ReflexServer& server_;
+  int index_;
+  flash::FlashDevice& device_;
+  flash::QueuePair* qp_;
+  DataplaneConfig config_;
+  QosScheduler scheduler_;
+  DataplaneStats stats_;
+
+  std::deque<RxItem> rx_ring_;
+  std::deque<CqItem> cq_ring_;
+
+  bool running_ = false;
+  bool idle_ = false;
+  bool resched_armed_ = false;
+  std::optional<sim::VoidPromise> wake_promise_;
+  sim::TimeNs start_time_ = 0;
+};
+
+}  // namespace reflex::core
+
+#endif  // REFLEX_CORE_DATAPLANE_H_

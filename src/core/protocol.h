@@ -1,0 +1,120 @@
+#ifndef REFLEX_CORE_PROTOCOL_H_
+#define REFLEX_CORE_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "core/slo.h"
+
+namespace reflex::core {
+
+/**
+ * Request types of the ReFlex wire protocol (paper Table 1). The
+ * simulation passes parsed request structs around instead of raw
+ * bytes, but message sizes on the wire follow these constants so
+ * network serialization time and bandwidth are accounted exactly.
+ */
+enum class ReqType : uint8_t {
+  kRegister = 0,    // register a tenant with an SLO
+  kUnregister = 1,  // unregister a tenant
+  kRead = 2,        // read logical blocks
+  kWrite = 3,       // write logical blocks
+  /**
+   * Ordering barrier (the extension sketched in paper section 4.1):
+   * every I/O of the tenant enqueued before the barrier must complete
+   * on the device before any I/O enqueued after it is submitted. The
+   * barrier's own response is sent once the preceding I/Os finished.
+   */
+  kBarrier = 4,
+};
+
+/** Response / event-condition types (paper Table 1). */
+enum class RespType : uint8_t {
+  kRegistered = 0,
+  kUnregistered = 1,
+  kResponse = 2,     // NVMe read completed (with data)
+  kWritten = 3,      // NVMe write completed
+  kBarrierDone = 4,  // all earlier I/Os of the tenant completed
+};
+
+/** Completion status codes carried in responses. */
+enum class ReqStatus : uint8_t {
+  kOk = 0,
+  kAccessDenied = 1,
+  kNoSuchTenant = 2,
+  kOutOfResources = 3,  // registration rejected (inadmissible SLO)
+  kInvalidRange = 4,
+  kDeviceError = 5,
+};
+
+/** Logical sector size used by the ReFlex block protocol. */
+inline constexpr uint32_t kSectorBytes = 512;
+
+/**
+ * Fixed per-request header size on the wire. Together with the TCP/IP
+ * framing this gives the paper's "38 bytes per 4KB request" overhead:
+ * 24 bytes of ReFlex header plus a share of the TCP segment framing.
+ */
+inline constexpr uint32_t kRequestHeaderBytes = 24;
+inline constexpr uint32_t kResponseHeaderBytes = 24;
+inline constexpr uint32_t kRegisterMsgBytes = 64;
+
+/**
+ * A parsed ReFlex request as carried through the simulation. For
+ * kRead/kWrite, `handle` identifies the tenant; `data` optionally
+ * points at the client's buffer (null for timing-only load).
+ */
+struct RequestMsg {
+  ReqType type = ReqType::kRead;
+  uint32_t handle = 0;
+  uint64_t lba = 0;
+  uint32_t sectors = 0;
+  uint64_t cookie = 0;
+  uint8_t* data = nullptr;
+
+  // kRegister payload.
+  SloSpec slo;
+  TenantClass tenant_class = TenantClass::kBestEffort;
+
+  /** Bytes this message occupies on the wire (excl. TCP framing). */
+  uint32_t WireBytes(uint32_t sector_bytes) const {
+    switch (type) {
+      case ReqType::kRegister:
+      case ReqType::kUnregister:
+        return kRegisterMsgBytes;
+      case ReqType::kRead:
+      case ReqType::kBarrier:
+        return kRequestHeaderBytes;
+      case ReqType::kWrite:
+        return kRequestHeaderBytes + sectors * sector_bytes;
+    }
+    return kRequestHeaderBytes;
+  }
+};
+
+/** A parsed ReFlex response. */
+struct ResponseMsg {
+  RespType type = RespType::kResponse;
+  ReqStatus status = ReqStatus::kOk;
+  uint32_t handle = 0;
+  uint64_t cookie = 0;
+  uint32_t sectors = 0;
+
+  uint32_t WireBytes(uint32_t sector_bytes) const {
+    switch (type) {
+      case RespType::kRegistered:
+      case RespType::kUnregistered:
+        return kRegisterMsgBytes;
+      case RespType::kResponse:
+        return kResponseHeaderBytes +
+               (status == ReqStatus::kOk ? sectors * sector_bytes : 0);
+      case RespType::kWritten:
+      case RespType::kBarrierDone:
+        return kResponseHeaderBytes;
+    }
+    return kResponseHeaderBytes;
+  }
+};
+
+}  // namespace reflex::core
+
+#endif  // REFLEX_CORE_PROTOCOL_H_

@@ -1,0 +1,188 @@
+#include "core/qos_scheduler.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace reflex::core {
+
+QosScheduler::QosScheduler(SchedulerShared& shared,
+                           const RequestCostModel& cost_model, Config config)
+    : shared_(shared), cost_model_(cost_model), config_(config) {}
+
+void QosScheduler::AddTenant(Tenant* tenant) {
+  REFLEX_CHECK(tenant != nullptr);
+  if (tenant->IsLatencyCritical()) {
+    lc_tenants_.push_back(tenant);
+  } else {
+    be_tenants_.push_back(tenant);
+  }
+}
+
+void QosScheduler::RemoveTenant(Tenant* tenant) {
+  auto erase_from = [tenant](std::vector<Tenant*>& v) {
+    auto it = std::find(v.begin(), v.end(), tenant);
+    if (it == v.end()) return false;
+    v.erase(it);
+    return true;
+  };
+  if (!erase_from(lc_tenants_)) {
+    REFLEX_CHECK(erase_from(be_tenants_));
+    if (be_cursor_ >= be_tenants_.size()) be_cursor_ = 0;
+  }
+}
+
+void QosScheduler::Enqueue(sim::TimeNs now, Tenant* tenant, PendingIo io) {
+  REFLEX_CHECK(tenant != nullptr);
+  if (io.msg.type == ReqType::kBarrier) {
+    io.cost = 0.0;  // barriers consume ordering, not device bandwidth
+  } else {
+    const bool is_read = io.msg.type == ReqType::kRead;
+    const uint32_t bytes = io.msg.sectors * kSectorBytes;
+    io.cost = cost_model_.TokensFor(
+        is_read ? flash::FlashOp::kRead : flash::FlashOp::kWrite, bytes,
+        shared_.read_ratio.IsReadOnly(now));
+  }
+  io.enqueue_time = now;
+  tenant->queue_.push_back(std::move(io));
+  tenant->queued_cost_ += tenant->queue_.back().cost;
+}
+
+bool QosScheduler::HasPendingDemand() const {
+  for (const Tenant* t : lc_tenants_) {
+    if (!t->queue_.empty()) return true;
+  }
+  for (const Tenant* t : be_tenants_) {
+    if (!t->queue_.empty()) return true;
+  }
+  return false;
+}
+
+bool QosScheduler::FrontBlockedByBarrier(const Tenant& t) {
+  return !t.queue_.empty() &&
+         t.queue_.front().msg.type == ReqType::kBarrier && t.inflight > 0;
+}
+
+void QosScheduler::SubmitFront(sim::TimeNs now, Tenant& t,
+                               const SubmitFn& submit) {
+  PendingIo io = std::move(t.queue_.front());
+  t.queue_.pop_front();
+  t.queued_cost_ -= io.cost;
+  if (t.queued_cost_ < 0.0) t.queued_cost_ = 0.0;
+  t.tokens_ -= io.cost;
+  t.tokens_spent += io.cost;
+  shared_.tokens_spent_total += io.cost;
+  if (io.msg.type != ReqType::kBarrier) {
+    const bool is_read = io.msg.type == ReqType::kRead;
+    shared_.read_ratio.Observe(now, is_read);
+    if (is_read) {
+      ++t.submitted_reads;
+    } else {
+      ++t.submitted_writes;
+    }
+  }
+  submit(t, std::move(io));
+}
+
+int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
+  if (!has_run_) {
+    prev_round_time_ = now;
+    has_run_ = true;
+  }
+  const double dt = sim::ToSeconds(now - prev_round_time_);
+  prev_round_time_ = now;
+  int submitted = 0;
+
+  if (!config_.enforce) {
+    // Pass-through mode: no token accounting, submit everything
+    // (barriers still gate: they are correctness, not QoS).
+    for (Tenant* tp : lc_tenants_) {
+      while (!tp->queue_.empty() && !FrontBlockedByBarrier(*tp)) {
+        SubmitFront(now, *tp, submit);
+        ++submitted;
+      }
+    }
+    for (Tenant* tp : be_tenants_) {
+      while (!tp->queue_.empty() && !FrontBlockedByBarrier(*tp)) {
+        SubmitFront(now, *tp, submit);
+        ++submitted;
+      }
+    }
+    MarkRoundComplete();
+    return submitted;
+  }
+
+  // --- Latency-critical tenants (Alg. 1 lines 4-12) ---
+  for (Tenant* tp : lc_tenants_) {
+    Tenant& t = *tp;
+    const double gen = t.token_rate_ * dt;
+    t.tokens_ += gen;
+    t.grant_history_[t.grant_cursor_] = gen;
+    t.grant_cursor_ = (t.grant_cursor_ + 1) % 3;
+
+    if (t.tokens_ < config_.neg_limit) {
+      ++t.neg_limit_hits;
+      if (on_neg_limit_) on_neg_limit_(t);
+    }
+    while (!t.queue_.empty() && t.tokens_ > config_.neg_limit &&
+           !FrontBlockedByBarrier(t)) {
+      SubmitFront(now, t, submit);
+      ++submitted;
+    }
+    const double pos_limit = t.grant_history_[0] + t.grant_history_[1] +
+                             t.grant_history_[2];
+    if (t.tokens_ > pos_limit) {
+      const double spill = t.tokens_ * config_.donate_fraction;
+      shared_.global_bucket.Donate(spill);
+      t.tokens_ -= spill;
+    }
+  }
+
+  // --- Best-effort tenants, round-robin (Alg. 1 lines 13-21) ---
+  const size_t n = be_tenants_.size();
+  for (size_t k = 0; k < n; ++k) {
+    Tenant& t = *be_tenants_[(be_cursor_ + k) % n];
+    t.tokens_ += t.token_rate_ * dt;
+    const double deficit = t.queued_cost_ - t.tokens_;
+    if (deficit > 0.0) {
+      t.tokens_ += shared_.global_bucket.TryClaim(deficit);
+    }
+    while (!t.queue_.empty() && t.tokens_ >= t.queue_.front().cost &&
+           !FrontBlockedByBarrier(t)) {
+      SubmitFront(now, t, submit);
+      ++submitted;
+    }
+    if (t.tokens_ > 0.0 && t.queue_.empty()) {
+      // DRR-style: idle BE tenants may not hoard tokens.
+      shared_.global_bucket.Donate(t.tokens_);
+      t.tokens_ = 0.0;
+    }
+  }
+  if (n > 0) be_cursor_ = (be_cursor_ + 1) % n;
+
+  MarkRoundComplete();
+  return submitted;
+}
+
+void QosScheduler::MarkRoundComplete() {
+  // Alg. 1 lines 22-23: once every thread has completed at least one
+  // round, the last thread resets the global bucket. Lock-free: each
+  // thread marks once per epoch; the thread that completes the set
+  // performs the reset and advances the epoch.
+  const uint64_t epoch = shared_.reset_epoch.load(std::memory_order_acquire);
+  if (local_epoch_ != epoch) {
+    local_epoch_ = epoch;
+    marked_this_epoch_ = false;
+  }
+  if (marked_this_epoch_) return;
+  marked_this_epoch_ = true;
+  const int marked =
+      shared_.threads_marked.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (marked >= shared_.num_threads) {
+    shared_.global_bucket.Reset();
+    shared_.threads_marked.store(0, std::memory_order_release);
+    shared_.reset_epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace reflex::core

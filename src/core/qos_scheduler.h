@@ -1,0 +1,132 @@
+#ifndef REFLEX_CORE_QOS_SCHEDULER_H_
+#define REFLEX_CORE_QOS_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/tenant.h"
+#include "core/token_bucket.h"
+#include "sim/time.h"
+
+namespace reflex::core {
+
+/**
+ * Scheduler state shared across all dataplane threads serving one
+ * Flash device: the global token bucket, the device-wide read-ratio
+ * tracker, and the bucket-reset coordination ("the last thread resets
+ * the global bucket", section 4.1). One instance per device.
+ */
+struct SchedulerShared {
+  GlobalTokenBucket global_bucket;
+  ReadRatioTracker read_ratio;
+
+  /** Number of threads participating in bucket-reset coordination. */
+  int num_threads = 1;
+
+  /** Threads that completed >= 1 round since the last reset. */
+  std::atomic<int> threads_marked{0};
+  std::atomic<uint64_t> reset_epoch{0};
+
+  /** Cumulative tokens spent across all threads (Figure 6a metric). */
+  double tokens_spent_total = 0.0;
+};
+
+/**
+ * Per-thread QoS scheduler implementing Algorithm 1 of the paper.
+ *
+ * Each dataplane thread owns one scheduler over the tenants bound to
+ * it. Latency-critical tenants are served first with burst limits
+ * (NEG_LIMIT) and donation of surplus above POS_LIMIT; best-effort
+ * tenants are served deficit-round-robin style from their fair share
+ * plus the global token bucket.
+ */
+class QosScheduler {
+ public:
+  struct Config {
+    /** Token deficit at which an LC tenant is rate-limited. */
+    double neg_limit = -50.0;
+
+    /** Fraction of surplus above POS_LIMIT donated to the bucket. */
+    double donate_fraction = 0.9;
+
+    /**
+     * When false, the scheduler becomes a pass-through FIFO (requests
+     * submit immediately, no rate limiting) -- the "I/O sched
+     * disabled" configuration of the paper's Figure 5.
+     */
+    bool enforce = true;
+  };
+
+  /** Submits one admissible request to the Flash device. */
+  using SubmitFn = std::function<void(Tenant&, PendingIo&&)>;
+
+  /** Invoked when an LC tenant hits NEG_LIMIT (SLO renegotiation). */
+  using NegLimitFn = std::function<void(Tenant&)>;
+
+  QosScheduler(SchedulerShared& shared, const RequestCostModel& cost_model,
+               Config config);
+
+  QosScheduler(SchedulerShared& shared, const RequestCostModel& cost_model)
+      : QosScheduler(shared, cost_model, Config{}) {}
+
+  /** Binds / unbinds a tenant to this thread's scheduler. */
+  void AddTenant(Tenant* tenant);
+  void RemoveTenant(Tenant* tenant);
+
+  /**
+   * Prices and queues a request in its tenant's software queue.
+   * `now` is needed to consult the device read-ratio tracker.
+   */
+  void Enqueue(sim::TimeNs now, Tenant* tenant, PendingIo io);
+
+  /**
+   * Runs one scheduling round (Algorithm 1). Returns the number of
+   * requests submitted via `submit`.
+   */
+  int RunRound(sim::TimeNs now, const SubmitFn& submit);
+
+  /** True if any tenant on this thread has queued requests. */
+  bool HasPendingDemand() const;
+
+  /** Number of tenants bound to this scheduler. */
+  int NumTenants() const {
+    return static_cast<int>(lc_tenants_.size() + be_tenants_.size());
+  }
+  int NumLcTenants() const { return static_cast<int>(lc_tenants_.size()); }
+  int NumBeTenants() const { return static_cast<int>(be_tenants_.size()); }
+
+  void set_neg_limit_callback(NegLimitFn fn) {
+    on_neg_limit_ = std::move(fn);
+  }
+
+  const RequestCostModel& cost_model() const { return cost_model_; }
+
+ private:
+  /** True if t's queue head is a barrier still waiting on in-flight
+   * I/Os (paper section 4.1's ordering extension). */
+  static bool FrontBlockedByBarrier(const Tenant& t);
+  void SubmitFront(sim::TimeNs now, Tenant& t, const SubmitFn& submit);
+  void MarkRoundComplete();
+
+  SchedulerShared& shared_;
+  const RequestCostModel& cost_model_;
+  Config config_;
+
+  std::vector<Tenant*> lc_tenants_;
+  std::vector<Tenant*> be_tenants_;
+  size_t be_cursor_ = 0;
+
+  sim::TimeNs prev_round_time_ = 0;
+  bool has_run_ = false;
+  uint64_t local_epoch_ = 0;
+  bool marked_this_epoch_ = false;
+
+  NegLimitFn on_neg_limit_;
+};
+
+}  // namespace reflex::core
+
+#endif  // REFLEX_CORE_QOS_SCHEDULER_H_

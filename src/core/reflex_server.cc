@@ -1,0 +1,158 @@
+#include "core/reflex_server.h"
+
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace reflex::core {
+
+ReflexServer::ReflexServer(sim::Simulator& sim, net::Network& net,
+                           net::Machine* machine,
+                           flash::FlashDevice& device,
+                           const flash::CalibrationResult& calibration,
+                           ServerOptions options)
+    : sim_(sim),
+      net_(net),
+      machine_(machine),
+      device_(device),
+      calibration_(calibration),
+      options_(options),
+      cost_model_(RequestCostModel::FromCalibration(calibration,
+                                                    device.profile()
+                                                        .page_bytes)) {
+  REFLEX_CHECK(machine_ != nullptr);
+  if (options_.num_threads < 1 ||
+      options_.num_threads > options_.max_threads) {
+    REFLEX_FATAL("num_threads=%d out of range [1, %d]",
+                 options_.num_threads, options_.max_threads);
+  }
+  control_plane_ = std::make_unique<ControlPlane>(*this);
+  shared_.num_threads = 0;
+  for (int i = 0; i < options_.num_threads; ++i) AddThreadInternal();
+  if (options_.auto_scale) control_plane_->StartMonitor();
+}
+
+ReflexServer::~ReflexServer() {
+  for (auto& t : threads_) t->Shutdown();
+}
+
+DataplaneThread* ReflexServer::AddThreadInternal() {
+  const int index = static_cast<int>(threads_.size());
+  threads_.emplace_back(std::make_unique<DataplaneThread>(
+      sim_, *this, index, device_, shared_, cost_model_,
+      options_.dataplane, options_.qos));
+  ++active_threads_;
+  shared_.num_threads = active_threads_;
+  threads_.back()->Start();
+  return threads_.back().get();
+}
+
+Tenant* ReflexServer::CreateTenant(const SloSpec& slo, TenantClass cls) {
+  const uint32_t handle = next_handle_++;
+  auto tenant = std::make_unique<Tenant>(handle, cls, slo);
+  Tenant* raw = tenant.get();
+  tenants_.emplace(handle, std::move(tenant));
+  tenant_list_.push_back(raw);
+  return raw;
+}
+
+Tenant* ReflexServer::RegisterTenant(const SloSpec& slo, TenantClass cls,
+                                     ReqStatus* status) {
+  return control_plane_->TryRegister(slo, cls, status);
+}
+
+bool ReflexServer::UnregisterTenant(uint32_t handle) {
+  Tenant* tenant = FindTenant(handle);
+  if (tenant == nullptr || !tenant->active()) return false;
+  control_plane_->Unregister(tenant);
+  return true;
+}
+
+Tenant* ReflexServer::FindTenant(uint32_t handle) {
+  auto it = tenants_.find(handle);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+ServerConnection* ReflexServer::Connect(
+    net::Machine* client,
+    std::function<void(const ResponseMsg&)> on_response) {
+  REFLEX_CHECK(client != nullptr);
+  auto tcp = std::make_unique<net::TcpConnection>(net_, client, machine_,
+                                                  options_.transport);
+  // New connections start on a round-robin thread; registration or
+  // BindConnection moves them to their tenant's thread.
+  DataplaneThread* thread =
+      threads_[next_conn_thread_ % static_cast<size_t>(active_threads_)]
+          .get();
+  ++next_conn_thread_;
+  auto conn = std::unique_ptr<ServerConnection>(
+      new ServerConnection(std::move(tcp), thread, client->name()));
+  conn->on_response = std::move(on_response);
+  connections_.push_back(std::move(conn));
+  return connections_.back().get();
+}
+
+void ReflexServer::BindConnection(ServerConnection* conn,
+                                  uint32_t tenant_handle) {
+  Tenant* tenant = FindTenant(tenant_handle);
+  REFLEX_CHECK(tenant != nullptr && tenant->active());
+  if (!acl_.CheckConnect(conn->client_name(), tenant_handle)) {
+    REFLEX_FATAL("connection from %s to tenant %u denied by ACL",
+                 conn->client_name().c_str(), tenant_handle);
+  }
+  conn->thread_ = threads_[tenant->thread_index()].get();
+}
+
+ResponseMsg ReflexServer::HandleRegisterMsg(ServerConnection* conn,
+                                            const RequestMsg& msg) {
+  ResponseMsg resp;
+  resp.cookie = msg.cookie;
+  if (msg.type == ReqType::kRegister) {
+    resp.type = RespType::kRegistered;
+    ReqStatus status = ReqStatus::kOk;
+    Tenant* tenant = nullptr;
+    // Tenant handle 0 denotes the right to register new tenants.
+    if (!acl_.CheckConnect(conn->client_name(), /*tenant_handle=*/0)) {
+      status = ReqStatus::kAccessDenied;
+    } else {
+      tenant = control_plane_->TryRegister(msg.slo, msg.tenant_class,
+                                           &status);
+    }
+    resp.status = status;
+    if (tenant != nullptr) {
+      resp.handle = tenant->handle();
+      conn->thread_ = threads_[tenant->thread_index()].get();
+    }
+  } else {
+    resp.type = RespType::kUnregistered;
+    resp.handle = msg.handle;
+    Tenant* tenant = FindTenant(msg.handle);
+    if (tenant == nullptr || !tenant->active()) {
+      resp.status = ReqStatus::kNoSuchTenant;
+    } else {
+      control_plane_->Unregister(tenant);
+      resp.status = ReqStatus::kOk;
+    }
+  }
+  return resp;
+}
+
+DataplaneStats ReflexServer::AggregateStats() const {
+  DataplaneStats agg;
+  for (const auto& t : threads_) {
+    const DataplaneStats& s = t->stats();
+    agg.iterations += s.iterations;
+    agg.requests_rx += s.requests_rx;
+    agg.responses_tx += s.responses_tx;
+    agg.sched_rounds += s.sched_rounds;
+    agg.flash_submitted += s.flash_submitted;
+    agg.busy_ns += s.busy_ns;
+    agg.tcp_ns += s.tcp_ns;
+    agg.sched_ns += s.sched_ns;
+    agg.flash_ns += s.flash_ns;
+    agg.batch_sum += s.batch_sum;
+  }
+  return agg;
+}
+
+}  // namespace reflex::core

@@ -1,0 +1,158 @@
+#ifndef REFLEX_CORE_REFLEX_SERVER_H_
+#define REFLEX_CORE_REFLEX_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/access_control.h"
+#include "core/control_plane.h"
+#include "core/cost_model.h"
+#include "core/dataplane.h"
+#include "core/protocol.h"
+#include "core/qos_scheduler.h"
+#include "core/tenant.h"
+#include "flash/calibration.h"
+#include "flash/flash_device.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace reflex::core {
+
+/** Construction options for a ReFlex server. */
+struct ServerOptions {
+  /** Initial number of dataplane threads (cores). */
+  int num_threads = 1;
+
+  /** Upper bound for control-plane thread scaling. */
+  int max_threads = 12;
+
+  /** Enables the periodic load monitor / auto-scaler. */
+  bool auto_scale = false;
+  sim::TimeNs monitor_interval = sim::Millis(10);
+  double scale_up_utilization = 0.90;
+  double scale_down_utilization = 0.20;
+
+  DataplaneConfig dataplane;
+  QosScheduler::Config qos;
+
+  /** Enforce ACLs strictly (deny-by-default). */
+  bool strict_acl = false;
+
+  /**
+   * Network transport for client connections. TCP is the paper's
+   * conservative default; UDP is the lighter option it names as
+   * future work -- less protocol processing per message, smaller
+   * per-frame headers and almost no per-connection state.
+   */
+  net::Transport transport = net::Transport::kTcp;
+};
+
+/**
+ * The ReFlex remote-Flash server: dataplane threads with exclusive
+ * NVMe queue pairs, the QoS scheduler, access control, and the local
+ * control plane, attached to one machine on the simulated network and
+ * one Flash device.
+ *
+ * Two usage styles:
+ *  - in-band: clients connect and send kRegister/kRead/kWrite protocol
+ *    messages (what real ReFlex clients do);
+ *  - out-of-band: benches pre-register tenants through RegisterTenant()
+ *    and bind connections with BindConnection().
+ */
+class ReflexServer {
+ public:
+  ReflexServer(sim::Simulator& sim, net::Network& net,
+               net::Machine* machine, flash::FlashDevice& device,
+               const flash::CalibrationResult& calibration,
+               ServerOptions options = ServerOptions());
+  ~ReflexServer();
+
+  ReflexServer(const ReflexServer&) = delete;
+  ReflexServer& operator=(const ReflexServer&) = delete;
+
+  // --- Tenant management (out-of-band path) ---
+  Tenant* RegisterTenant(const SloSpec& slo, TenantClass cls,
+                         ReqStatus* status = nullptr);
+  bool UnregisterTenant(uint32_t handle);
+  Tenant* FindTenant(uint32_t handle);
+
+  // --- Connections ---
+  /**
+   * Opens a connection from `client`. `on_response` fires when a
+   * response message has fully arrived at the client NIC (the client
+   * library adds its stack costs on top).
+   */
+  ServerConnection* Connect(net::Machine* client,
+                            std::function<void(const ResponseMsg&)>
+                                on_response);
+
+  /** Binds a connection to a tenant's dataplane thread. */
+  void BindConnection(ServerConnection* conn, uint32_t tenant_handle);
+
+  int NumConnections() const { return static_cast<int>(connections_.size()); }
+
+  // --- Accessors ---
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network() { return net_; }
+  net::Machine* machine() { return machine_; }
+  flash::FlashDevice& device() { return device_; }
+  const flash::CalibrationResult& calibration() const { return calibration_; }
+  const RequestCostModel& cost_model() const { return cost_model_; }
+  AccessControl& acl() { return acl_; }
+  ControlPlane& control_plane() { return *control_plane_; }
+  SchedulerShared& shared() { return shared_; }
+  const ServerOptions& options() const { return options_; }
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+  int num_active_threads() const { return active_threads_; }
+  DataplaneThread& thread(int i) { return *threads_[i]; }
+
+  /** Sum of per-thread stats. */
+  DataplaneStats AggregateStats() const;
+
+  /** All registered tenants (including unregistered zombies). */
+  const std::vector<Tenant*>& tenants() const { return tenant_list_; }
+
+ private:
+  friend class ControlPlane;
+  friend class DataplaneThread;
+
+  /** Creates and starts one more dataplane thread. */
+  DataplaneThread* AddThreadInternal();
+
+  /** Allocates a tenant object (no admission check; control plane). */
+  Tenant* CreateTenant(const SloSpec& slo, TenantClass cls);
+
+  /** In-band protocol handling (called by dataplane threads). */
+  ResponseMsg HandleRegisterMsg(ServerConnection* conn,
+                                const RequestMsg& msg);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  net::Machine* machine_;
+  flash::FlashDevice& device_;
+  flash::CalibrationResult calibration_;
+  ServerOptions options_;
+  RequestCostModel cost_model_;
+  SchedulerShared shared_;
+  AccessControl acl_;
+
+  std::vector<std::unique_ptr<DataplaneThread>> threads_;
+  int active_threads_ = 0;
+
+  uint32_t next_handle_ = 1;
+  std::unordered_map<uint32_t, std::unique_ptr<Tenant>> tenants_;
+  std::vector<Tenant*> tenant_list_;
+
+  std::vector<std::unique_ptr<ServerConnection>> connections_;
+  size_t next_conn_thread_ = 0;
+
+  std::unique_ptr<ControlPlane> control_plane_;
+};
+
+}  // namespace reflex::core
+
+#endif  // REFLEX_CORE_REFLEX_SERVER_H_

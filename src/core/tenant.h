@@ -1,0 +1,105 @@
+#ifndef REFLEX_CORE_TENANT_H_
+#define REFLEX_CORE_TENANT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "core/protocol.h"
+#include "core/slo.h"
+#include "sim/time.h"
+
+namespace reflex::core {
+
+class ServerConnection;
+
+/** A read/write request queued in a tenant's software queue. */
+struct PendingIo {
+  RequestMsg msg;
+  ServerConnection* conn = nullptr;
+  sim::TimeNs enqueue_time = 0;
+  /** Token cost, priced at enqueue time (section 3.2.1). */
+  double cost = 0.0;
+};
+
+/**
+ * A tenant: the logical unit of SLO accounting (paper section 3.2).
+ * One tenant may be shared by thousands of connections; each tenant is
+ * served by exactly one dataplane thread (the paper's stated
+ * implementation limit).
+ */
+class Tenant {
+ public:
+  Tenant(uint32_t handle, TenantClass cls, const SloSpec& slo)
+      : handle_(handle), cls_(cls), slo_(slo) {}
+
+  uint32_t handle() const { return handle_; }
+  TenantClass cls() const { return cls_; }
+  bool IsLatencyCritical() const {
+    return cls_ == TenantClass::kLatencyCritical;
+  }
+  const SloSpec& slo() const { return slo_; }
+
+  /** Dataplane thread index this tenant is bound to. */
+  int thread_index() const { return thread_index_; }
+  void set_thread_index(int idx) { thread_index_ = idx; }
+
+  /**
+   * Token generation rate (tokens/sec). For LC tenants this is the
+   * SLO reservation; for BE tenants the fair share of unallocated
+   * throughput. Maintained by the control plane.
+   */
+  double token_rate() const { return token_rate_; }
+  void set_token_rate(double rate) { token_rate_ = rate; }
+
+  /** Sum of priced costs of queued requests ("demand" in Alg. 1). */
+  double queued_cost() const { return queued_cost_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+  /** Current token balance (test/diagnostic visibility). */
+  double tokens() const { return tokens_; }
+
+  /** False once the tenant has been unregistered. */
+  bool active() const { return active_; }
+  void set_active(bool active) { active_ = active; }
+
+  /** Removes and returns all queued requests (unregistration path). */
+  std::deque<PendingIo> TakeQueue() {
+    queued_cost_ = 0.0;
+    std::deque<PendingIo> q;
+    q.swap(queue_);
+    return q;
+  }
+
+  // --- Counters (server side) ---
+  int64_t submitted_reads = 0;
+  int64_t submitted_writes = 0;
+  int64_t completed_reads = 0;
+  int64_t completed_writes = 0;
+  int64_t neg_limit_hits = 0;
+  double tokens_spent = 0.0;
+  /** I/Os submitted to the device and not yet completed (barriers). */
+  int64_t inflight = 0;
+
+ private:
+  friend class QosScheduler;
+
+  uint32_t handle_;
+  TenantClass cls_;
+  SloSpec slo_;
+  int thread_index_ = -1;
+  double token_rate_ = 0.0;
+  bool active_ = true;
+
+  // Scheduler state (owned by the tenant's thread scheduler).
+  double tokens_ = 0.0;
+  std::deque<PendingIo> queue_;
+  double queued_cost_ = 0.0;
+  /** Tokens granted in the last 3 rounds: POS_LIMIT (section 3.2.2). */
+  double grant_history_[3] = {0.0, 0.0, 0.0};
+  int grant_cursor_ = 0;
+};
+
+}  // namespace reflex::core
+
+#endif  // REFLEX_CORE_TENANT_H_

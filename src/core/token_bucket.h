@@ -1,0 +1,70 @@
+#ifndef REFLEX_CORE_TOKEN_BUCKET_H_
+#define REFLEX_CORE_TOKEN_BUCKET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace reflex::core {
+
+/**
+ * Global token bucket shared by all dataplane threads (paper section
+ * 3.2.2). LC tenants with spare tokens donate into it; BE tenants
+ * claim from it. Implemented with lock-free atomic read-modify-write
+ * so that threads never serialize on a lock -- the code is genuinely
+ * thread-safe (exercised under std::thread in tests) even though the
+ * discrete-event simulation itself is single-threaded.
+ *
+ * Tokens are stored in fixed point (micro-tokens) because fractional
+ * tokens are common: a scheduling round often generates less than one
+ * token (paper: "a typical round may generate only a fraction of a
+ * token").
+ */
+class GlobalTokenBucket {
+ public:
+  GlobalTokenBucket() : micro_tokens_(0) {}
+
+  /** Adds `tokens` (>= 0) to the bucket. */
+  void Donate(double tokens) {
+    if (tokens <= 0.0) return;
+    micro_tokens_.fetch_add(ToMicro(tokens), std::memory_order_relaxed);
+  }
+
+  /**
+   * Atomically claims up to `want` tokens; returns the amount claimed
+   * (possibly 0, never negative, never more than the bucket held).
+   */
+  double TryClaim(double want) {
+    if (want <= 0.0) return 0.0;
+    const int64_t want_micro = ToMicro(want);
+    int64_t available = micro_tokens_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (available <= 0) return 0.0;
+      const int64_t take = available < want_micro ? available : want_micro;
+      if (micro_tokens_.compare_exchange_weak(available, available - take,
+                                              std::memory_order_relaxed)) {
+        return FromMicro(take);
+      }
+    }
+  }
+
+  /** Empties the bucket (the periodic anti-hoarding reset). */
+  void Reset() { micro_tokens_.store(0, std::memory_order_relaxed); }
+
+  double Tokens() const {
+    return FromMicro(micro_tokens_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static int64_t ToMicro(double tokens) {
+    return static_cast<int64_t>(tokens * 1e6);
+  }
+  static double FromMicro(int64_t micro) {
+    return static_cast<double>(micro) / 1e6;
+  }
+
+  std::atomic<int64_t> micro_tokens_;
+};
+
+}  // namespace reflex::core
+
+#endif  // REFLEX_CORE_TOKEN_BUCKET_H_

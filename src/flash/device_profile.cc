@@ -1,0 +1,53 @@
+#include "flash/device_profile.h"
+
+#include "sim/logging.h"
+
+namespace reflex::flash {
+
+DeviceProfile DeviceProfile::DeviceA() {
+  DeviceProfile p;
+  p.name = "A";
+  p.num_dies = 35;
+  p.read_service_mixed = sim::Micros(61);     // ~574K tokens/s capacity
+  p.read_service_readonly = sim::Micros(30.5);  // C(read, r=100%) = 0.5
+  p.write_cost = 10.0;                        // C(write) = 10 tokens
+  return p;
+}
+
+DeviceProfile DeviceProfile::DeviceB() {
+  // Older / smaller device: ~300K tokens/s, no read-only discount,
+  // writes 20x reads (the most write-hostile device in Figure 3).
+  DeviceProfile p;
+  p.name = "B";
+  p.num_dies = 18;
+  p.read_service_mixed = sim::Micros(61);
+  p.read_service_readonly = sim::Micros(61);  // C(read, r=100%) = 1
+  p.write_cost = 20.0;
+  p.write_buffer_slots = 256;
+  p.capacity_sectors = (400ULL << 30) / 512;
+  return p;
+}
+
+DeviceProfile DeviceProfile::DeviceC() {
+  // Largest device: ~800K tokens/s, partial read-only discount,
+  // writes 16x reads.
+  DeviceProfile p;
+  p.name = "C";
+  p.num_dies = 49;
+  p.read_service_mixed = sim::Micros(61);
+  p.read_service_readonly = sim::Micros(43);  // C(read, r=100%) ~ 0.7
+  p.write_cost = 16.0;
+  p.write_buffer_slots = 1024;
+  p.capacity_sectors = (1600ULL << 30) / 512;
+  return p;
+}
+
+DeviceProfile DeviceProfile::ByName(const std::string& name) {
+  if (name == "A") return DeviceA();
+  if (name == "B") return DeviceB();
+  if (name == "C") return DeviceC();
+  REFLEX_FATAL("unknown device profile '%s' (expected A, B, or C)",
+               name.c_str());
+}
+
+}  // namespace reflex::flash

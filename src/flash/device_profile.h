@@ -1,0 +1,117 @@
+#ifndef REFLEX_FLASH_DEVICE_PROFILE_H_
+#define REFLEX_FLASH_DEVICE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace reflex::flash {
+
+/**
+ * Parameters of a simulated NVMe Flash device.
+ *
+ * The model is a set of `num_dies` independent FIFO service stations
+ * ("dies"). A 4KB read occupies one die for one service quantum; a 4KB
+ * write is acknowledged once it lands in the device DRAM write buffer
+ * but its flush occupies `write_cost` die quanta, which is how writes
+ * steal read bandwidth and inflate read tail latency (the interference
+ * the ReFlex paper's Figure 1 characterizes).
+ *
+ * When the device has seen no write activity for `readonly_window`,
+ * reads are serviced at the faster `read_service_readonly` quantum,
+ * reproducing the paper's observation that some devices deliver
+ * substantially higher IOPS for 100%-read loads (C(read, r=100%) =
+ * 0.5 tokens for their device A).
+ */
+struct DeviceProfile {
+  std::string name;
+
+  /** Number of independent die service stations. */
+  int num_dies = 80;
+
+  /** Die occupancy of a 4KB read under mixed (r < 100%) load. */
+  sim::TimeNs read_service_mixed = sim::Micros(61);
+
+  /** Die occupancy of a 4KB read under read-only load. */
+  sim::TimeNs read_service_readonly = sim::Micros(30.5);
+
+  /**
+   * Pipelined controller/NAND latency added to every read completion
+   * but not occupying a die: real devices overlap sensing, transfer
+   * and ECC, so per-die occupancy is shorter than end-to-end latency
+   * (this is how a 35-die model delivers both ~78us unloaded reads and
+   * ~1M read-only IOPS, like the paper's device A).
+   */
+  sim::TimeNs read_pipeline_latency = sim::Micros(40);
+
+  /** Lognormal sigma applied to die service quanta. */
+  double service_sigma = 0.18;
+
+  /**
+   * Fixed per-command overhead (submission queue fetch, controller,
+   * completion posting). Applied once per command, not per chunk.
+   */
+  sim::TimeNs fixed_op_overhead = sim::Micros(6);
+
+  /** Die quanta consumed by flushing one 4KB write (the "write cost"). */
+  double write_cost = 10.0;
+
+  /** Latency of acknowledging a write into the DRAM buffer. */
+  sim::TimeNs write_buffer_latency = sim::Micros(10);
+
+  /** Lognormal sigma for the buffer-insert latency. */
+  double write_buffer_sigma = 0.22;
+
+  /** DRAM write buffer capacity in 4KB entries. */
+  int write_buffer_slots = 512;
+
+  /** Quiet period after which the device enters read-only service. */
+  sim::TimeNs readonly_window = sim::Millis(1);
+
+  /** Duration of a garbage-collection die stall. */
+  sim::TimeNs gc_pause = sim::Millis(2);
+
+  /** Probability of a GC stall per flushed 4KB chunk. */
+  double gc_prob_per_flush_chunk = 0.001;
+
+  /** Number of NVMe hardware submission/completion queue pairs. */
+  int num_hw_queues = 64;
+
+  /** Depth of each hardware queue. */
+  int hw_queue_depth = 1024;
+
+  /** Logical sector size in bytes. */
+  uint32_t sector_bytes = 512;
+
+  /** Flash page / striping granularity in bytes (cost quantum). */
+  uint32_t page_bytes = 4096;
+
+  /** Device capacity in sectors. Default 800 GiB. */
+  uint64_t capacity_sectors = (800ULL << 30) / 512;
+
+  /** Sectors per 4KB page. */
+  uint32_t SectorsPerPage() const { return page_bytes / sector_bytes; }
+
+  /**
+   * Ideal token capacity under mixed load (tokens/second), where one
+   * token is the die time of one 4KB mixed-mode read. The real
+   * saturation point is slightly lower due to service-time jitter.
+   */
+  double MixedTokenCapacityPerSec() const {
+    return static_cast<double>(num_dies) /
+           sim::ToSeconds(read_service_mixed);
+  }
+
+  /** The three devices characterized in the paper (Figures 1 and 3). */
+  static DeviceProfile DeviceA();
+  static DeviceProfile DeviceB();
+  static DeviceProfile DeviceC();
+
+  /** Looks up a profile by name ("A", "B", "C"). */
+  static DeviceProfile ByName(const std::string& name);
+};
+
+}  // namespace reflex::flash
+
+#endif  // REFLEX_FLASH_DEVICE_PROFILE_H_

@@ -1,0 +1,271 @@
+#include "flash/flash_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.h"
+
+namespace reflex::flash {
+
+FlashDevice::FlashDevice(sim::Simulator& sim, DeviceProfile profile,
+                         uint64_t seed)
+    : sim_(sim),
+      profile_(std::move(profile)),
+      rng_(seed, "flash_device"),
+      write_buffer_free_(profile_.write_buffer_slots) {
+  REFLEX_CHECK(profile_.num_dies > 0);
+  REFLEX_CHECK(profile_.write_cost >= 1.0);
+  REFLEX_CHECK(profile_.page_bytes % profile_.sector_bytes == 0);
+  die_free_.assign(profile_.num_dies, 0);
+}
+
+QueuePair* FlashDevice::AllocQueuePair() {
+  // Reuse a freed slot first so repeated alloc/free cycles do not
+  // exhaust the hardware limit.
+  for (size_t i = 0; i < queue_pairs_.size(); ++i) {
+    if (queue_pairs_[i] == nullptr) {
+      queue_pairs_[i].reset(
+          new QueuePair(this, static_cast<int>(i), profile_.hw_queue_depth));
+      return queue_pairs_[i].get();
+    }
+  }
+  if (static_cast<int>(queue_pairs_.size()) >= profile_.num_hw_queues) {
+    return nullptr;
+  }
+  int id = static_cast<int>(queue_pairs_.size());
+  queue_pairs_.emplace_back(new QueuePair(this, id, profile_.hw_queue_depth));
+  return queue_pairs_.back().get();
+}
+
+void FlashDevice::FreeQueuePair(QueuePair* qp) {
+  REFLEX_CHECK(qp != nullptr && qp->dev_ == this);
+  REFLEX_CHECK(qp->outstanding_ == 0);
+  // Queue pair ids stay stable; just mark the slot reusable by reset.
+  for (auto& owned : queue_pairs_) {
+    if (owned.get() == qp) {
+      owned.reset();
+      return;
+    }
+  }
+  REFLEX_PANIC("queue pair not owned by this device");
+}
+
+bool FlashDevice::Submit(QueuePair* qp, const FlashCommand& cmd,
+                         FlashCallback cb) {
+  REFLEX_CHECK(qp != nullptr && qp->dev_ == this);
+  if (qp->outstanding_ >= qp->depth_) {
+    ++stats_.queue_full_rejections;
+    return false;
+  }
+  if (cmd.sectors == 0 ||
+      cmd.lba + cmd.sectors > profile_.capacity_sectors) {
+    return false;
+  }
+  ++qp->outstanding_;
+
+  auto op = std::make_shared<InFlight>();
+  op->cmd = cmd;
+  op->cb = std::move(cb);
+  op->qp = qp;
+  op->submit_time = sim_.Now();
+  op->chunks_remaining = 0;
+
+  if (cmd.op == FlashOp::kRead) {
+    if (cmd.data != nullptr) CopyFromStore(cmd);
+    StartRead(op);
+  } else {
+    if (cmd.data != nullptr) CopyToStore(cmd);
+    last_write_time_ = sim_.Now();
+    const int pages = BufferPagesFor(cmd);
+    if (write_buffer_free_ >= pages && pending_writes_.empty()) {
+      write_buffer_free_ -= pages;
+      AdmitWrite(op);
+    } else {
+      pending_writes_.push_back(PendingWrite{op});
+    }
+  }
+  return true;
+}
+
+int FlashDevice::BufferPagesFor(const FlashCommand& cmd) const {
+  // Buffer slots are 4KB pages; a command larger than the whole buffer
+  // is admitted once the buffer is completely free.
+  const uint32_t spp = profile_.SectorsPerPage();
+  const uint64_t first_page = cmd.lba / spp;
+  const uint64_t last_page = (cmd.lba + cmd.sectors - 1) / spp;
+  const auto pages = static_cast<int>(last_page - first_page + 1);
+  return std::min(pages, profile_.write_buffer_slots);
+}
+
+sim::TimeNs FlashDevice::ReadServiceQuantum() {
+  const sim::TimeNs base = InReadOnlyMode() ? profile_.read_service_readonly
+                                            : profile_.read_service_mixed;
+  return static_cast<sim::TimeNs>(rng_.NextLognormal(
+      static_cast<double>(base), profile_.service_sigma));
+}
+
+sim::TimeNs FlashDevice::OccupyDie(uint64_t die, sim::TimeNs service) {
+  const int d = static_cast<int>(die % die_free_.size());
+  const sim::TimeNs start = std::max(sim_.Now(), die_free_[d]);
+  const sim::TimeNs done = start + service;
+  die_free_[d] = done;
+  return done;
+}
+
+void FlashDevice::StartRead(const std::shared_ptr<InFlight>& op) {
+  const uint32_t spp = profile_.SectorsPerPage();
+  const uint64_t first_page = op->cmd.lba / spp;
+  const uint64_t last_page = (op->cmd.lba + op->cmd.sectors - 1) / spp;
+  sim::TimeNs done = sim_.Now();
+  for (uint64_t page = first_page; page <= last_page; ++page) {
+    done = std::max(done, OccupyDie(page, ReadServiceQuantum()));
+  }
+  done += profile_.read_pipeline_latency + profile_.fixed_op_overhead;
+  sim_.ScheduleAt(done, [this, op] { Complete(op, FlashStatus::kOk); });
+}
+
+void FlashDevice::AdmitWrite(const std::shared_ptr<InFlight>& op) {
+  // Acknowledge once the data is in the DRAM buffer.
+  const sim::TimeNs ack_latency =
+      static_cast<sim::TimeNs>(rng_.NextLognormal(
+          static_cast<double>(profile_.write_buffer_latency),
+          profile_.write_buffer_sigma)) +
+      profile_.fixed_op_overhead / 4;
+  sim_.ScheduleAfter(ack_latency,
+                     [this, op] { Complete(op, FlashStatus::kOk); });
+
+  // Background flush: pages * write_cost die quanta, spread round-robin
+  // over dies. The buffer slot frees when the last quantum finishes.
+  const uint32_t spp = profile_.SectorsPerPage();
+  const uint64_t first_page = op->cmd.lba / spp;
+  const uint64_t last_page = (op->cmd.lba + op->cmd.sectors - 1) / spp;
+  const double quanta_needed =
+      static_cast<double>(last_page - first_page + 1) * profile_.write_cost;
+  const int whole = static_cast<int>(quanta_needed);
+  const double frac = quanta_needed - whole;
+
+  sim::TimeNs flush_done = sim_.Now();
+  int chunks = 0;
+  for (int i = 0; i < whole; ++i) {
+    sim::TimeNs q = static_cast<sim::TimeNs>(
+        rng_.NextLognormal(static_cast<double>(profile_.read_service_mixed),
+                           profile_.service_sigma));
+    const int die = next_flush_die_++;
+    if (next_flush_die_ >= profile_.num_dies) next_flush_die_ = 0;
+    if (rng_.NextBernoulli(profile_.gc_prob_per_flush_chunk)) {
+      q += profile_.gc_pause;
+      ++stats_.gc_stalls;
+    }
+    flush_done = std::max(flush_done, OccupyDie(die, q));
+    ++chunks;
+  }
+  if (frac > 1e-9) {
+    const sim::TimeNs q = static_cast<sim::TimeNs>(
+        frac * static_cast<double>(profile_.read_service_mixed));
+    const int die = next_flush_die_++;
+    if (next_flush_die_ >= profile_.num_dies) next_flush_die_ = 0;
+    flush_done = std::max(flush_done, OccupyDie(die, q));
+    ++chunks;
+  }
+  flush_backlog_chunks_ += chunks;
+
+  const int pages_held = BufferPagesFor(op->cmd);
+  sim_.ScheduleAt(flush_done, [this, chunks, pages_held] {
+    flush_backlog_chunks_ -= chunks;
+    write_buffer_free_ += pages_held;
+    while (!pending_writes_.empty()) {
+      auto next = pending_writes_.front().op;
+      const int needed = BufferPagesFor(next->cmd);
+      if (write_buffer_free_ < needed) break;
+      write_buffer_free_ -= needed;
+      pending_writes_.pop_front();
+      AdmitWrite(next);
+    }
+  });
+}
+
+void FlashDevice::Complete(const std::shared_ptr<InFlight>& op,
+                           FlashStatus status) {
+  --op->qp->outstanding_;
+  FlashCompletion completion;
+  completion.status = status;
+  completion.cookie = op->cmd.cookie;
+  completion.submit_time = op->submit_time;
+  completion.complete_time = sim_.Now();
+  if (op->cmd.op == FlashOp::kRead) {
+    ++stats_.reads_completed;
+    stats_.read_sectors += op->cmd.sectors;
+    read_latency_.Record(completion.Latency());
+  } else {
+    ++stats_.writes_completed;
+    stats_.write_sectors += op->cmd.sectors;
+    write_latency_.Record(completion.Latency());
+  }
+  if (op->cb) op->cb(completion);
+}
+
+bool FlashDevice::InReadOnlyMode() const {
+  return flush_backlog_chunks_ == 0 &&
+         sim_.Now() - last_write_time_ > profile_.readonly_window;
+}
+
+double FlashDevice::DieUtilization() const {
+  const sim::TimeNs now = sim_.Now();
+  int busy = 0;
+  for (sim::TimeNs t : die_free_) {
+    if (t > now) ++busy;
+  }
+  return static_cast<double>(busy) / static_cast<double>(die_free_.size());
+}
+
+uint8_t* FlashDevice::PageAt(uint64_t page_index, bool create) {
+  auto it = store_.find(page_index);
+  if (it != store_.end()) return it->second->data();
+  if (!create) return nullptr;
+  auto page = std::make_unique<Page>();
+  page->fill(0);
+  uint8_t* raw = page->data();
+  store_.emplace(page_index, std::move(page));
+  return raw;
+}
+
+void FlashDevice::CopyToStore(const FlashCommand& cmd) {
+  const uint32_t sector = profile_.sector_bytes;
+  const uint32_t page_bytes = profile_.page_bytes;
+  uint64_t byte_off = cmd.lba * sector;
+  uint64_t remaining = static_cast<uint64_t>(cmd.sectors) * sector;
+  const uint8_t* src = cmd.data;
+  while (remaining > 0) {
+    const uint64_t page = byte_off / page_bytes;
+    const uint64_t in_page = byte_off % page_bytes;
+    const uint64_t n = std::min<uint64_t>(remaining, page_bytes - in_page);
+    std::memcpy(PageAt(page, /*create=*/true) + in_page, src, n);
+    src += n;
+    byte_off += n;
+    remaining -= n;
+  }
+}
+
+void FlashDevice::CopyFromStore(const FlashCommand& cmd) {
+  const uint32_t sector = profile_.sector_bytes;
+  const uint32_t page_bytes = profile_.page_bytes;
+  uint64_t byte_off = cmd.lba * sector;
+  uint64_t remaining = static_cast<uint64_t>(cmd.sectors) * sector;
+  uint8_t* dst = cmd.data;
+  while (remaining > 0) {
+    const uint64_t page = byte_off / page_bytes;
+    const uint64_t in_page = byte_off % page_bytes;
+    const uint64_t n = std::min<uint64_t>(remaining, page_bytes - in_page);
+    const uint8_t* src = PageAt(page, /*create=*/false);
+    if (src == nullptr) {
+      std::memset(dst, 0, n);  // unwritten Flash reads as zeroes
+    } else {
+      std::memcpy(dst, src + in_page, n);
+    }
+    dst += n;
+    byte_off += n;
+    remaining -= n;
+  }
+}
+
+}  // namespace reflex::flash

@@ -1,0 +1,187 @@
+#ifndef REFLEX_FLASH_FLASH_DEVICE_H_
+#define REFLEX_FLASH_FLASH_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/device_profile.h"
+#include "sim/histogram.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace reflex::flash {
+
+/** NVMe command opcode subset used by this model. */
+enum class FlashOp : uint8_t { kRead = 0, kWrite = 1 };
+
+/** Completion status. */
+enum class FlashStatus : uint8_t {
+  kOk = 0,
+  kInvalidLba = 1,
+  kQueueFull = 2,
+};
+
+/** One NVMe command. */
+struct FlashCommand {
+  FlashOp op = FlashOp::kRead;
+  uint64_t lba = 0;        // starting sector
+  uint32_t sectors = 8;    // length in sectors (8 = 4KB)
+  /**
+   * Optional data pointer (read destination / write source) of
+   * sectors * sector_bytes bytes. Null means timing-only (load
+   * generators); the backing store is untouched.
+   */
+  uint8_t* data = nullptr;
+  /** Opaque caller context, echoed in the completion. */
+  uint64_t cookie = 0;
+};
+
+/** Completion record delivered to the submitter's callback. */
+struct FlashCompletion {
+  FlashStatus status = FlashStatus::kOk;
+  uint64_t cookie = 0;
+  sim::TimeNs submit_time = 0;
+  sim::TimeNs complete_time = 0;
+
+  sim::TimeNs Latency() const { return complete_time - submit_time; }
+};
+
+using FlashCallback = std::function<void(const FlashCompletion&)>;
+
+class FlashDevice;
+
+/**
+ * An NVMe submission/completion queue pair. Each ReFlex dataplane
+ * thread owns one exclusively (the paper's execution model); the
+ * device arbitrates across pairs in simple round-robin, which is
+ * exactly why a software QoS scheduler is needed.
+ */
+class QueuePair {
+ public:
+  int id() const { return id_; }
+  int Outstanding() const { return outstanding_; }
+  int Depth() const { return depth_; }
+
+ private:
+  friend class FlashDevice;
+  QueuePair(FlashDevice* dev, int id, int depth)
+      : dev_(dev), id_(id), depth_(depth) {}
+
+  FlashDevice* dev_;
+  int id_;
+  int depth_;
+  int outstanding_ = 0;
+};
+
+/** Aggregate device counters. */
+struct FlashDeviceStats {
+  int64_t reads_completed = 0;
+  int64_t writes_completed = 0;
+  int64_t read_sectors = 0;
+  int64_t write_sectors = 0;
+  int64_t gc_stalls = 0;
+  int64_t queue_full_rejections = 0;
+};
+
+/**
+ * Simulated NVMe Flash device (see DeviceProfile for the model).
+ *
+ * Submissions are asynchronous: Submit() returns immediately and the
+ * callback fires at the simulated completion time. Payload data, when
+ * provided, is stored in / read from a sparse in-memory page store so
+ * that applications (the LSM key-value store, the graph engine) can
+ * keep real data on the simulated device.
+ */
+class FlashDevice {
+ public:
+  FlashDevice(sim::Simulator& sim, DeviceProfile profile, uint64_t seed);
+
+  const DeviceProfile& profile() const { return profile_; }
+
+  /**
+   * Allocates a hardware queue pair. Returns nullptr when the device's
+   * queue pairs are exhausted (the paper: "the number of queues is
+   * limited, e.g. 64 in high-end devices").
+   */
+  QueuePair* AllocQueuePair();
+
+  /** Releases a queue pair. Requires no outstanding commands. */
+  void FreeQueuePair(QueuePair* qp);
+
+  /**
+   * Submits a command on the given queue pair. Returns false (and does
+   * not invoke the callback) if the queue is full or the LBA range is
+   * invalid -- mirroring a real driver's submission failure.
+   */
+  bool Submit(QueuePair* qp, const FlashCommand& cmd, FlashCallback cb);
+
+  /** True if the device currently services reads in read-only mode. */
+  bool InReadOnlyMode() const;
+
+  /** Mean die utilization in [0,1] at `now` (approximate). */
+  double DieUtilization() const;
+
+  /** Number of 4KB flush chunks waiting for or occupying dies. */
+  int64_t FlushBacklogChunks() const { return flush_backlog_chunks_; }
+
+  const FlashDeviceStats& stats() const { return stats_; }
+
+  /** Per-op latency histograms (ns), aggregated over device lifetime. */
+  const sim::Histogram& read_latency() const { return read_latency_; }
+  const sim::Histogram& write_latency() const { return write_latency_; }
+
+ private:
+  struct InFlight {
+    FlashCommand cmd;
+    FlashCallback cb;
+    QueuePair* qp;
+    sim::TimeNs submit_time;
+    int chunks_remaining;
+  };
+
+  struct PendingWrite {
+    std::shared_ptr<InFlight> op;
+  };
+
+  void StartRead(const std::shared_ptr<InFlight>& op);
+  void AdmitWrite(const std::shared_ptr<InFlight>& op);
+  int BufferPagesFor(const FlashCommand& cmd) const;
+  void Complete(const std::shared_ptr<InFlight>& op, FlashStatus status);
+  /** Occupies the die owning `page` and returns the completion time. */
+  sim::TimeNs OccupyDie(uint64_t page, sim::TimeNs service);
+  sim::TimeNs ReadServiceQuantum();
+  void CopyToStore(const FlashCommand& cmd);
+  void CopyFromStore(const FlashCommand& cmd);
+  uint8_t* PageAt(uint64_t page_index, bool create);
+
+  sim::Simulator& sim_;
+  DeviceProfile profile_;
+  sim::Rng rng_;
+
+  std::vector<std::unique_ptr<QueuePair>> queue_pairs_;
+  std::vector<sim::TimeNs> die_free_;  // per-die next-free time
+  int next_flush_die_ = 0;
+
+  int write_buffer_free_;
+  std::deque<PendingWrite> pending_writes_;
+  int64_t flush_backlog_chunks_ = 0;
+
+  sim::TimeNs last_write_time_ = -(1LL << 62);
+
+  using Page = std::array<uint8_t, 4096>;
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> store_;
+
+  FlashDeviceStats stats_;
+  sim::Histogram read_latency_;
+  sim::Histogram write_latency_;
+};
+
+}  // namespace reflex::flash
+
+#endif  // REFLEX_FLASH_FLASH_DEVICE_H_

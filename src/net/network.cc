@@ -1,0 +1,64 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace reflex::net {
+
+Machine* Network::AddMachine(const std::string& name, NicSpec nic) {
+  const int id = static_cast<int>(machines_.size());
+  machines_.emplace_back(new Machine(id, name, nic));
+  return machines_.back().get();
+}
+
+TcpConnection::TcpConnection(Network& net, Machine* client, Machine* server,
+                             Transport transport)
+    : net_(net), client_(client), server_(server), transport_(transport) {
+  REFLEX_CHECK(client != nullptr && server != nullptr);
+  REFLEX_CHECK(client != server);
+}
+
+void TcpConnection::Send(Machine* from, Machine* to, uint32_t bytes,
+                         std::function<void()> on_rx_nic) {
+  REFLEX_CHECK(bytes > 0);
+  sim::Simulator& sim = net_.sim_;
+  ++in_flight_;
+
+  // Segment the message into jumbo frames and push each through the
+  // sender NIC (FIFO serialization), the switch, and the receiver NIC
+  // (FIFO serialization). The message is delivered when its last frame
+  // finishes on the receiver side.
+  uint32_t remaining = bytes;
+  sim::TimeNs last_arrival = sim.Now();
+  while (remaining > 0) {
+    const uint32_t payload = std::min(remaining, from->nic_.mtu_payload);
+    remaining -= payload;
+    const uint32_t wire_bytes = payload + FrameOverhead();
+    const auto tx_ser = static_cast<sim::TimeNs>(
+        wire_bytes * from->nic_.NsPerByte());
+    const sim::TimeNs tx_start = std::max(sim.Now(), from->tx_free_);
+    const sim::TimeNs tx_end = tx_start + tx_ser;
+    from->tx_free_ = tx_end;
+    from->tx_bytes_ += wire_bytes;
+
+    const sim::TimeNs at_switch = tx_end + from->nic_.nic_latency +
+                                  net_.propagation_ + net_.switch_latency_;
+    // Receiver link serialization (store-and-forward at the switch
+    // egress port feeding the receiver NIC).
+    const auto rx_ser = static_cast<sim::TimeNs>(
+        wire_bytes * to->nic_.NsPerByte());
+    const sim::TimeNs rx_start =
+        std::max(at_switch + net_.propagation_, to->rx_free_);
+    to->rx_free_ = rx_start + rx_ser;  // link occupancy only
+    to->rx_bytes_ += wire_bytes;
+    last_arrival = to->rx_free_ + to->nic_.nic_latency;
+  }
+
+  sim.ScheduleAt(last_arrival, [this, cb = std::move(on_rx_nic)] {
+    --in_flight_;
+    if (cb) cb();
+  });
+}
+
+}  // namespace reflex::net

@@ -1,0 +1,161 @@
+#ifndef REFLEX_NET_NETWORK_H_
+#define REFLEX_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/stack_costs.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace reflex::net {
+
+class Network;
+class TcpConnection;
+
+/**
+ * Transport used by a connection. The paper ships TCP ("the most
+ * heavy-weight protocol used in datacenters ... a conservative choice
+ * that defines a lower bound on ReFlex performance") and names UDP as
+ * the future lighter option; both are modeled here.
+ */
+enum class Transport : uint8_t { kTcp = 0, kUdp = 1 };
+
+/**
+ * A host on the simulated network. Each machine has one full-duplex
+ * NIC; its tx and rx sides are independent FIFO serialization
+ * resources, which is how line-rate ceilings and NIC-level queueing
+ * emerge (e.g. the 10GbE saturation in the paper's Figure 7a).
+ */
+class Machine {
+ public:
+  const std::string& name() const { return name_; }
+  int id() const { return id_; }
+  const NicSpec& nic() const { return nic_; }
+
+  /** Bytes transmitted / received (wire bytes, incl. frame overhead). */
+  int64_t tx_bytes() const { return tx_bytes_; }
+  int64_t rx_bytes() const { return rx_bytes_; }
+
+ private:
+  friend class Network;
+  friend class TcpConnection;
+  Machine(int id, std::string name, NicSpec nic)
+      : id_(id), name_(std::move(name)), nic_(nic) {}
+
+  int id_;
+  std::string name_;
+  NicSpec nic_;
+  sim::TimeNs tx_free_ = 0;
+  sim::TimeNs rx_free_ = 0;
+  int64_t tx_bytes_ = 0;
+  int64_t rx_bytes_ = 0;
+};
+
+/**
+ * Star-topology network: every machine connects to one switch. This
+ * matches the paper's testbed (hosts on an Arista 7050S-64).
+ */
+class Network {
+ public:
+  /**
+   * @param switch_latency store-and-forward plus fabric latency.
+   * @param propagation one-way cable propagation per hop.
+   */
+  explicit Network(sim::Simulator& sim,
+                   sim::TimeNs switch_latency = sim::Micros(1.0),
+                   sim::TimeNs propagation = sim::Micros(0.3))
+      : sim_(sim),
+        switch_latency_(switch_latency),
+        propagation_(propagation) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /** Adds a host. The returned pointer is owned by the network. */
+  Machine* AddMachine(const std::string& name, NicSpec nic = NicSpec());
+
+  sim::Simulator& sim() { return sim_; }
+
+ private:
+  friend class TcpConnection;
+
+  sim::Simulator& sim_;
+  sim::TimeNs switch_latency_;
+  sim::TimeNs propagation_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+};
+
+/**
+ * A reliable, in-order message channel between two machines, modeling
+ * an established TCP connection. Loss and congestion control are not
+ * modeled (datacenter links; the paper's experiments are loss-free),
+ * but serialization, propagation, switch latency, NIC latency, frame
+ * segmentation (jumbo frames) and per-frame header overhead are.
+ *
+ * Send() is asynchronous: the callback fires at the moment the last
+ * frame of the message has been received by the destination NIC.
+ * Stack processing above the NIC (interrupts, syscalls, copies) is
+ * charged by the caller using StackCosts, because it depends on who
+ * owns the endpoint (dataplane server vs Linux client).
+ */
+class TcpConnection {
+ public:
+  TcpConnection(Network& net, Machine* client, Machine* server,
+                Transport transport = Transport::kTcp);
+
+  /** Client-to-server message. */
+  void SendToServer(uint32_t bytes, std::function<void()> on_rx_nic) {
+    Send(client_, server_, bytes, std::move(on_rx_nic));
+  }
+
+  /** Server-to-client message. */
+  void SendToClient(uint32_t bytes, std::function<void()> on_rx_nic) {
+    Send(server_, client_, bytes, std::move(on_rx_nic));
+  }
+
+  Machine* client() const { return client_; }
+  Machine* server() const { return server_; }
+
+  /** Messages in flight in either direction. */
+  int64_t messages_in_flight() const { return in_flight_; }
+
+  /**
+   * Effective cache footprint of one connection's state (TCP control
+   * block plus rx/tx buffers touched per message). Used by the
+   * server's LLC-pressure model (paper section 5.5: performance drops
+   * once connection state exceeds the last-level cache, ~5K
+   * connections on the paper's testbed). UDP flows keep almost no
+   * per-connection state.
+   */
+  static constexpr uint32_t kStateBytes = 8192;
+  static constexpr uint32_t kUdpStateBytes = 512;
+
+  Transport transport() const { return transport_; }
+
+  /** Per-frame wire overhead for this transport (headers). */
+  uint32_t FrameOverhead() const {
+    return transport_ == Transport::kTcp ? 78 : 46;
+  }
+
+  uint32_t StateBytes() const {
+    return transport_ == Transport::kTcp ? kStateBytes : kUdpStateBytes;
+  }
+
+ private:
+  void Send(Machine* from, Machine* to, uint32_t bytes,
+            std::function<void()> on_rx_nic);
+
+  Network& net_;
+  Machine* client_;
+  Machine* server_;
+  Transport transport_;
+  int64_t in_flight_ = 0;
+};
+
+}  // namespace reflex::net
+
+#endif  // REFLEX_NET_NETWORK_H_

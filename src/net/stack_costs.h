@@ -1,0 +1,150 @@
+#ifndef REFLEX_NET_STACK_COSTS_H_
+#define REFLEX_NET_STACK_COSTS_H_
+
+#include <cstdint>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace reflex::net {
+
+/**
+ * NIC and link parameters. Defaults model the paper's testbed: Intel
+ * 82599ES 10GbE NICs behind an Arista 7050S switch, jumbo frames
+ * enabled, LRO/GRO disabled.
+ */
+struct NicSpec {
+  /** Link bandwidth in gigabits per second. */
+  double bandwidth_gbps = 10.0;
+
+  /** PCIe/DMA/MAC latency per NIC traversal (tx or rx). */
+  sim::TimeNs nic_latency = sim::Micros(2.5);
+
+  /** Jumbo frame payload (9000 MTU minus TCP/IP headers). */
+  uint32_t mtu_payload = 8948;
+
+
+  /** Nanoseconds to serialize one byte onto the wire. */
+  double NsPerByte() const { return 8.0 / bandwidth_gbps; }
+};
+
+/**
+ * CPU-cost model for a host network stack. All remote-Flash latency
+ * differences between IX, Linux and iSCSI in the paper come down to
+ * these per-message terms; see DESIGN.md section 5 for the calibration
+ * against Table 2.
+ */
+struct StackCosts {
+  /** CPU time to transmit one message (stack traversal, doorbells). */
+  sim::TimeNs tx_per_msg = sim::Micros(1.0);
+
+  /** CPU time to receive one message once the stack runs. */
+  sim::TimeNs rx_per_msg = sim::Micros(1.0);
+
+  /** Syscall overhead per send/recv (0 for kernel-bypass stacks). */
+  sim::TimeNs syscall = 0;
+
+  /** Data copy cost (0 for zero-copy dataplanes). */
+  double copy_ns_per_byte = 0.0;
+
+  /**
+   * Interrupt-driven receive: delivery waits for interrupt coalescing,
+   * uniform in [0, irq_coalesce_max] (the paper's setup coalesces at a
+   * 20us interval). 0 means polled receive (no added delay).
+   */
+  sim::TimeNs irq_coalesce_max = 0;
+
+  /** Median of lognormal softirq/scheduler jitter on receive. */
+  sim::TimeNs sched_jitter_median = 0;
+
+  /** Sigma of that jitter (0 disables). */
+  double sched_jitter_sigma = 0.0;
+
+  /**
+   * Extra wakeup latency for blocking (non-busy-polling) receivers:
+   * context switch plus run-queue delay. Models legacy clients that
+   * sleep in read(2) instead of spinning on epoll.
+   */
+  sim::TimeNs blocking_wakeup = 0;
+
+  /** Total CPU time to send a message of `bytes` payload. */
+  sim::TimeNs TxCost(uint32_t bytes) const {
+    return tx_per_msg + syscall +
+           static_cast<sim::TimeNs>(copy_ns_per_byte * bytes);
+  }
+
+  /** CPU time to receive a message of `bytes` payload. */
+  sim::TimeNs RxCost(uint32_t bytes) const {
+    return rx_per_msg + syscall +
+           static_cast<sim::TimeNs>(copy_ns_per_byte * bytes);
+  }
+
+  /**
+   * Sampled delay between frame arrival at the NIC and the stack
+   * starting to process it (interrupt coalescing + scheduling jitter +
+   * blocking wakeup). Zero for polled dataplanes.
+   */
+  sim::TimeNs SampleDeliveryDelay(sim::Rng& rng) const {
+    sim::TimeNs d = 0;
+    if (irq_coalesce_max > 0) {
+      d += static_cast<sim::TimeNs>(rng.NextDouble() *
+                                    static_cast<double>(irq_coalesce_max));
+    }
+    if (sched_jitter_median > 0) {
+      d += static_cast<sim::TimeNs>(rng.NextLognormal(
+          static_cast<double>(sched_jitter_median), sched_jitter_sigma));
+    }
+    d += blocking_wakeup;
+    return d;
+  }
+
+  /**
+   * Zero-cost stack: all processing charged elsewhere. Used by layers
+   * (e.g. the block-device driver) that model their kernel path
+   * explicitly and must not double-count the client library's costs.
+   */
+  static StackCosts Null() { return StackCosts{0, 0, 0, 0.0, 0, 0, 0.0, 0}; }
+
+  /**
+   * IX-style dataplane (kernel bypass, polled, zero-copy). Used by the
+   * ReFlex server and by "IX client" rows of Table 2.
+   */
+  static StackCosts IxDataplane() {
+    StackCosts c;
+    c.tx_per_msg = sim::Micros(0.9);
+    c.rx_per_msg = sim::Micros(0.9);
+    return c;
+  }
+
+  /**
+   * Linux kernel stack with a busy-polling epoll user (mutilate-style
+   * load generator): syscalls and copies but minimal sleep/wake cost.
+   */
+  static StackCosts LinuxEpoll() {
+    StackCosts c;
+    c.tx_per_msg = sim::Micros(2.2);
+    c.rx_per_msg = sim::Micros(2.2);
+    c.syscall = sim::Micros(1.2);
+    c.copy_ns_per_byte = 0.25;
+    c.irq_coalesce_max = sim::Micros(20);
+    c.sched_jitter_median = sim::Micros(1.5);
+    c.sched_jitter_sigma = 0.6;
+    return c;
+  }
+
+  /**
+   * Linux kernel stack with a blocking reader (legacy applications and
+   * in-kernel completion threads that sleep between I/Os).
+   */
+  static StackCosts LinuxBlocking() {
+    StackCosts c = LinuxEpoll();
+    c.blocking_wakeup = sim::Micros(6);
+    c.sched_jitter_median = sim::Micros(3);
+    c.sched_jitter_sigma = 0.8;
+    return c;
+  }
+};
+
+}  // namespace reflex::net
+
+#endif  // REFLEX_NET_STACK_COSTS_H_

@@ -1,0 +1,119 @@
+#include "sim/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.h"
+
+namespace reflex::sim {
+
+Histogram::Histogram(int sub_bucket_bits)
+    : sub_bucket_bits_(sub_bucket_bits),
+      sub_buckets_(int64_t{1} << sub_bucket_bits) {
+  REFLEX_CHECK(sub_bucket_bits >= 2 && sub_bucket_bits <= 12);
+  // Octave 0 occupies sub_buckets_ linear buckets; each further octave
+  // adds sub_buckets_/2 buckets, up to 63-bit values.
+  const int octaves = 64 - sub_bucket_bits_;
+  buckets_.assign(sub_buckets_ + octaves * (sub_buckets_ / 2) + 1, 0);
+}
+
+int Histogram::BucketIndex(int64_t value) const {
+  if (value < 0) value = 0;
+  if (value < sub_buckets_) return static_cast<int>(value);
+  const int e = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  const int o = e - sub_bucket_bits_ + 1;
+  const int64_t sub = value >> o;  // in [sub_buckets_/2, sub_buckets_)
+  return static_cast<int>(o * (sub_buckets_ / 2) + sub);
+}
+
+int64_t Histogram::BucketMidpoint(int index) const {
+  if (index < sub_buckets_) return index;
+  const int o = static_cast<int>(index / (sub_buckets_ / 2)) - 1;
+  const int64_t sub = index - int64_t{o} * (sub_buckets_ / 2);
+  return (sub << o) + (int64_t{1} << (o - 1));
+}
+
+void Histogram::Record(int64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(int64_t value, int64_t count) {
+  if (count <= 0) return;
+  if (value < 0) value = 0;
+  const int idx = BucketIndex(value);
+  buckets_[idx] += count;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+  sum_sq_ += static_cast<double>(value) * static_cast<double>(value) *
+             static_cast<double>(count);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      int64_t mid = BucketMidpoint(static_cast<int>(i));
+      if (mid < min_) mid = min_;
+      if (mid > max_) mid = max_;
+      return mid;
+    }
+  }
+  return max_;
+}
+
+double Histogram::StdDev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  REFLEX_CHECK(other.sub_bucket_bits_ == sub_bucket_bits_);
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::Reset() {
+  buckets_.assign(buckets_.size(), 0);
+  count_ = 0;
+  sum_ = sum_sq_ = 0.0;
+  min_ = max_ = 0;
+}
+
+std::string Histogram::SummaryUs() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld avg=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus "
+                "max=%.1fus",
+                static_cast<long long>(count_), Mean() / 1e3,
+                Percentile(0.50) / 1e3, Percentile(0.95) / 1e3,
+                Percentile(0.99) / 1e3, static_cast<double>(Max()) / 1e3);
+  return buf;
+}
+
+}  // namespace reflex::sim

@@ -1,0 +1,79 @@
+#ifndef REFLEX_SIM_HISTOGRAM_H_
+#define REFLEX_SIM_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reflex::sim {
+
+/**
+ * Log-linear (HDR-style) histogram for latency samples.
+ *
+ * Values are bucketed with a fixed number of linear sub-buckets per
+ * power-of-two range, giving a bounded relative error (~1.5% with the
+ * default 64 sub-buckets) across the whole representable range while
+ * using a few KB of memory. Recording is O(1); percentile queries are
+ * O(#buckets).
+ *
+ * Units are the caller's choice (simulation code records TimeNs).
+ */
+class Histogram {
+ public:
+  /** sub_bucket_bits: log2 of sub-buckets per octave (default 64). */
+  explicit Histogram(int sub_bucket_bits = 6);
+
+  /** Records one sample. Negative values are clamped to zero. */
+  void Record(int64_t value);
+
+  /** Records `count` occurrences of one sample value. */
+  void RecordMany(int64_t value, int64_t count);
+
+  /** Total number of recorded samples. */
+  int64_t Count() const { return count_; }
+
+  /** Arithmetic mean of samples (0 if empty). */
+  double Mean() const;
+
+  /** Exact minimum recorded value (0 if empty). */
+  int64_t Min() const { return count_ == 0 ? 0 : min_; }
+
+  /** Exact maximum recorded value (0 if empty). */
+  int64_t Max() const { return count_ == 0 ? 0 : max_; }
+
+  /**
+   * Value at quantile q in [0, 1] (e.g. 0.95 for p95). Returns the
+   * representative (midpoint) value of the bucket containing the
+   * q-quantile sample; 0 if the histogram is empty.
+   */
+  int64_t Percentile(double q) const;
+
+  /** Standard deviation approximation from bucket midpoints. */
+  double StdDev() const;
+
+  /** Merges another histogram (same geometry) into this one. */
+  void Merge(const Histogram& other);
+
+  /** Discards all samples. */
+  void Reset();
+
+  /** Human-readable one-line summary in microseconds. */
+  std::string SummaryUs() const;
+
+ private:
+  int BucketIndex(int64_t value) const;
+  int64_t BucketMidpoint(int index) const;
+
+  int sub_bucket_bits_;
+  int64_t sub_buckets_;  // per octave
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace reflex::sim
+
+#endif  // REFLEX_SIM_HISTOGRAM_H_

@@ -1,0 +1,79 @@
+#ifndef REFLEX_SIM_LOGGING_H_
+#define REFLEX_SIM_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace reflex::sim {
+
+/**
+ * Severity levels for simulation logging.
+ *
+ * Following the gem5 convention: `Fatal` is for user errors that make
+ * continuing impossible (bad configuration, inadmissible SLOs given to
+ * an API that demands validity); `Panic` is for internal invariant
+ * violations, i.e. bugs in this library.
+ */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/** Returns the process-wide minimum level that will be printed. */
+LogLevel GetLogLevel();
+
+/** Sets the process-wide minimum level that will be printed. */
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+[[noreturn]] void FatalMessage(const char* kind, const char* file, int line,
+                               const std::string& msg);
+std::string FormatV(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace internal
+
+}  // namespace reflex::sim
+
+/** Logs a printf-style message at the given level. */
+#define REFLEX_LOG(level, ...)                                       \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::reflex::sim::GetLogLevel())) {            \
+      ::reflex::sim::internal::LogMessage(                           \
+          level, __FILE__, __LINE__,                                 \
+          ::reflex::sim::internal::FormatV(__VA_ARGS__));            \
+    }                                                                \
+  } while (0)
+
+#define REFLEX_DEBUG(...) REFLEX_LOG(::reflex::sim::LogLevel::kDebug, __VA_ARGS__)
+#define REFLEX_INFO(...) REFLEX_LOG(::reflex::sim::LogLevel::kInfo, __VA_ARGS__)
+#define REFLEX_WARN(...) REFLEX_LOG(::reflex::sim::LogLevel::kWarn, __VA_ARGS__)
+#define REFLEX_ERROR(...) REFLEX_LOG(::reflex::sim::LogLevel::kError, __VA_ARGS__)
+
+/**
+ * Terminates the process due to a user error (bad configuration or
+ * arguments). Analogous to gem5's fatal().
+ */
+#define REFLEX_FATAL(...)                                  \
+  ::reflex::sim::internal::FatalMessage(                   \
+      "fatal", __FILE__, __LINE__,                         \
+      ::reflex::sim::internal::FormatV(__VA_ARGS__))
+
+/**
+ * Terminates the process due to an internal invariant violation (a bug
+ * in this library). Analogous to gem5's panic().
+ */
+#define REFLEX_PANIC(...)                                  \
+  ::reflex::sim::internal::FatalMessage(                   \
+      "panic", __FILE__, __LINE__,                         \
+      ::reflex::sim::internal::FormatV(__VA_ARGS__))
+
+/** Checks an invariant; panics with the stringified condition if false. */
+#define REFLEX_CHECK(cond)                                           \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      REFLEX_PANIC("check failed: %s", #cond);                       \
+    }                                                                \
+  } while (0)
+
+#endif  // REFLEX_SIM_LOGGING_H_

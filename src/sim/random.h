@@ -1,0 +1,68 @@
+#ifndef REFLEX_SIM_RANDOM_H_
+#define REFLEX_SIM_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+namespace reflex::sim {
+
+/**
+ * Deterministic pseudo-random stream (xoshiro256** core, SplitMix64
+ * seeding). Every stochastic simulation component owns a named stream
+ * seeded from (global seed, component name), so experiments are exactly
+ * reproducible and component behaviour is independent of the order in
+ * which other components draw numbers.
+ */
+class Rng {
+ public:
+  /** Constructs a stream from a raw 64-bit seed. */
+  explicit Rng(uint64_t seed);
+
+  /** Constructs a stream derived from a global seed and a name. */
+  Rng(uint64_t global_seed, std::string_view stream_name);
+
+  /** Returns the next raw 64-bit value. */
+  uint64_t Next();
+
+  /** Returns a uniform double in [0, 1). */
+  double NextDouble();
+
+  /** Returns a uniform integer in [0, bound). Requires bound > 0. */
+  uint64_t NextBounded(uint64_t bound);
+
+  /** Returns a uniform integer in [lo, hi]. Requires lo <= hi. */
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /** Returns an exponentially distributed double with the given mean. */
+  double NextExponential(double mean);
+
+  /**
+   * Returns a lognormal sample whose *median* is `median` and whose
+   * log-space standard deviation is `sigma`. Used for service-time
+   * jitter: sigma = 0 returns `median` exactly.
+   */
+  double NextLognormal(double median, double sigma);
+
+  /** Returns a standard normal sample (Box-Muller, cached pair). */
+  double NextGaussian();
+
+  /** Returns true with probability p. */
+  bool NextBernoulli(double p);
+
+  /**
+   * Returns a Zipf-distributed integer in [0, n) with exponent theta.
+   * Uses the rejection-inversion method of Hormann/Derflinger so setup
+   * is O(1) and draws are O(1) expected.
+   */
+  uint64_t NextZipf(uint64_t n, double theta);
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace reflex::sim
+
+#endif  // REFLEX_SIM_RANDOM_H_

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace reflex::sim {
+
+void Simulator::ScheduleAt(TimeNs t, std::function<void()> fn) {
+  if (t < now_) {
+    REFLEX_PANIC("event scheduled in the past: t=%lld now=%lld",
+                 static_cast<long long>(t), static_cast<long long>(now_));
+  }
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // std::priority_queue::top() returns a const ref; the function
+    // object must be moved out before pop, so copy the event husk.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+  }
+}
+
+int64_t Simulator::RunUntil(TimeNs t) {
+  stopped_ = false;
+  int64_t processed = 0;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ++processed;
+    ev.fn();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return processed;
+}
+
+}  // namespace reflex::sim

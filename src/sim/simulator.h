@@ -1,0 +1,82 @@
+#ifndef REFLEX_SIM_SIMULATOR_H_
+#define REFLEX_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace reflex::sim {
+
+/**
+ * Deterministic discrete-event simulator.
+ *
+ * The simulator owns a priority queue of (time, sequence, callback)
+ * events. Events scheduled for the same timestamp execute in the order
+ * they were scheduled (FIFO tie-break via the sequence number), which
+ * makes every run bit-reproducible given the same seeds.
+ *
+ * The simulator is strictly single-threaded; simulated parallelism
+ * (server threads, client machines, Flash dies) is expressed as
+ * interleaved events.
+ */
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /** Current simulated time. */
+  TimeNs Now() const { return now_; }
+
+  /** Schedules `fn` to run at absolute time `t` (>= Now()). */
+  void ScheduleAt(TimeNs t, std::function<void()> fn);
+
+  /** Schedules `fn` to run `delay` after Now(). */
+  void ScheduleAfter(TimeNs delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /** Runs until the event queue is empty or Stop() is called. */
+  void Run();
+
+  /**
+   * Runs all events with timestamp <= t, then sets Now() to t.
+   * Returns the number of events processed.
+   */
+  int64_t RunUntil(TimeNs t);
+
+  /** Requests that Run()/RunUntil() return after the current event. */
+  void Stop() { stopped_ = true; }
+
+  /** Total events processed since construction. */
+  int64_t EventsProcessed() const { return events_processed_; }
+
+  /** Number of events currently pending. */
+  size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeNs time;
+    int64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeNs now_ = 0;
+  int64_t next_seq_ = 0;
+  int64_t events_processed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace reflex::sim
+
+#endif  // REFLEX_SIM_SIMULATOR_H_

@@ -1,0 +1,77 @@
+#ifndef REFLEX_SIM_STATS_H_
+#define REFLEX_SIM_STATS_H_
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace reflex::sim {
+
+/**
+ * Windowed rate meter: counts discrete occurrences (requests, tokens)
+ * and reports a rate per second over the window since the last Reset.
+ */
+class RateMeter {
+ public:
+  explicit RateMeter(TimeNs start = 0) : window_start_(start) {}
+
+  void Add(double n = 1.0) { count_ += n; }
+
+  /** Rate per second over [window_start, now]. */
+  double PerSecond(TimeNs now) const {
+    const double dt = ToSeconds(now - window_start_);
+    return dt > 0.0 ? count_ / dt : 0.0;
+  }
+
+  double Count() const { return count_; }
+
+  void Reset(TimeNs now) {
+    window_start_ = now;
+    count_ = 0.0;
+  }
+
+ private:
+  TimeNs window_start_;
+  double count_ = 0.0;
+};
+
+/**
+ * Time-weighted average of a piecewise-constant signal (queue depths,
+ * utilization). Call Set() whenever the value changes.
+ */
+class TimeWeightedMean {
+ public:
+  explicit TimeWeightedMean(TimeNs start = 0)
+      : last_change_(start), window_start_(start) {}
+
+  void Set(TimeNs now, double value) {
+    integral_ += value_ * ToSeconds(now - last_change_);
+    value_ = value;
+    last_change_ = now;
+  }
+
+  double Mean(TimeNs now) const {
+    const double span = ToSeconds(now - window_start_);
+    if (span <= 0.0) return value_;
+    const double total = integral_ + value_ * ToSeconds(now - last_change_);
+    return total / span;
+  }
+
+  double Current() const { return value_; }
+
+  void Reset(TimeNs now) {
+    window_start_ = now;
+    last_change_ = now;
+    integral_ = 0.0;
+  }
+
+ private:
+  TimeNs last_change_;
+  TimeNs window_start_;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+};
+
+}  // namespace reflex::sim
+
+#endif  // REFLEX_SIM_STATS_H_

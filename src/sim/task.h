@@ -1,0 +1,231 @@
+#ifndef REFLEX_SIM_TASK_H_
+#define REFLEX_SIM_TASK_H_
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/logging.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace reflex::sim {
+
+/**
+ * A detached simulation process implemented as a C++20 coroutine.
+ *
+ * Tasks start eagerly and own their own lifetime: the coroutine frame
+ * is destroyed automatically when the body finishes. Simulation
+ * processes communicate through Future/Promise pairs, Semaphores, or
+ * explicit callbacks rather than by joining Task objects.
+ *
+ * Usage:
+ *   Task ServerLoop(Simulator& sim, ...) {
+ *     for (;;) {
+ *       co_await Delay(sim, 5 * kMicrosecond);
+ *       ...
+ *     }
+ *   }
+ */
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() noexcept { return Task{}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() {
+      REFLEX_PANIC("unhandled exception escaped a sim::Task");
+    }
+  };
+};
+
+/**
+ * Awaitable that suspends the current task for `delay` of simulated
+ * time. A zero (or negative) delay still round-trips through the event
+ * queue so that same-time events retain FIFO ordering.
+ */
+class Delay {
+ public:
+  Delay(Simulator& sim, TimeNs delay) : sim_(sim), delay_(delay) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim_.ScheduleAfter(delay_ > 0 ? delay_ : 0, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  TimeNs delay_;
+};
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  Simulator* sim = nullptr;
+  std::optional<T> value;
+  std::coroutine_handle<> waiter;
+
+  void Deliver() {
+    if (waiter) {
+      auto h = waiter;
+      waiter = nullptr;
+      // Resume through the event queue: keeps stack depth bounded and
+      // event ordering deterministic.
+      sim->ScheduleAfter(0, [h] { h.resume(); });
+    }
+  }
+};
+
+}  // namespace internal
+
+template <typename T>
+class Promise;
+
+/**
+ * Single-shot value channel between simulation processes. A Future is
+ * awaited (at most one waiter); its Promise is fulfilled exactly once.
+ * Copies share the same underlying state.
+ */
+template <typename T>
+class Future {
+ public:
+  Future() : state_(std::make_shared<internal::FutureState<T>>()) {}
+
+  bool Ready() const { return state_->value.has_value(); }
+
+  /** Returns the value. Requires Ready(). */
+  const T& Get() const {
+    REFLEX_CHECK(state_->value.has_value());
+    return *state_->value;
+  }
+
+  bool await_ready() const noexcept { return state_->value.has_value(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    REFLEX_CHECK(!state_->waiter);  // single waiter
+    state_->waiter = h;
+  }
+  T await_resume() {
+    REFLEX_CHECK(state_->value.has_value());
+    return std::move(*state_->value);
+  }
+
+ private:
+  friend class Promise<T>;
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/** Producer side of a Future<T>. */
+template <typename T>
+class Promise {
+ public:
+  explicit Promise(Simulator& sim) {
+    future_.state_->sim = &sim;
+  }
+
+  Future<T> GetFuture() const { return future_; }
+
+  /** Fulfills the future; any waiter resumes via the event queue. */
+  void Set(T value) {
+    auto& st = *future_.state_;
+    REFLEX_CHECK(!st.value.has_value());
+    st.value = std::move(value);
+    st.Deliver();
+  }
+
+ private:
+  Future<T> future_;
+};
+
+/** Tag type so Future<Unit>/Promise<Unit> model void completions. */
+struct Unit {};
+
+using VoidFuture = Future<Unit>;
+using VoidPromise = Promise<Unit>;
+
+/**
+ * Counted resource with FIFO waiters. Models bounded resources such as
+ * Flash write-buffer slots or client queue-depth limits.
+ */
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, int64_t initial)
+      : sim_(sim), available_(initial) {}
+
+  /** Awaitable acquire of one unit. */
+  auto Acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      bool await_ready() const noexcept { return sem.TryAcquire(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /** Non-blocking acquire. */
+  bool TryAcquire() {
+    if (available_ > 0 && waiters_.empty()) {
+      --available_;
+      return true;
+    }
+    if (available_ > 0) {
+      // Units available but waiters queued: preserve FIFO fairness.
+      return false;
+    }
+    return false;
+  }
+
+  /** Releases one unit, waking the oldest waiter if any. */
+  void Release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.ScheduleAfter(0, [h] { h.resume(); });
+    } else {
+      ++available_;
+    }
+  }
+
+  int64_t Available() const { return available_; }
+  size_t Waiters() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  int64_t available_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Completion barrier: waits until Arrive() has been called `expected`
+ * times. Useful for joining a fan-out of detached tasks.
+ */
+class Barrier {
+ public:
+  Barrier(Simulator& sim, int64_t expected)
+      : promise_(sim), remaining_(expected) {
+    REFLEX_CHECK(expected >= 0);
+    if (expected == 0) promise_.Set(Unit{});
+  }
+
+  void Arrive() {
+    REFLEX_CHECK(remaining_ > 0);
+    if (--remaining_ == 0) promise_.Set(Unit{});
+  }
+
+  VoidFuture Done() const { return promise_.GetFuture(); }
+
+ private:
+  VoidPromise promise_;
+  int64_t remaining_;
+};
+
+}  // namespace reflex::sim
+
+#endif  // REFLEX_SIM_TASK_H_

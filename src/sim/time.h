@@ -1,0 +1,56 @@
+#ifndef REFLEX_SIM_TIME_H_
+#define REFLEX_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace reflex::sim {
+
+/**
+ * Simulated time, in nanoseconds since simulation start.
+ *
+ * All simulation components express time in this unit. A signed 64-bit
+ * nanosecond counter covers ~292 years, far beyond any experiment.
+ */
+using TimeNs = int64_t;
+
+/** One microsecond in simulation time units. */
+inline constexpr TimeNs kMicrosecond = 1000;
+/** One millisecond in simulation time units. */
+inline constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+/** One second in simulation time units. */
+inline constexpr TimeNs kSecond = 1000 * kMillisecond;
+
+/** Converts a double count of microseconds to TimeNs (rounds down). */
+constexpr TimeNs Micros(double us) { return static_cast<TimeNs>(us * 1e3); }
+/** Converts a double count of milliseconds to TimeNs (rounds down). */
+constexpr TimeNs Millis(double ms) { return static_cast<TimeNs>(ms * 1e6); }
+/** Converts a double count of seconds to TimeNs (rounds down). */
+constexpr TimeNs Seconds(double s) { return static_cast<TimeNs>(s * 1e9); }
+
+/** Converts TimeNs to floating-point microseconds. */
+constexpr double ToMicros(TimeNs t) { return static_cast<double>(t) / 1e3; }
+/** Converts TimeNs to floating-point milliseconds. */
+constexpr double ToMillis(TimeNs t) { return static_cast<double>(t) / 1e6; }
+/** Converts TimeNs to floating-point seconds. */
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) / 1e9; }
+
+namespace literals {
+
+constexpr TimeNs operator""_ns(unsigned long long v) {
+  return static_cast<TimeNs>(v);
+}
+constexpr TimeNs operator""_us(unsigned long long v) {
+  return static_cast<TimeNs>(v) * kMicrosecond;
+}
+constexpr TimeNs operator""_ms(unsigned long long v) {
+  return static_cast<TimeNs>(v) * kMillisecond;
+}
+constexpr TimeNs operator""_s(unsigned long long v) {
+  return static_cast<TimeNs>(v) * kSecond;
+}
+
+}  // namespace literals
+
+}  // namespace reflex::sim
+
+#endif  // REFLEX_SIM_TIME_H_

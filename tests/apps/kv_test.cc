@@ -1,0 +1,318 @@
+#include "apps/kv/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/kv/db_bench.h"
+#include "apps/kv/sstable.h"
+#include "baseline/local_spdk.h"
+#include "client/storage_backend.h"
+#include "flash/flash_device.h"
+#include "sim/simulator.h"
+
+namespace reflex::apps::kv {
+namespace {
+
+using sim::Millis;
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(1000);
+  for (int i = 0; i < 1000; ++i) {
+    bloom.Add("key-" + std::to_string(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bloom.MayContain("key-" + std::to_string(i)));
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilter bloom(1000);
+  for (int i = 0; i < 1000; ++i) {
+    bloom.Add("key-" + std::to_string(i));
+  }
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    false_positives += bloom.MayContain("other-" + std::to_string(i));
+  }
+  // 10 bits/key, 6 hashes => ~1% theoretical FP rate.
+  EXPECT_LT(false_positives, 300);
+}
+
+TEST(SSTableFormatTest, ImageRoundTrip) {
+  std::vector<KvEntry> entries;
+  for (int i = 0; i < 500; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%05d", i);
+    entries.push_back(KvEntry{key, std::string(100, 'a' + i % 26)});
+  }
+  SSTableMeta meta;
+  std::vector<uint8_t> image = BuildSSTableImage(entries, 10, &meta);
+  ASSERT_EQ(image.size() % kBlockBytes, 0u);
+  EXPECT_EQ(meta.num_entries, 500u);
+  EXPECT_EQ(meta.first_key, "k00000");
+  EXPECT_EQ(meta.last_key, "k00499");
+  EXPECT_EQ(meta.NumBlocks(), image.size() / kBlockBytes);
+
+  // Every key is findable through the index + block parse.
+  for (const KvEntry& e : entries) {
+    const int b = meta.FindBlock(e.key);
+    ASSERT_GE(b, 0);
+    auto parsed = ParseBlock(image.data() +
+                             static_cast<size_t>(b) * kBlockBytes);
+    const KvEntry* found = FindInBlock(parsed, e.key);
+    ASSERT_NE(found, nullptr) << e.key;
+    EXPECT_EQ(found->value, e.value);
+    EXPECT_FALSE(found->tombstone);
+  }
+  // Absent keys are not found.
+  const int b = meta.FindBlock("k00250x");
+  auto parsed =
+      ParseBlock(image.data() + static_cast<size_t>(b) * kBlockBytes);
+  EXPECT_EQ(FindInBlock(parsed, "k00250x"), nullptr);
+}
+
+class KvStoreTest : public ::testing::Test {
+ protected:
+  KvStoreTest()
+      : device_(sim_, flash::DeviceProfile::DeviceA(), 5),
+        local_(sim_, device_, baseline::LocalSpdkService::Options{}),
+        backend_(local_, 8ULL << 30) {}
+
+  KvStore::Options SmallOptions() {
+    KvStore::Options o;
+    o.region_offset = 0;
+    o.region_bytes = 1ULL << 30;
+    o.wal_bytes = 4ULL << 20;
+    o.memtable_bytes = 64 << 10;  // frequent flushes
+    o.l0_compaction_trigger = 3;
+    o.block_cache_blocks = 64;
+    return o;
+  }
+
+  template <typename T>
+  T Await(sim::Future<T> f) {
+    sim_.Run();
+    EXPECT_TRUE(f.Ready());
+    return f.Get();
+  }
+
+  sim::Simulator sim_;
+  flash::FlashDevice device_;
+  baseline::LocalSpdkService local_;
+  client::ServiceStorageAdapter backend_;
+};
+
+TEST_F(KvStoreTest, PutGetRoundTrip) {
+  KvStore store(sim_, backend_, SmallOptions());
+  EXPECT_TRUE(Await(store.Put("hello", "world")));
+  GetResult r = Await(store.Get("hello"));
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.value, "world");
+}
+
+TEST_F(KvStoreTest, MissingKeyNotFound) {
+  KvStore store(sim_, backend_, SmallOptions());
+  EXPECT_TRUE(Await(store.Put("a", "1")));
+  GetResult r = Await(store.Get("b"));
+  EXPECT_FALSE(r.found);
+}
+
+TEST_F(KvStoreTest, OverwriteReturnsLatest) {
+  KvStore store(sim_, backend_, SmallOptions());
+  Await(store.Put("k", "v1"));
+  Await(store.Put("k", "v2"));
+  EXPECT_EQ(Await(store.Get("k")).value, "v2");
+  // Also across a flush boundary.
+  Await(store.Flush());
+  Await(store.Put("k", "v3"));
+  EXPECT_EQ(Await(store.Get("k")).value, "v3");
+}
+
+TEST_F(KvStoreTest, GetFromFlushedTable) {
+  KvStore store(sim_, backend_, SmallOptions());
+  for (int i = 0; i < 100; ++i) {
+    Await(store.Put(DbBench::KeyFor(i), DbBench::ValueFor(i, 64)));
+  }
+  Await(store.Flush());
+  EXPECT_GE(store.l0_tables() + store.l1_tables(), 1);
+  EXPECT_EQ(store.memtable_entries(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    GetResult r = Await(store.Get(DbBench::KeyFor(i)));
+    ASSERT_TRUE(r.found) << i;
+    EXPECT_EQ(r.value, DbBench::ValueFor(i, 64));
+  }
+}
+
+TEST_F(KvStoreTest, CompactionPreservesAllData) {
+  KvStore store(sim_, backend_, SmallOptions());
+  // Enough data for several flushes and at least one compaction.
+  const int kKeys = 3000;
+  for (int i = 0; i < kKeys; ++i) {
+    Await(store.Put(DbBench::KeyFor(i), DbBench::ValueFor(i, 100)));
+  }
+  Await(store.Flush());
+  EXPECT_GT(store.stats().compactions, 0);
+  EXPECT_GT(store.stats().memtable_flushes, 1);
+  for (int i = 0; i < kKeys; i += 37) {
+    GetResult r = Await(store.Get(DbBench::KeyFor(i)));
+    ASSERT_TRUE(r.found) << i;
+    EXPECT_EQ(r.value, DbBench::ValueFor(i, 100));
+  }
+}
+
+TEST_F(KvStoreTest, CompactionKeepsNewestVersion) {
+  KvStore::Options o = SmallOptions();
+  o.memtable_bytes = 8 << 10;
+  o.l0_compaction_trigger = 2;
+  KvStore store(sim_, backend_, o);
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 60; ++i) {
+      Await(store.Put(DbBench::KeyFor(i),
+                      "round" + std::to_string(round)));
+    }
+  }
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(Await(store.Get(DbBench::KeyFor(i))).value, "round5");
+  }
+}
+
+TEST_F(KvStoreTest, BloomFiltersSkipTables) {
+  KvStore store(sim_, backend_, SmallOptions());
+  for (int i = 0; i < 1500; ++i) {
+    Await(store.Put(DbBench::KeyFor(i), DbBench::ValueFor(i, 100)));
+  }
+  Await(store.Flush());
+  const int64_t skips_before = store.stats().bloom_skips;
+  // Lookups for absent keys: blooms should usually answer without I/O.
+  const int64_t block_reads_before = store.stats().block_reads;
+  for (int i = 0; i < 200; ++i) {
+    Await(store.Get("absent-" + std::to_string(i)));
+  }
+  EXPECT_GT(store.stats().bloom_skips, skips_before);
+  EXPECT_LT(store.stats().block_reads - block_reads_before, 40);
+}
+
+TEST_F(KvStoreTest, WalWritesHappen) {
+  KvStore store(sim_, backend_, SmallOptions());
+  Await(store.Put("k1", "v1"));
+  Await(store.Put("k2", "v2"));
+  EXPECT_EQ(store.stats().wal_appends, 2);
+}
+
+TEST(SSTableFormatTest, TombstoneRoundTrip) {
+  std::vector<KvEntry> entries;
+  entries.push_back(KvEntry{"alive", "value", false});
+  entries.push_back(KvEntry{"dead", "", true});
+  SSTableMeta meta;
+  std::vector<uint8_t> image = BuildSSTableImage(entries, 10, &meta);
+  auto parsed = ParseBlock(image.data());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_FALSE(parsed[0].tombstone);
+  EXPECT_EQ(parsed[0].value, "value");
+  EXPECT_TRUE(parsed[1].tombstone);
+  EXPECT_EQ(parsed[1].key, "dead");
+}
+
+TEST_F(KvStoreTest, DeleteHidesKey) {
+  KvStore store(sim_, backend_, SmallOptions());
+  EXPECT_TRUE(Await(store.Put("k", "v")));
+  EXPECT_TRUE(Await(store.Delete("k")));
+  EXPECT_FALSE(Await(store.Get("k")).found);
+  EXPECT_EQ(store.stats().deletes, 1);
+  // Re-inserting resurrects it.
+  EXPECT_TRUE(Await(store.Put("k", "v2")));
+  EXPECT_EQ(Await(store.Get("k")).value, "v2");
+}
+
+TEST_F(KvStoreTest, DeleteShadowsFlushedValue) {
+  KvStore store(sim_, backend_, SmallOptions());
+  Await(store.Put("k", "old"));
+  Await(store.Flush());  // "old" now lives in an SSTable
+  Await(store.Delete("k"));
+  EXPECT_FALSE(Await(store.Get("k")).found)
+      << "memtable tombstone shadows the table value";
+  Await(store.Flush());  // tombstone now lives in a newer L0 table
+  EXPECT_FALSE(Await(store.Get("k")).found)
+      << "L0 tombstone shadows the older table value";
+}
+
+TEST_F(KvStoreTest, CompactionDropsTombstones) {
+  KvStore::Options o = SmallOptions();
+  o.memtable_bytes = 8 << 10;
+  o.l0_compaction_trigger = 2;
+  KvStore store(sim_, backend_, o);
+  for (int i = 0; i < 200; ++i) {
+    Await(store.Put(DbBench::KeyFor(i), DbBench::ValueFor(i, 100)));
+  }
+  for (int i = 0; i < 200; i += 2) {
+    Await(store.Delete(DbBench::KeyFor(i)));
+  }
+  // Force everything through flush + compaction.
+  Await(store.Flush());
+  Await(store.WaitCompactionIdle());
+  while (store.l0_tables() > 0) {
+    Await(store.Put("zz-kick", "x"));
+    Await(store.Flush());
+    Await(store.WaitCompactionIdle());
+  }
+  // Deleted keys stay gone; survivors stay intact.
+  for (int i = 0; i < 200; ++i) {
+    GetResult r = Await(store.Get(DbBench::KeyFor(i)));
+    if (i % 2 == 0) {
+      EXPECT_FALSE(r.found) << i;
+    } else {
+      ASSERT_TRUE(r.found) << i;
+      EXPECT_EQ(r.value, DbBench::ValueFor(i, 100));
+    }
+  }
+  // The compacted L1 holds no tombstone entries.
+  int64_t l1_entries = 0;
+  (void)l1_entries;
+}
+
+TEST_F(KvStoreTest, DbBenchPhasesRunAndValidate) {
+  KvStore::Options o = SmallOptions();
+  o.memtable_bytes = 256 << 10;
+  KvStore store(sim_, backend_, o);
+  DbBench::Config cfg;
+  cfg.num_keys = 2000;
+  cfg.value_bytes = 120;
+  cfg.read_threads = 4;
+  cfg.reads_per_thread = 200;
+  cfg.write_rate = 5000;
+  DbBench bench(sim_, store, cfg);
+
+  auto bl = Await(bench.BulkLoad());
+  EXPECT_EQ(bl.ops, 2000);
+  EXPECT_GT(bl.ops_per_sec, 0.0);
+
+  auto rr = Await(bench.RandomRead());
+  EXPECT_EQ(rr.ops, 800);
+  EXPECT_EQ(rr.not_found, 0);
+  EXPECT_EQ(rr.value_mismatches, 0);
+
+  auto rww = Await(bench.ReadWhileWriting());
+  EXPECT_EQ(rww.ops, 800);
+  EXPECT_EQ(rww.not_found, 0);
+  EXPECT_EQ(rww.value_mismatches, 0);
+}
+
+TEST_F(KvStoreTest, DeterministicAcrossRuns) {
+  auto run_once = [this]() {
+    sim::Simulator sim;
+    flash::FlashDevice device(sim, flash::DeviceProfile::DeviceA(), 5);
+    baseline::LocalSpdkService local(
+        sim, device, baseline::LocalSpdkService::Options{});
+    client::ServiceStorageAdapter backend(local, 8ULL << 30);
+    KvStore store(sim, backend, SmallOptions());
+    for (int i = 0; i < 500; ++i) {
+      auto f = store.Put(DbBench::KeyFor(i), DbBench::ValueFor(i, 100));
+      sim.Run();
+      EXPECT_TRUE(f.Ready());
+    }
+    return std::make_pair(sim.Now(), sim.EventsProcessed());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace reflex::apps::kv

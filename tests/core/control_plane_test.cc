@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "client/load_generator.h"
+#include "client/reflex_client.h"
+#include "testing/harness.h"
+
+namespace reflex {
+namespace {
+
+using core::ReqStatus;
+using core::SloSpec;
+using core::TenantClass;
+using sim::Micros;
+using sim::Millis;
+using testing::Harness;
+
+TEST(ControlPlaneTest, StrictestSloSetsTokenRate) {
+  Harness h;
+  // No LC tenants: BE may use the full device capacity.
+  h.BeTenant();
+  EXPECT_NEAR(h.server.control_plane().scheduler_token_rate(), 547000.0,
+              1000.0);
+  // A 2ms LC tenant caps the rate at the 2ms point of the curve.
+  h.LcTenant(20000, 0.9, Millis(2));
+  const double rate_2ms = h.server.control_plane().scheduler_token_rate();
+  EXPECT_LT(rate_2ms, 547000.0);
+  EXPECT_GT(rate_2ms, 450000.0);
+  // A stricter 500us tenant lowers it further.
+  h.LcTenant(20000, 0.9, Micros(500));
+  const double rate_500us =
+      h.server.control_plane().scheduler_token_rate();
+  EXPECT_LT(rate_500us, rate_2ms);
+  EXPECT_NEAR(rate_500us, 423000.0, 25000.0);
+  EXPECT_EQ(h.server.control_plane().strictest_slo(), Micros(500));
+}
+
+TEST(ControlPlaneTest, BeShareGrowsWhenLcLeaves) {
+  Harness h;
+  core::Tenant* be = h.BeTenant();
+  core::Tenant* lc = h.LcTenant(100000, 0.8, Millis(2));
+  const double be_share_with_lc = be->token_rate();
+  ASSERT_TRUE(h.server.UnregisterTenant(lc->handle()));
+  EXPECT_GT(be->token_rate(), be_share_with_lc);
+  // Unregistering again is a no-op.
+  EXPECT_FALSE(h.server.UnregisterTenant(lc->handle()));
+}
+
+TEST(ControlPlaneTest, BeShareIsFairAcrossBeTenants) {
+  Harness h;
+  core::Tenant* a = h.BeTenant();
+  core::Tenant* b = h.BeTenant();
+  core::Tenant* c = h.BeTenant();
+  EXPECT_DOUBLE_EQ(a->token_rate(), b->token_rate());
+  EXPECT_DOUBLE_EQ(b->token_rate(), c->token_rate());
+  EXPECT_NEAR(a->token_rate() * 3,
+              h.server.control_plane().scheduler_token_rate(), 1.0);
+}
+
+TEST(ControlPlaneTest, AdmissionBoundary) {
+  Harness h;
+  // Fill the 500us cap (~423K tokens/s) with LC reservations of
+  // 100K tokens/s each (100K IOPS read-only).
+  SloSpec slo;
+  slo.iops = 100000;
+  slo.read_fraction = 1.0;
+  slo.latency = Micros(500);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(h.server.RegisterTenant(slo, TenantClass::kLatencyCritical),
+              nullptr)
+        << "tenant " << i << " fits under the cap";
+  }
+  ReqStatus status;
+  EXPECT_EQ(h.server.RegisterTenant(slo, TenantClass::kLatencyCritical,
+                                    &status),
+            nullptr)
+      << "the fifth 100K reservation exceeds ~423K tokens/s";
+  EXPECT_EQ(status, ReqStatus::kOutOfResources);
+  // A small tenant still fits in the remainder.
+  slo.iops = 20000;
+  EXPECT_NE(h.server.RegisterTenant(slo, TenantClass::kLatencyCritical),
+            nullptr);
+}
+
+TEST(ControlPlaneTest, InvalidSloRejected) {
+  Harness h;
+  SloSpec bad;
+  bad.iops = 0;  // meaningless reservation
+  bad.latency = Micros(500);
+  ReqStatus status;
+  EXPECT_EQ(h.server.RegisterTenant(bad, TenantClass::kLatencyCritical,
+                                    &status),
+            nullptr);
+  EXPECT_EQ(status, ReqStatus::kOutOfResources);
+  bad.iops = 1000;
+  bad.latency = 0;
+  EXPECT_EQ(h.server.RegisterTenant(bad, TenantClass::kLatencyCritical,
+                                    &status),
+            nullptr);
+  bad.latency = Micros(500);
+  bad.read_fraction = 1.5;
+  EXPECT_EQ(h.server.RegisterTenant(bad, TenantClass::kLatencyCritical,
+                                    &status),
+            nullptr);
+}
+
+TEST(ControlPlaneTest, TenantsSpreadAcrossThreads) {
+  core::ServerOptions options;
+  options.num_threads = 4;
+  Harness h(options);
+  for (int i = 0; i < 8; ++i) h.LcTenant(10000, 0.9, Millis(2));
+  int counts[4] = {0, 0, 0, 0};
+  for (core::Tenant* t : h.server.tenants()) {
+    ASSERT_GE(t->thread_index(), 0);
+    ASSERT_LT(t->thread_index(), 4);
+    ++counts[t->thread_index()];
+  }
+  for (int c : counts) EXPECT_EQ(c, 2) << "balanced placement";
+}
+
+TEST(ControlPlaneTest, ScaleToAddsAndRemovesThreads) {
+  core::ServerOptions options;
+  options.num_threads = 1;
+  options.max_threads = 6;
+  Harness h(options);
+  for (int i = 0; i < 6; ++i) h.BeTenant();
+  EXPECT_EQ(h.server.num_active_threads(), 1);
+
+  ASSERT_TRUE(h.server.control_plane().ScaleTo(4));
+  EXPECT_EQ(h.server.num_active_threads(), 4);
+  // Tenants were rebalanced across the 4 active threads.
+  int max_thread = 0;
+  for (core::Tenant* t : h.server.tenants()) {
+    max_thread = std::max(max_thread, t->thread_index());
+  }
+  EXPECT_GT(max_thread, 0);
+
+  ASSERT_TRUE(h.server.control_plane().ScaleTo(2));
+  EXPECT_EQ(h.server.num_active_threads(), 2);
+  for (core::Tenant* t : h.server.tenants()) {
+    EXPECT_LT(t->thread_index(), 2) << "tenants evacuated from stopped "
+                                       "threads";
+  }
+  EXPECT_FALSE(h.server.control_plane().ScaleTo(0));
+  EXPECT_FALSE(h.server.control_plane().ScaleTo(7));
+}
+
+TEST(ControlPlaneTest, ServerStillServesAfterRescaling) {
+  core::ServerOptions options;
+  options.num_threads = 1;
+  options.max_threads = 4;
+  Harness h(options);
+  core::Tenant* tenant = h.LcTenant();
+  client::ReflexClient client(h.sim, h.server, h.client_machine, {});
+  client.BindAll(tenant->handle());
+
+  auto io1 = client.Read(tenant->handle(), 0, 8);
+  ASSERT_TRUE(h.RunUntilReady([&] { return io1.Ready(); }));
+  EXPECT_TRUE(io1.Get().ok());
+
+  ASSERT_TRUE(h.server.control_plane().ScaleTo(3));
+  auto io2 = client.Read(tenant->handle(), 800, 8);
+  ASSERT_TRUE(h.RunUntilReady([&] { return io2.Ready(); }));
+  EXPECT_TRUE(io2.Get().ok());
+
+  ASSERT_TRUE(h.server.control_plane().ScaleTo(1));
+  auto io3 = client.Read(tenant->handle(), 1600, 8);
+  ASSERT_TRUE(h.RunUntilReady([&] { return io3.Ready(); }));
+  EXPECT_TRUE(io3.Get().ok());
+}
+
+TEST(ControlPlaneTest, PersistentBurstersGetFlagged) {
+  Harness h;
+  // A tenant with a tiny reservation driven far above it.
+  core::Tenant* tenant = h.LcTenant(1000, 1.0, Millis(2));
+  client::ReflexClient client(h.sim, h.server, h.client_machine, {});
+  client.BindAll(tenant->handle());
+  client::LoadGenSpec spec;
+  spec.offered_iops = 50000;  // 50x the SLO
+  spec.read_fraction = 1.0;
+  client::LoadGenerator load(h.sim, client, tenant->handle(), spec);
+  load.Run(0, Millis(300));
+  h.RunUntilDone(load.Done(), sim::Seconds(60));
+
+  EXPECT_GT(h.server.control_plane().neg_limit_notifications(), 0);
+  bool flagged = false;
+  for (uint32_t handle : h.server.control_plane().flagged_tenants()) {
+    flagged |= (handle == tenant->handle());
+  }
+  EXPECT_TRUE(flagged) << "control plane flags SLO renegotiation";
+}
+
+TEST(ControlPlaneTest, AutoScaleMonitorAddsThreads) {
+  core::ServerOptions options;
+  options.num_threads = 1;
+  options.max_threads = 4;
+  options.auto_scale = true;
+  options.monitor_interval = Millis(5);
+  Harness h(options);
+  core::Tenant* tenant = h.BeTenant();
+  client::ReflexClient::Options copts;
+  copts.num_connections = 8;
+  client::ReflexClient client(h.sim, h.server, h.client_machine, copts);
+  client.BindAll(tenant->handle());
+  client::LoadGenSpec spec;
+  spec.queue_depth = 256;  // saturate the single core
+  spec.request_bytes = 1024;
+  client::LoadGenerator load(h.sim, client, tenant->handle(), spec);
+  load.Run(Millis(10), Millis(120));
+  h.RunUntilDone(load.Done(), sim::Seconds(60));
+  EXPECT_GT(h.server.num_active_threads(), 1)
+      << "monitor scaled up under saturation";
+}
+
+}  // namespace
+}  // namespace reflex

@@ -1,0 +1,112 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace reflex::core {
+namespace {
+
+using flash::FlashOp;
+using sim::Millis;
+
+TEST(RequestCostModelTest, ReadCostsOneTokenUnderMixedLoad) {
+  RequestCostModel m(10.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.TokensFor(FlashOp::kRead, 4096, false), 1.0);
+}
+
+TEST(RequestCostModelTest, ReadOnlyDiscountApplies) {
+  RequestCostModel m(10.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.TokensFor(FlashOp::kRead, 4096, true), 0.5);
+}
+
+TEST(RequestCostModelTest, WriteCostsWriteCostTokens) {
+  RequestCostModel m(10.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.TokensFor(FlashOp::kWrite, 4096, false), 10.0);
+  // Write cost does not depend on the read-only flag.
+  EXPECT_DOUBLE_EQ(m.TokensFor(FlashOp::kWrite, 4096, true), 10.0);
+}
+
+TEST(RequestCostModelTest, CostConstantBelow4K) {
+  // "Cost is constant for requests 4KB and smaller" (section 3.2.1).
+  RequestCostModel m(10.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.TokensFor(FlashOp::kRead, 1024, false), 1.0);
+  EXPECT_DOUBLE_EQ(m.TokensFor(FlashOp::kRead, 512, false), 1.0);
+  EXPECT_DOUBLE_EQ(m.TokensFor(FlashOp::kRead, 4096, false), 1.0);
+}
+
+TEST(RequestCostModelTest, CostScalesLinearlyAbove4K) {
+  // "a 32KB request costs as much as 8 back-to-back 4KB requests".
+  RequestCostModel m(10.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.TokensFor(FlashOp::kRead, 32768, false), 8.0);
+  EXPECT_DOUBLE_EQ(m.TokensFor(FlashOp::kWrite, 32768, false), 80.0);
+  // ceil: 5KB costs 2 tokens.
+  EXPECT_DOUBLE_EQ(m.TokensFor(FlashOp::kRead, 5120, false), 2.0);
+}
+
+TEST(RequestCostModelTest, PaperSloReservationExample) {
+  // Paper: 100K IOPS at 80% reads, write cost 10 => 0.8*100K*1 +
+  // 0.2*100K*10 = 280K tokens/s.
+  RequestCostModel m(10.0, 0.5);
+  SloSpec slo;
+  slo.iops = 100000;
+  slo.read_fraction = 0.8;
+  slo.latency = Millis(1);
+  EXPECT_NEAR(m.TokenRateForSlo(slo), 280000.0, 1e-6);
+}
+
+TEST(RequestCostModelTest, Scenario1TenantBReservation) {
+  // Paper scenario 1: tenant B reserves 70K IOPS at 80% reads =>
+  // 196K tokens/s.
+  RequestCostModel m(10.0, 0.5);
+  SloSpec slo;
+  slo.iops = 70000;
+  slo.read_fraction = 0.8;
+  slo.latency = sim::Micros(500);
+  EXPECT_NEAR(m.TokenRateForSlo(slo), 196000.0, 1e-6);
+}
+
+TEST(RequestCostModelTest, SloReservationScalesWithRequestSize) {
+  RequestCostModel m(10.0, 0.5);
+  SloSpec slo;
+  slo.iops = 10000;
+  slo.read_fraction = 1.0;
+  slo.request_bytes = 32768;
+  EXPECT_NEAR(m.TokenRateForSlo(slo), 80000.0, 1e-6);
+}
+
+TEST(ReadRatioTrackerTest, IdleDeviceIsReadOnly) {
+  ReadRatioTracker tracker;
+  EXPECT_TRUE(tracker.IsReadOnly(0));
+  EXPECT_DOUBLE_EQ(tracker.ReadFraction(0), 1.0);
+}
+
+TEST(ReadRatioTrackerTest, TracksMix) {
+  ReadRatioTracker tracker;
+  for (int i = 0; i < 90; ++i) tracker.Observe(1000, true);
+  for (int i = 0; i < 10; ++i) tracker.Observe(1000, false);
+  EXPECT_NEAR(tracker.ReadFraction(1000), 0.9, 1e-9);
+  EXPECT_FALSE(tracker.IsReadOnly(1000));
+}
+
+TEST(ReadRatioTrackerTest, WritesDecayBackToReadOnly) {
+  ReadRatioTracker tracker(Millis(1));
+  tracker.Observe(0, false);
+  for (int i = 0; i < 1000; ++i) tracker.Observe(i * 1000, true);
+  EXPECT_FALSE(tracker.IsReadOnly(Millis(1)));
+  // After many half-lives of pure reads, the write evaporates.
+  for (int i = 0; i < 100; ++i) {
+    tracker.Observe(Millis(1) + i * Millis(1), true);
+  }
+  EXPECT_TRUE(tracker.IsReadOnly(Millis(120)));
+}
+
+TEST(ReadRatioTrackerTest, WeightedObservations) {
+  ReadRatioTracker tracker;
+  tracker.Observe(0, true, 1.0);
+  tracker.Observe(0, false, 3.0);
+  EXPECT_NEAR(tracker.ReadFraction(0), 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace reflex::core

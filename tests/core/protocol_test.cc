@@ -1,0 +1,63 @@
+#include "core/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace reflex::core {
+namespace {
+
+TEST(ProtocolTest, ReadRequestIsHeaderOnly) {
+  RequestMsg msg;
+  msg.type = ReqType::kRead;
+  msg.sectors = 8;
+  EXPECT_EQ(msg.WireBytes(kSectorBytes), kRequestHeaderBytes);
+  // The paper: "the overhead of ReFlex requests is small (38 bytes per
+  // 4KB request)" -- our 24B header plus TCP segment framing.
+  EXPECT_LE(kRequestHeaderBytes, 38u);
+}
+
+TEST(ProtocolTest, WriteRequestCarriesPayload) {
+  RequestMsg msg;
+  msg.type = ReqType::kWrite;
+  msg.sectors = 8;
+  EXPECT_EQ(msg.WireBytes(kSectorBytes), kRequestHeaderBytes + 4096);
+}
+
+TEST(ProtocolTest, BarrierIsHeaderOnly) {
+  RequestMsg msg;
+  msg.type = ReqType::kBarrier;
+  msg.sectors = 0;
+  EXPECT_EQ(msg.WireBytes(kSectorBytes), kRequestHeaderBytes);
+}
+
+TEST(ProtocolTest, ControlMessagesAreFixedSize) {
+  RequestMsg reg;
+  reg.type = ReqType::kRegister;
+  EXPECT_EQ(reg.WireBytes(kSectorBytes), kRegisterMsgBytes);
+  RequestMsg unreg;
+  unreg.type = ReqType::kUnregister;
+  EXPECT_EQ(unreg.WireBytes(kSectorBytes), kRegisterMsgBytes);
+}
+
+TEST(ProtocolTest, ReadResponseCarriesDataOnlyOnSuccess) {
+  ResponseMsg ok;
+  ok.type = RespType::kResponse;
+  ok.status = ReqStatus::kOk;
+  ok.sectors = 8;
+  EXPECT_EQ(ok.WireBytes(kSectorBytes), kResponseHeaderBytes + 4096);
+  ResponseMsg err = ok;
+  err.status = ReqStatus::kAccessDenied;
+  EXPECT_EQ(err.WireBytes(kSectorBytes), kResponseHeaderBytes);
+}
+
+TEST(ProtocolTest, WriteAndBarrierResponsesAreHeaderOnly) {
+  ResponseMsg written;
+  written.type = RespType::kWritten;
+  written.sectors = 8;  // sectors do not travel back
+  EXPECT_EQ(written.WireBytes(kSectorBytes), kResponseHeaderBytes);
+  ResponseMsg barrier;
+  barrier.type = RespType::kBarrierDone;
+  EXPECT_EQ(barrier.WireBytes(kSectorBytes), kResponseHeaderBytes);
+}
+
+}  // namespace
+}  // namespace reflex::core

@@ -1,0 +1,120 @@
+#include "flash/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "flash/flash_device.h"
+#include "sim/simulator.h"
+
+namespace reflex::flash {
+namespace {
+
+using sim::Micros;
+using sim::Millis;
+using sim::Simulator;
+
+CalibrationConfig FastConfig() {
+  CalibrationConfig cfg;
+  cfg.mixed_read_ratios = {0.50, 0.90, 0.99};
+  cfg.measure_duration = Millis(150);
+  cfg.warmup_duration = Millis(40);
+  cfg.curve_fractions = {0.2, 0.5, 0.7, 0.85, 0.95};
+  return cfg;
+}
+
+TEST(CalibrationTest, RecoversDeviceAWriteCost) {
+  Simulator sim;
+  FlashDevice dev(sim, DeviceProfile::DeviceA(), 7);
+  CalibrationResult r = Calibrate(sim, dev, FastConfig());
+  // Device A: C(write) = 10 tokens, C(read, r=100%) = 0.5 tokens.
+  EXPECT_NEAR(r.write_cost, 10.0, 1.8);
+  EXPECT_NEAR(r.read_cost_readonly, 0.5, 0.1);
+  // Capacity ~ 80 dies / 140us = 571K tokens/s.
+  EXPECT_NEAR(r.token_capacity_per_sec, 571000.0, 571000.0 * 0.15);
+}
+
+TEST(CalibrationTest, RecoversDeviceBWriteCost) {
+  Simulator sim;
+  FlashDevice dev(sim, DeviceProfile::DeviceB(), 7);
+  CalibrationResult r = Calibrate(sim, dev, FastConfig());
+  EXPECT_NEAR(r.write_cost, 20.0, 3.5);
+  EXPECT_NEAR(r.read_cost_readonly, 1.0, 0.15);
+}
+
+TEST(CalibrationTest, RecoversDeviceCWriteCost) {
+  Simulator sim;
+  FlashDevice dev(sim, DeviceProfile::DeviceC(), 7);
+  CalibrationResult r = Calibrate(sim, dev, FastConfig());
+  EXPECT_NEAR(r.write_cost, 16.0, 3.0);
+  EXPECT_NEAR(r.read_cost_readonly, 0.714, 0.12);
+}
+
+TEST(CalibrationTest, LatencyCurveIsMonotoneInLoad) {
+  Simulator sim;
+  FlashDevice dev(sim, DeviceProfile::DeviceA(), 11);
+  CalibrationResult r = Calibrate(sim, dev, FastConfig());
+  ASSERT_GE(r.latency_curve.size(), 3u);
+  // Tail latency must rise with load (allow tiny noise at low load).
+  EXPECT_LT(r.latency_curve.front().read_p95,
+            r.latency_curve.back().read_p95);
+  for (size_t i = 1; i < r.latency_curve.size(); ++i) {
+    EXPECT_GT(r.latency_curve[i].token_rate,
+              r.latency_curve[i - 1].token_rate);
+  }
+}
+
+TEST(CalibrationTest, SloInversionMatchesPaperScenario) {
+  // The paper: device A supports 420K tokens/s at a 500us p95 SLO and
+  // ~570K tokens/s at 2ms. Verify our calibrated device lands in the
+  // same neighbourhood (shape reproduction, +-20%).
+  Simulator sim;
+  FlashDevice dev(sim, DeviceProfile::DeviceA(), 13);
+  CalibrationConfig cfg = FastConfig();
+  cfg.curve_fractions = {0.2, 0.4, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.98};
+  CalibrationResult r = Calibrate(sim, dev, cfg);
+  const double rate_500us = r.MaxTokenRateForSlo(Micros(500));
+  const double rate_2ms = r.MaxTokenRateForSlo(Millis(2));
+  EXPECT_NEAR(rate_500us, 420000.0, 420000.0 * 0.25);
+  EXPECT_NEAR(rate_2ms, 570000.0, 570000.0 * 0.25);
+  EXPECT_LT(rate_500us, rate_2ms) << "stricter SLO => fewer tokens";
+}
+
+TEST(CalibrationTest, MaxTokenRateInterpolation) {
+  CalibrationResult r;
+  r.latency_curve = {
+      {100000.0, 90000.0, Micros(100), Micros(80)},
+      {200000.0, 180000.0, Micros(200), Micros(120)},
+      {300000.0, 260000.0, Micros(600), Micros(300)},
+  };
+  // Exactly at a measured point.
+  EXPECT_NEAR(r.MaxTokenRateForSlo(Micros(200)), 200000.0, 1.0);
+  // Between points: linear interpolation.
+  EXPECT_NEAR(r.MaxTokenRateForSlo(Micros(400)), 250000.0, 1.0);
+  // Below the first point: conservative scale-down.
+  EXPECT_LT(r.MaxTokenRateForSlo(Micros(50)), 100000.0);
+  // Above all points: capped at the last measured rate.
+  EXPECT_NEAR(r.MaxTokenRateForSlo(Millis(50)), 300000.0, 1.0);
+}
+
+TEST(CalibrationTest, LatencyAtTokenRateInterpolation) {
+  CalibrationResult r;
+  r.latency_curve = {
+      {100000.0, 90000.0, Micros(100), Micros(80)},
+      {200000.0, 180000.0, Micros(300), Micros(120)},
+  };
+  EXPECT_EQ(r.LatencyAtTokenRate(50000.0), Micros(100));
+  EXPECT_EQ(r.LatencyAtTokenRate(150000.0), Micros(200));
+  EXPECT_EQ(r.LatencyAtTokenRate(999999.0), Micros(300));
+}
+
+TEST(CalibrationTest, SaturationHigherForReadOnly) {
+  Simulator sim;
+  FlashDevice dev(sim, DeviceProfile::DeviceA(), 17);
+  CalibrationConfig cfg = FastConfig();
+  const double k100 = MeasureSaturationIops(sim, dev, 1.0, 4096, cfg);
+  const double k99 = MeasureSaturationIops(sim, dev, 0.99, 4096, cfg);
+  // Device A: read-only load roughly doubles IOPS (0.5 token reads).
+  EXPECT_GT(k100, 1.5 * k99);
+}
+
+}  // namespace
+}  // namespace reflex::flash

@@ -1,0 +1,103 @@
+// Focused tests for device-mode dynamics: read-only detection, GC
+// stalls, die utilization, and the read-only throughput advantage the
+// cost model depends on.
+
+#include <gtest/gtest.h>
+
+#include "flash/calibration.h"
+#include "flash/flash_device.h"
+#include "sim/simulator.h"
+
+namespace reflex::flash {
+namespace {
+
+using sim::Micros;
+using sim::Millis;
+using sim::Simulator;
+
+TEST(FlashModesTest, ReadOnlyModeTracksWriteActivity) {
+  Simulator sim;
+  DeviceProfile p = DeviceProfile::DeviceA();
+  p.gc_prob_per_flush_chunk = 0.0;
+  FlashDevice dev(sim, p, 1);
+  QueuePair* qp = dev.AllocQueuePair();
+  EXPECT_TRUE(dev.InReadOnlyMode()) << "fresh device is read-only";
+
+  FlashCommand w;
+  w.op = FlashOp::kWrite;
+  w.sectors = 8;
+  ASSERT_TRUE(dev.Submit(qp, w, nullptr));
+  EXPECT_FALSE(dev.InReadOnlyMode()) << "write activity ends the mode";
+  sim.Run();
+  sim.RunUntil(sim.Now() + p.readonly_window + Millis(1));
+  EXPECT_TRUE(dev.InReadOnlyMode()) << "quiet window restores it";
+}
+
+TEST(FlashModesTest, GcStallsAccumulateUnderWrites) {
+  Simulator sim;
+  DeviceProfile p = DeviceProfile::DeviceA();
+  p.gc_prob_per_flush_chunk = 0.05;  // exaggerate for the test
+  FlashDevice dev(sim, p, 3);
+  QueuePair* qp = dev.AllocQueuePair();
+  FlashCommand w;
+  w.op = FlashOp::kWrite;
+  w.sectors = 8;
+  for (int i = 0; i < 300; ++i) {
+    w.lba = static_cast<uint64_t>(i) * 8;
+    ASSERT_TRUE(dev.Submit(qp, w, nullptr));
+    sim.RunUntil(sim.Now() + Micros(50));
+  }
+  sim.Run();
+  // 300 writes x 10 chunks x 5% => ~150 expected stalls.
+  EXPECT_GT(dev.stats().gc_stalls, 60);
+  EXPECT_LT(dev.stats().gc_stalls, 300);
+}
+
+TEST(FlashModesTest, DieUtilizationReflectsLoad) {
+  Simulator sim;
+  FlashDevice dev(sim, DeviceProfile::DeviceA(), 5);
+  QueuePair* qp = dev.AllocQueuePair();
+  EXPECT_DOUBLE_EQ(dev.DieUtilization(), 0.0);
+  // Saturate every die with a burst of reads.
+  FlashCommand r;
+  r.op = FlashOp::kRead;
+  r.sectors = 8;
+  for (int i = 0; i < 500; ++i) {
+    r.lba = static_cast<uint64_t>(i) * 8;
+    ASSERT_TRUE(dev.Submit(qp, r, nullptr));
+  }
+  EXPECT_GT(dev.DieUtilization(), 0.9);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(dev.DieUtilization(), 0.0);
+}
+
+TEST(FlashModesTest, ReadOnlyThroughputAdvantageIsTheDiscount) {
+  // Device A reads cost 0.5 tokens when read-only: saturation IOPS
+  // must be ~2x the hypothetical mixed-read rate.
+  Simulator sim;
+  DeviceProfile p = DeviceProfile::DeviceA();
+  FlashDevice dev(sim, p, 7);
+  CalibrationConfig cfg;
+  cfg.measure_duration = Millis(120);
+  cfg.warmup_duration = Millis(40);
+  const double k100 = MeasureSaturationIops(sim, dev, 1.0, 4096, cfg);
+  const double mixed_rate = p.MixedTokenCapacityPerSec();
+  EXPECT_NEAR(k100, 2.0 * mixed_rate, 0.25 * 2.0 * mixed_rate);
+}
+
+TEST(FlashModesTest, WritesDoNotCareAboutReadOnlyPricing) {
+  // Back-to-back writes always pay the full flush cost; the device's
+  // write-only saturation is capacity / write_cost.
+  Simulator sim;
+  DeviceProfile p = DeviceProfile::DeviceA();
+  FlashDevice dev(sim, p, 9);
+  CalibrationConfig cfg;
+  cfg.measure_duration = Millis(150);
+  cfg.warmup_duration = Millis(50);
+  const double k0 = MeasureSaturationIops(sim, dev, 0.0, 4096, cfg);
+  const double expected = p.MixedTokenCapacityPerSec() / p.write_cost;
+  EXPECT_NEAR(k0, expected, expected * 0.2);
+}
+
+}  // namespace
+}  // namespace reflex::flash

@@ -1,0 +1,183 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/stack_costs.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace reflex::net {
+namespace {
+
+using sim::Micros;
+using sim::Simulator;
+using sim::TimeNs;
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(sim_, Micros(1.0), Micros(0.3)) {
+    a_ = net_.AddMachine("a");
+    b_ = net_.AddMachine("b");
+  }
+
+  Simulator sim_;
+  Network net_;
+  Machine* a_;
+  Machine* b_;
+};
+
+TEST_F(NetworkTest, SmallMessageLatencyBudget) {
+  TcpConnection conn(net_, a_, b_);
+  TimeNs arrival = -1;
+  conn.SendToServer(64, [&] { arrival = sim_.Now(); });
+  sim_.Run();
+  // One frame: tx serialization (142B at 0.8ns/B ~ 114ns) + 2.5us NIC
+  // + 0.3us prop + 1us switch + 0.3us prop + rx serialization + 2.5us
+  // NIC ~= 6.8us.
+  EXPECT_GT(arrival, Micros(6));
+  EXPECT_LT(arrival, Micros(8));
+}
+
+TEST_F(NetworkTest, LargeMessageSerializationDominates) {
+  TcpConnection conn(net_, a_, b_);
+  TimeNs arrival = -1;
+  // 1MB: ~118 frames, wire bytes ~1.06MB at 0.8ns/B ~ 850us one-way
+  // on each of tx and rx links, but frames pipeline, so total is
+  // roughly one link serialization plus per-frame latency.
+  conn.SendToServer(1 << 20, [&] { arrival = sim_.Now(); });
+  sim_.Run();
+  EXPECT_GT(arrival, Micros(800));
+  EXPECT_LT(arrival, Micros(1000));
+}
+
+TEST_F(NetworkTest, ThroughputCappedAtLineRate) {
+  TcpConnection conn(net_, a_, b_);
+  // Offer 2000 x 4KB messages at once; drain time is limited by the
+  // 10Gb/s = 1.25GB/s link: 2000 * 4KB+overhead ~ 8.3MB ~ 6.6ms.
+  int delivered = 0;
+  TimeNs last = 0;
+  for (int i = 0; i < 2000; ++i) {
+    conn.SendToServer(4096, [&] {
+      ++delivered;
+      last = sim_.Now();
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(delivered, 2000);
+  const double seconds = sim::ToSeconds(last);
+  const double gbps = 2000 * 4096 * 8 / seconds / 1e9;
+  EXPECT_GT(gbps, 8.5);
+  EXPECT_LT(gbps, 10.0);
+}
+
+TEST_F(NetworkTest, InOrderDeliveryPerDirection) {
+  TcpConnection conn(net_, a_, b_);
+  std::vector<int> order;
+  sim::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    conn.SendToServer(64 + rng.NextBounded(9000),
+                      [&order, i] { order.push_back(i); });
+  }
+  sim_.Run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(NetworkTest, DirectionsAreIndependent) {
+  TcpConnection conn(net_, a_, b_);
+  // Saturate a->b; a b->a message must not queue behind it.
+  for (int i = 0; i < 500; ++i) conn.SendToServer(8948, nullptr);
+  TimeNs reverse_arrival = -1;
+  conn.SendToClient(64, [&] { reverse_arrival = sim_.Now(); });
+  sim_.Run();
+  EXPECT_LT(reverse_arrival, Micros(10));
+}
+
+TEST_F(NetworkTest, TwoSendersShareReceiverLink) {
+  Machine* c = net_.AddMachine("c");
+  TcpConnection ab(net_, a_, b_);
+  TcpConnection cb(net_, c, b_);
+  int delivered = 0;
+  TimeNs last = 0;
+  for (int i = 0; i < 500; ++i) {
+    ab.SendToServer(8948, [&] { ++delivered; last = sim_.Now(); });
+    cb.SendToServer(8948, [&] { ++delivered; last = sim_.Now(); });
+  }
+  sim_.Run();
+  EXPECT_EQ(delivered, 1000);
+  // Total 1000 jumbo frames through b's single rx link at 10Gb/s.
+  const double gbps = 1000.0 * (8948 + 78) * 8 / sim::ToSeconds(last) / 1e9;
+  EXPECT_LT(gbps, 10.0);
+  EXPECT_GT(gbps, 9.0);
+}
+
+TEST_F(NetworkTest, ByteCountersTrackWireBytes) {
+  TcpConnection conn(net_, a_, b_);
+  conn.SendToServer(100, nullptr);
+  sim_.Run();
+  EXPECT_EQ(a_->tx_bytes(), 100 + 78);
+  EXPECT_EQ(b_->rx_bytes(), 100 + 78);
+}
+
+TEST_F(NetworkTest, UdpTransportHasSmallerOverheadAndState) {
+  TcpConnection tcp(net_, a_, b_, Transport::kTcp);
+  TcpConnection udp(net_, a_, b_, Transport::kUdp);
+  EXPECT_GT(tcp.FrameOverhead(), udp.FrameOverhead());
+  EXPECT_GT(tcp.StateBytes(), udp.StateBytes());
+  int64_t before = b_->rx_bytes();
+  udp.SendToServer(100, nullptr);
+  sim_.Run();
+  EXPECT_EQ(b_->rx_bytes() - before, 100 + 46);
+}
+
+TEST_F(NetworkTest, UdpDeliversInOrderToo) {
+  TcpConnection udp(net_, a_, b_, Transport::kUdp);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    udp.SendToServer(64, [&order, i] { order.push_back(i); });
+  }
+  sim_.Run();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(StackCostsTest, IxIsCheapAndPolled) {
+  StackCosts ix = StackCosts::IxDataplane();
+  EXPECT_EQ(ix.syscall, 0);
+  EXPECT_EQ(ix.irq_coalesce_max, 0);
+  EXPECT_DOUBLE_EQ(ix.copy_ns_per_byte, 0.0);
+  sim::Rng rng(1);
+  EXPECT_EQ(ix.SampleDeliveryDelay(rng), 0);
+  EXPECT_LT(ix.TxCost(4096), StackCosts::LinuxEpoll().TxCost(4096));
+}
+
+TEST(StackCostsTest, LinuxDeliveryDelayBoundedByCoalescing) {
+  StackCosts linux_stack = StackCosts::LinuxEpoll();
+  sim::Rng rng(2);
+  TimeNs max_seen = 0;
+  for (int i = 0; i < 10000; ++i) {
+    TimeNs d = linux_stack.SampleDeliveryDelay(rng);
+    EXPECT_GE(d, 0);
+    max_seen = std::max(max_seen, d);
+  }
+  // Coalescing contributes up to 20us; jitter adds a tail.
+  EXPECT_GT(max_seen, Micros(15));
+}
+
+TEST(StackCostsTest, CopyCostScalesWithBytes) {
+  StackCosts linux_stack = StackCosts::LinuxEpoll();
+  EXPECT_GT(linux_stack.RxCost(65536), linux_stack.RxCost(4096));
+  StackCosts null_stack = StackCosts::Null();
+  EXPECT_EQ(null_stack.RxCost(65536), 0);
+  EXPECT_EQ(null_stack.TxCost(65536), 0);
+}
+
+TEST(StackCostsTest, BlockingStackAddsWakeup) {
+  EXPECT_GT(StackCosts::LinuxBlocking().blocking_wakeup, 0);
+  EXPECT_EQ(StackCosts::LinuxEpoll().blocking_wakeup, 0);
+}
+
+}  // namespace
+}  // namespace reflex::net

@@ -1,0 +1,146 @@
+#include "sim/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.h"
+
+namespace reflex::sim {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_EQ(h.Min(), 1000);
+  EXPECT_EQ(h.Max(), 1000);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1000.0);
+  // Bucketed value is within the histogram's relative error.
+  EXPECT_NEAR(h.Percentile(0.5), 1000, 1000 * 0.04);
+}
+
+TEST(HistogramTest, ExactInLinearRange) {
+  // Values below the sub-bucket count are stored exactly.
+  Histogram h(6);
+  for (int v = 0; v < 64; ++v) h.Record(v);
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(1.0), 63);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Max(), 63);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h;
+  Rng rng(77);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextExponential(50000.0)));
+  }
+  int64_t prev = -1;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    int64_t v = h.Percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, RelativeErrorBounded) {
+  // For a wide range of magnitudes, recording a single value and
+  // reading back p50 must stay within ~4% (2^-5) relative error.
+  for (int64_t v = 10; v < (1LL << 40); v *= 7) {
+    Histogram h;
+    h.Record(v);
+    const double err =
+        std::abs(static_cast<double>(h.Percentile(0.5) - v)) /
+        static_cast<double>(v);
+    EXPECT_LT(err, 0.04) << "v=" << v;
+  }
+}
+
+TEST(HistogramTest, ExponentialPercentilesMatchTheory) {
+  Histogram h;
+  Rng rng(123);
+  const double mean = 100000.0;
+  for (int i = 0; i < 400000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextExponential(mean)));
+  }
+  // p95 of Exp(mean) = mean * ln(20) ~= 2.9957 * mean.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.95)), mean * std::log(20.0),
+              mean * 0.1);
+  EXPECT_NEAR(h.Mean(), mean, mean * 0.02);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_EQ(h.Min(), 0);
+}
+
+TEST(HistogramTest, RecordManyEquivalentToLoop) {
+  Histogram a, b;
+  a.RecordMany(500, 1000);
+  for (int i = 0; i < 1000; ++i) b.Record(500);
+  EXPECT_EQ(a.Count(), b.Count());
+  EXPECT_EQ(a.Percentile(0.5), b.Percentile(0.5));
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  for (int i = 0; i < 1000; ++i) a.Record(100);
+  for (int i = 0; i < 1000; ++i) b.Record(10000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2000);
+  EXPECT_EQ(a.Min(), 100);
+  EXPECT_EQ(a.Max(), 10000);
+  EXPECT_NEAR(a.Mean(), 5050.0, 1.0);
+  // Median falls between the two spikes; p75 is in the upper spike.
+  EXPECT_NEAR(a.Percentile(0.75), 10000, 10000 * 0.04);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  h.Record(7);
+  EXPECT_EQ(h.Count(), 1);
+}
+
+TEST(HistogramTest, StdDevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(5000);
+  EXPECT_NEAR(h.StdDev(), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, StdDevOfKnownDistribution) {
+  Histogram h;
+  Rng rng(55);
+  for (int i = 0; i < 200000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextExponential(1000.0)));
+  }
+  // Exp: stddev == mean.
+  EXPECT_NEAR(h.StdDev(), 1000.0, 30.0);
+}
+
+TEST(HistogramTest, SummaryStringContainsStats) {
+  Histogram h;
+  h.Record(1000);
+  std::string s = h.SummaryUs();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("p95"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reflex::sim

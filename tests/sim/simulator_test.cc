@@ -1,0 +1,126 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/time.h"
+
+namespace reflex::sim {
+namespace {
+
+using namespace reflex::sim::literals;
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NowAdvancesToEventTime) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.ScheduleAt(1234, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 1234);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { seen = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) sim.ScheduleAfter(10, chain);
+  };
+  sim.ScheduleAt(0, chain);
+  sim.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.Now(), 90);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(10, [&] { ++ran; });
+  sim.ScheduleAt(20, [&] { ++ran; });
+  sim.ScheduleAt(30, [&] { ++ran; });
+  int64_t n = sim.RunUntil(20);
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.RunUntil(100);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(10, [&] {
+    ++ran;
+    sim.Stop();
+  });
+  sim.ScheduleAt(20, [&] { ++ran; });
+  sim.Run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+TEST(SimulatorTest, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.ScheduleAt(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.EventsProcessed(), 7);
+}
+
+TEST(SimulatorTest, TimeLiteralsConvert) {
+  EXPECT_EQ(5_us, 5000);
+  EXPECT_EQ(2_ms, 2000000);
+  EXPECT_EQ(1_s, 1000000000);
+  EXPECT_EQ(Micros(1.5), 1500);
+  EXPECT_DOUBLE_EQ(ToMicros(1500), 1.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastPanics) {
+  Simulator sim;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAt(50, [] {});
+  });
+  EXPECT_DEATH(sim.Run(), "scheduled in the past");
+}
+
+}  // namespace
+}  // namespace reflex::sim

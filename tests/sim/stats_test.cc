@@ -1,0 +1,61 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace reflex::sim {
+namespace {
+
+TEST(RateMeterTest, ComputesPerSecondRate) {
+  RateMeter meter(0);
+  for (int i = 0; i < 500; ++i) meter.Add();
+  EXPECT_DOUBLE_EQ(meter.PerSecond(Millis(500)), 1000.0);
+  EXPECT_DOUBLE_EQ(meter.Count(), 500.0);
+}
+
+TEST(RateMeterTest, WeightedAdds) {
+  RateMeter meter(0);
+  meter.Add(2.5);
+  meter.Add(7.5);
+  EXPECT_DOUBLE_EQ(meter.PerSecond(kSecond), 10.0);
+}
+
+TEST(RateMeterTest, ZeroWindowIsZero) {
+  RateMeter meter(1000);
+  meter.Add(5);
+  EXPECT_DOUBLE_EQ(meter.PerSecond(1000), 0.0);
+}
+
+TEST(RateMeterTest, ResetStartsNewWindow) {
+  RateMeter meter(0);
+  meter.Add(100);
+  meter.Reset(kSecond);
+  meter.Add(10);
+  EXPECT_DOUBLE_EQ(meter.PerSecond(2 * kSecond), 10.0);
+}
+
+TEST(TimeWeightedMeanTest, ConstantSignal) {
+  TimeWeightedMean m(0);
+  m.Set(0, 4.0);
+  EXPECT_DOUBLE_EQ(m.Mean(kSecond), 4.0);
+  EXPECT_DOUBLE_EQ(m.Current(), 4.0);
+}
+
+TEST(TimeWeightedMeanTest, StepSignalWeightedByDuration) {
+  TimeWeightedMean m(0);
+  m.Set(0, 0.0);
+  m.Set(Millis(750), 4.0);  // 0 for 75% of the window, 4 for 25%
+  EXPECT_DOUBLE_EQ(m.Mean(kSecond), 1.0);
+}
+
+TEST(TimeWeightedMeanTest, ResetClearsHistory) {
+  TimeWeightedMean m(0);
+  m.Set(0, 100.0);
+  m.Reset(kSecond);
+  m.Set(kSecond, 2.0);
+  EXPECT_DOUBLE_EQ(m.Mean(2 * kSecond), 2.0);
+}
+
+}  // namespace
+}  // namespace reflex::sim

@@ -1,0 +1,111 @@
+#ifndef REFLEX_TESTS_TESTING_HARNESS_H_
+#define REFLEX_TESTS_TESTING_HARNESS_H_
+
+#include <memory>
+
+#include "core/reflex_server.h"
+#include "flash/calibration.h"
+#include "flash/flash_device.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace reflex::testing {
+
+/**
+ * A synthetic calibration for device A matching the values the full
+ * calibrator recovers (tests that exercise the calibrator itself live
+ * in flash/calibration_test.cc). Using a fixed result keeps server
+ * tests fast and independent of calibrator noise.
+ */
+inline flash::CalibrationResult SyntheticCalibrationA() {
+  flash::CalibrationResult c;
+  c.write_cost = 10.0;
+  c.read_cost_readonly = 0.5;
+  c.token_capacity_per_sec = 547000.0;
+  c.latency_curve = {
+      {54696.4, 28945.0, sim::Micros(145), sim::Micros(113)},
+      {109392.7, 58120.0, sim::Micros(162), sim::Micros(121)},
+      {164089.1, 86995.0, sim::Micros(178), sim::Micros(126)},
+      {218785.5, 115525.0, sim::Micros(199), sim::Micros(137)},
+      {273481.9, 144005.0, sim::Micros(223), sim::Micros(150)},
+      {328178.2, 172470.0, sim::Micros(260), sim::Micros(166)},
+      {355526.4, 186700.0, sim::Micros(291), sim::Micros(179)},
+      {382874.6, 201237.5, sim::Micros(348), sim::Micros(199)},
+      {410222.8, 215507.5, sim::Micros(397), sim::Micros(210)},
+      {437571.0, 229790.0, sim::Micros(614), sim::Micros(248)},
+      {464919.2, 244222.5, sim::Micros(909), sim::Micros(287)},
+      {492267.4, 258982.5, sim::Micros(1622), sim::Micros(404)},
+      {508676.3, 267547.5, sim::Micros(2015), sim::Micros(505)},
+      {525085.2, 276207.5, sim::Micros(2785), sim::Micros(755)},
+      {536024.5, 282335.0, sim::Micros(3113), sim::Micros(924)},
+  };
+  return c;
+}
+
+/** Everything needed for an end-to-end ReFlex experiment. */
+struct Harness {
+  explicit Harness(core::ServerOptions options = core::ServerOptions(),
+                   flash::DeviceProfile profile =
+                       flash::DeviceProfile::DeviceA(),
+                   uint64_t seed = 42)
+      : net(sim),
+        device(sim, profile, seed),
+        server_machine(net.AddMachine("reflex-server")),
+        client_machine(net.AddMachine("client-0")),
+        server(sim, net, server_machine, device, SyntheticCalibrationA(),
+               options) {}
+
+  sim::Simulator sim;
+  net::Network net;
+  flash::FlashDevice device;
+  net::Machine* server_machine;
+  net::Machine* client_machine;
+  core::ReflexServer server;
+
+  /** Registers a standard LC tenant usable for probe workloads. */
+  core::Tenant* LcTenant(uint32_t iops = 50000, double read_fraction = 0.9,
+                         sim::TimeNs latency = sim::Millis(2)) {
+    core::SloSpec slo;
+    slo.iops = iops;
+    slo.read_fraction = read_fraction;
+    slo.latency = latency;
+    core::ReqStatus status;
+    core::Tenant* t = server.RegisterTenant(
+        slo, core::TenantClass::kLatencyCritical, &status);
+    if (t == nullptr) {
+      REFLEX_FATAL("harness LC tenant inadmissible (status=%d)",
+                   static_cast<int>(status));
+    }
+    return t;
+  }
+
+  core::Tenant* BeTenant() {
+    return server.RegisterTenant(core::SloSpec{},
+                                 core::TenantClass::kBestEffort);
+  }
+
+  /**
+   * Steps the simulator until `ready()` returns true or `deadline`
+   * simulated time passes. Returns true if the condition was met.
+   * (Plain Run() is unsuitable once a server exists: pollers and
+   * monitors keep the event queue non-empty.)
+   */
+  template <typename ReadyFn>
+  bool RunUntilReady(const ReadyFn& ready,
+                     sim::TimeNs deadline = sim::Seconds(30)) {
+    while (!ready() && sim.Now() < deadline) {
+      sim.RunUntil(sim.Now() + sim::Millis(1));
+    }
+    return ready();
+  }
+
+  bool RunUntilDone(const sim::VoidFuture& future,
+                    sim::TimeNs deadline = sim::Seconds(30)) {
+    return RunUntilReady([&future] { return future.Ready(); }, deadline);
+  }
+};
+
+}  // namespace reflex::testing
+
+#endif  // REFLEX_TESTS_TESTING_HARNESS_H_
