@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_neg_limit.dir/ablation_neg_limit.cc.o"
+  "CMakeFiles/ablation_neg_limit.dir/ablation_neg_limit.cc.o.d"
+  "ablation_neg_limit"
+  "ablation_neg_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_neg_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cost_models.dir/fig3_cost_models.cc.o"
+  "CMakeFiles/fig3_cost_models.dir/fig3_cost_models.cc.o.d"
+  "fig3_cost_models"
+  "fig3_cost_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cost_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

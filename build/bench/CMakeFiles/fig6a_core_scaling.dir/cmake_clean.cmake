@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_core_scaling.dir/fig6a_core_scaling.cc.o"
+  "CMakeFiles/fig6a_core_scaling.dir/fig6a_core_scaling.cc.o.d"
+  "fig6a_core_scaling"
+  "fig6a_core_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_core_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_fio.dir/fig7a_fio.cc.o"
+  "CMakeFiles/fig7a_fio.dir/fig7a_fio.cc.o.d"
+  "fig7a_fio"
+  "fig7a_fio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_fio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

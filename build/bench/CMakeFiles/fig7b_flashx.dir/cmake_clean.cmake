@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_flashx.dir/fig7b_flashx.cc.o"
+  "CMakeFiles/fig7b_flashx.dir/fig7b_flashx.cc.o.d"
+  "fig7b_flashx"
+  "fig7b_flashx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_flashx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

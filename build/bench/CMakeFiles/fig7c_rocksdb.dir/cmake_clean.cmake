@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_rocksdb.dir/fig7c_rocksdb.cc.o"
+  "CMakeFiles/fig7c_rocksdb.dir/fig7c_rocksdb.cc.o.d"
+  "fig7c_rocksdb"
+  "fig7c_rocksdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_rocksdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

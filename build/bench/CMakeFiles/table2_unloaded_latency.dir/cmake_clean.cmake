@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_unloaded_latency.dir/table2_unloaded_latency.cc.o"
+  "CMakeFiles/table2_unloaded_latency.dir/table2_unloaded_latency.cc.o.d"
+  "table2_unloaded_latency"
+  "table2_unloaded_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_unloaded_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

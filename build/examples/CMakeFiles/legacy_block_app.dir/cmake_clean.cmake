@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_block_app.dir/legacy_block_app.cpp.o"
+  "CMakeFiles/legacy_block_app.dir/legacy_block_app.cpp.o.d"
+  "legacy_block_app"
+  "legacy_block_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_block_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fio/fio.cc" "src/apps/CMakeFiles/reflex_apps_lib.dir/fio/fio.cc.o" "gcc" "src/apps/CMakeFiles/reflex_apps_lib.dir/fio/fio.cc.o.d"
+  "/root/repo/src/apps/graph/engine.cc" "src/apps/CMakeFiles/reflex_apps_lib.dir/graph/engine.cc.o" "gcc" "src/apps/CMakeFiles/reflex_apps_lib.dir/graph/engine.cc.o.d"
+  "/root/repo/src/apps/graph/graph_gen.cc" "src/apps/CMakeFiles/reflex_apps_lib.dir/graph/graph_gen.cc.o" "gcc" "src/apps/CMakeFiles/reflex_apps_lib.dir/graph/graph_gen.cc.o.d"
+  "/root/repo/src/apps/graph/graph_store.cc" "src/apps/CMakeFiles/reflex_apps_lib.dir/graph/graph_store.cc.o" "gcc" "src/apps/CMakeFiles/reflex_apps_lib.dir/graph/graph_store.cc.o.d"
+  "/root/repo/src/apps/kv/db_bench.cc" "src/apps/CMakeFiles/reflex_apps_lib.dir/kv/db_bench.cc.o" "gcc" "src/apps/CMakeFiles/reflex_apps_lib.dir/kv/db_bench.cc.o.d"
+  "/root/repo/src/apps/kv/kv_store.cc" "src/apps/CMakeFiles/reflex_apps_lib.dir/kv/kv_store.cc.o" "gcc" "src/apps/CMakeFiles/reflex_apps_lib.dir/kv/kv_store.cc.o.d"
+  "/root/repo/src/apps/kv/sstable.cc" "src/apps/CMakeFiles/reflex_apps_lib.dir/kv/sstable.cc.o" "gcc" "src/apps/CMakeFiles/reflex_apps_lib.dir/kv/sstable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/reflex_client_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/reflex_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/reflex_flash_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/reflex_net_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reflex_sim_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

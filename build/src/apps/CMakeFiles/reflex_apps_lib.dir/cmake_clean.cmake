@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflex_apps_lib.dir/fio/fio.cc.o"
+  "CMakeFiles/reflex_apps_lib.dir/fio/fio.cc.o.d"
+  "CMakeFiles/reflex_apps_lib.dir/graph/engine.cc.o"
+  "CMakeFiles/reflex_apps_lib.dir/graph/engine.cc.o.d"
+  "CMakeFiles/reflex_apps_lib.dir/graph/graph_gen.cc.o"
+  "CMakeFiles/reflex_apps_lib.dir/graph/graph_gen.cc.o.d"
+  "CMakeFiles/reflex_apps_lib.dir/graph/graph_store.cc.o"
+  "CMakeFiles/reflex_apps_lib.dir/graph/graph_store.cc.o.d"
+  "CMakeFiles/reflex_apps_lib.dir/kv/db_bench.cc.o"
+  "CMakeFiles/reflex_apps_lib.dir/kv/db_bench.cc.o.d"
+  "CMakeFiles/reflex_apps_lib.dir/kv/kv_store.cc.o"
+  "CMakeFiles/reflex_apps_lib.dir/kv/kv_store.cc.o.d"
+  "CMakeFiles/reflex_apps_lib.dir/kv/sstable.cc.o"
+  "CMakeFiles/reflex_apps_lib.dir/kv/sstable.cc.o.d"
+  "libreflex_apps_lib.a"
+  "libreflex_apps_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflex_apps_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflex_baseline_lib.dir/kernel_server.cc.o"
+  "CMakeFiles/reflex_baseline_lib.dir/kernel_server.cc.o.d"
+  "CMakeFiles/reflex_baseline_lib.dir/local_nvme_driver.cc.o"
+  "CMakeFiles/reflex_baseline_lib.dir/local_nvme_driver.cc.o.d"
+  "CMakeFiles/reflex_baseline_lib.dir/local_spdk.cc.o"
+  "CMakeFiles/reflex_baseline_lib.dir/local_spdk.cc.o.d"
+  "libreflex_baseline_lib.a"
+  "libreflex_baseline_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflex_baseline_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

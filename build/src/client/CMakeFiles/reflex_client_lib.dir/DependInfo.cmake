@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/block_device.cc" "src/client/CMakeFiles/reflex_client_lib.dir/block_device.cc.o" "gcc" "src/client/CMakeFiles/reflex_client_lib.dir/block_device.cc.o.d"
+  "/root/repo/src/client/load_generator.cc" "src/client/CMakeFiles/reflex_client_lib.dir/load_generator.cc.o" "gcc" "src/client/CMakeFiles/reflex_client_lib.dir/load_generator.cc.o.d"
+  "/root/repo/src/client/page_cache.cc" "src/client/CMakeFiles/reflex_client_lib.dir/page_cache.cc.o" "gcc" "src/client/CMakeFiles/reflex_client_lib.dir/page_cache.cc.o.d"
+  "/root/repo/src/client/reflex_client.cc" "src/client/CMakeFiles/reflex_client_lib.dir/reflex_client.cc.o" "gcc" "src/client/CMakeFiles/reflex_client_lib.dir/reflex_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/reflex_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/reflex_flash_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/reflex_net_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reflex_sim_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflex_client_lib.dir/block_device.cc.o"
+  "CMakeFiles/reflex_client_lib.dir/block_device.cc.o.d"
+  "CMakeFiles/reflex_client_lib.dir/load_generator.cc.o"
+  "CMakeFiles/reflex_client_lib.dir/load_generator.cc.o.d"
+  "CMakeFiles/reflex_client_lib.dir/page_cache.cc.o"
+  "CMakeFiles/reflex_client_lib.dir/page_cache.cc.o.d"
+  "CMakeFiles/reflex_client_lib.dir/reflex_client.cc.o"
+  "CMakeFiles/reflex_client_lib.dir/reflex_client.cc.o.d"
+  "libreflex_client_lib.a"
+  "libreflex_client_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflex_client_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

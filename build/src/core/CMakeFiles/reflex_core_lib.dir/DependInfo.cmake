@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/control_plane.cc" "src/core/CMakeFiles/reflex_core_lib.dir/control_plane.cc.o" "gcc" "src/core/CMakeFiles/reflex_core_lib.dir/control_plane.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/reflex_core_lib.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/reflex_core_lib.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/dataplane.cc" "src/core/CMakeFiles/reflex_core_lib.dir/dataplane.cc.o" "gcc" "src/core/CMakeFiles/reflex_core_lib.dir/dataplane.cc.o.d"
+  "/root/repo/src/core/qos_scheduler.cc" "src/core/CMakeFiles/reflex_core_lib.dir/qos_scheduler.cc.o" "gcc" "src/core/CMakeFiles/reflex_core_lib.dir/qos_scheduler.cc.o.d"
+  "/root/repo/src/core/reflex_server.cc" "src/core/CMakeFiles/reflex_core_lib.dir/reflex_server.cc.o" "gcc" "src/core/CMakeFiles/reflex_core_lib.dir/reflex_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/reflex_flash_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/reflex_net_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reflex_sim_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflex_core_lib.dir/control_plane.cc.o"
+  "CMakeFiles/reflex_core_lib.dir/control_plane.cc.o.d"
+  "CMakeFiles/reflex_core_lib.dir/cost_model.cc.o"
+  "CMakeFiles/reflex_core_lib.dir/cost_model.cc.o.d"
+  "CMakeFiles/reflex_core_lib.dir/dataplane.cc.o"
+  "CMakeFiles/reflex_core_lib.dir/dataplane.cc.o.d"
+  "CMakeFiles/reflex_core_lib.dir/qos_scheduler.cc.o"
+  "CMakeFiles/reflex_core_lib.dir/qos_scheduler.cc.o.d"
+  "CMakeFiles/reflex_core_lib.dir/reflex_server.cc.o"
+  "CMakeFiles/reflex_core_lib.dir/reflex_server.cc.o.d"
+  "libreflex_core_lib.a"
+  "libreflex_core_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflex_core_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/calibration.cc" "src/flash/CMakeFiles/reflex_flash_lib.dir/calibration.cc.o" "gcc" "src/flash/CMakeFiles/reflex_flash_lib.dir/calibration.cc.o.d"
+  "/root/repo/src/flash/device_profile.cc" "src/flash/CMakeFiles/reflex_flash_lib.dir/device_profile.cc.o" "gcc" "src/flash/CMakeFiles/reflex_flash_lib.dir/device_profile.cc.o.d"
+  "/root/repo/src/flash/flash_device.cc" "src/flash/CMakeFiles/reflex_flash_lib.dir/flash_device.cc.o" "gcc" "src/flash/CMakeFiles/reflex_flash_lib.dir/flash_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/reflex_sim_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflex_flash_lib.dir/calibration.cc.o"
+  "CMakeFiles/reflex_flash_lib.dir/calibration.cc.o.d"
+  "CMakeFiles/reflex_flash_lib.dir/device_profile.cc.o"
+  "CMakeFiles/reflex_flash_lib.dir/device_profile.cc.o.d"
+  "CMakeFiles/reflex_flash_lib.dir/flash_device.cc.o"
+  "CMakeFiles/reflex_flash_lib.dir/flash_device.cc.o.d"
+  "libreflex_flash_lib.a"
+  "libreflex_flash_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflex_flash_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

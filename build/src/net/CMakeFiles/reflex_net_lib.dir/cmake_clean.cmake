@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflex_net_lib.dir/network.cc.o"
+  "CMakeFiles/reflex_net_lib.dir/network.cc.o.d"
+  "libreflex_net_lib.a"
+  "libreflex_net_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflex_net_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflex_sim_lib.dir/histogram.cc.o"
+  "CMakeFiles/reflex_sim_lib.dir/histogram.cc.o.d"
+  "CMakeFiles/reflex_sim_lib.dir/logging.cc.o"
+  "CMakeFiles/reflex_sim_lib.dir/logging.cc.o.d"
+  "CMakeFiles/reflex_sim_lib.dir/random.cc.o"
+  "CMakeFiles/reflex_sim_lib.dir/random.cc.o.d"
+  "CMakeFiles/reflex_sim_lib.dir/simulator.cc.o"
+  "CMakeFiles/reflex_sim_lib.dir/simulator.cc.o.d"
+  "libreflex_sim_lib.a"
+  "libreflex_sim_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflex_sim_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_fio_test.dir/apps/fio_test.cc.o"
+  "CMakeFiles/apps_fio_test.dir/apps/fio_test.cc.o.d"
+  "apps_fio_test"
+  "apps_fio_test.pdb"
+  "apps_fio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_fio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_graph_test.dir/apps/graph_test.cc.o"
+  "CMakeFiles/apps_graph_test.dir/apps/graph_test.cc.o.d"
+  "apps_graph_test"
+  "apps_graph_test.pdb"
+  "apps_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

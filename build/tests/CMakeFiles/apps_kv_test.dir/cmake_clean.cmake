@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_kv_test.dir/apps/kv_test.cc.o"
+  "CMakeFiles/apps_kv_test.dir/apps/kv_test.cc.o.d"
+  "apps_kv_test"
+  "apps_kv_test.pdb"
+  "apps_kv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_block_device_test.dir/client/block_device_test.cc.o"
+  "CMakeFiles/client_block_device_test.dir/client/block_device_test.cc.o.d"
+  "client_block_device_test"
+  "client_block_device_test.pdb"
+  "client_block_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_block_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_control_plane_test.dir/core/control_plane_test.cc.o"
+  "CMakeFiles/core_control_plane_test.dir/core/control_plane_test.cc.o.d"
+  "core_control_plane_test"
+  "core_control_plane_test.pdb"
+  "core_control_plane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_control_plane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_qos_scheduler_test.dir/core/qos_scheduler_test.cc.o"
+  "CMakeFiles/core_qos_scheduler_test.dir/core/qos_scheduler_test.cc.o.d"
+  "core_qos_scheduler_test"
+  "core_qos_scheduler_test.pdb"
+  "core_qos_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_qos_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

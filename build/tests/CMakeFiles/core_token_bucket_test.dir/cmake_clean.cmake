@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_token_bucket_test.dir/core/token_bucket_test.cc.o"
+  "CMakeFiles/core_token_bucket_test.dir/core/token_bucket_test.cc.o.d"
+  "core_token_bucket_test"
+  "core_token_bucket_test.pdb"
+  "core_token_bucket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_token_bucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

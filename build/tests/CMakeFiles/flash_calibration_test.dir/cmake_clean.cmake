@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_calibration_test.dir/flash/calibration_test.cc.o"
+  "CMakeFiles/flash_calibration_test.dir/flash/calibration_test.cc.o.d"
+  "flash_calibration_test"
+  "flash_calibration_test.pdb"
+  "flash_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_modes_test.dir/flash/flash_modes_test.cc.o"
+  "CMakeFiles/flash_modes_test.dir/flash/flash_modes_test.cc.o.d"
+  "flash_modes_test"
+  "flash_modes_test.pdb"
+  "flash_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

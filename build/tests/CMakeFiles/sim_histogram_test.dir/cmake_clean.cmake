@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_histogram_test.dir/sim/histogram_test.cc.o"
+  "CMakeFiles/sim_histogram_test.dir/sim/histogram_test.cc.o.d"
+  "sim_histogram_test"
+  "sim_histogram_test.pdb"
+  "sim_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

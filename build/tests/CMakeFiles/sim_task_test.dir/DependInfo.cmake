@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/task_test.cc" "tests/CMakeFiles/sim_task_test.dir/sim/task_test.cc.o" "gcc" "tests/CMakeFiles/sim_task_test.dir/sim/task_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/reflex_apps_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/reflex_baseline_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/reflex_client_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/reflex_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/reflex_net_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/reflex_flash_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reflex_sim_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

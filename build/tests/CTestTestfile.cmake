@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_random_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_task_test[1]_include.cmake")
+include("/root/repo/build/tests/flash_device_test[1]_include.cmake")
+include("/root/repo/build/tests/flash_calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/net_network_test[1]_include.cmake")
+include("/root/repo/build/tests/core_token_bucket_test[1]_include.cmake")
+include("/root/repo/build/tests/core_cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_qos_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/core_access_control_test[1]_include.cmake")
+include("/root/repo/build/tests/core_server_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/client_page_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/client_block_device_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_fio_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_kv_test[1]_include.cmake")
+include("/root/repo/build/tests/flash_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_scheduler_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_control_plane_test[1]_include.cmake")
+include("/root/repo/build/tests/core_e2e_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_barrier_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/core_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/flash_modes_test[1]_include.cmake")
