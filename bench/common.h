@@ -1,7 +1,9 @@
 #ifndef REFLEX_BENCH_COMMON_H_
 #define REFLEX_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
@@ -12,6 +14,8 @@
 #include "flash/calibration.h"
 #include "flash/flash_device.h"
 #include "net/network.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "sim/histogram.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -95,6 +99,60 @@ struct BenchWorld {
   std::vector<net::Machine*> client_machines;
   std::unique_ptr<core::ReflexServer> server;
 };
+
+/**
+ * Dumps a server's latency-breakdown table in machine-readable form:
+ * grep-able CSV rows on stdout, and -- when REFLEX_OBS_DIR is set --
+ * a <dir>/<experiment>_<label>.json file with the same table plus the
+ * full metrics-registry snapshot.
+ */
+inline void DumpBreakdown(core::ReflexServer& server,
+                          const obs::BreakdownTable& table,
+                          const std::string& experiment,
+                          const std::string& label) {
+  std::printf("%s",
+              obs::BreakdownToCsv(table, experiment, label).c_str());
+  if (const char* dir = std::getenv("REFLEX_OBS_DIR")) {
+    std::string doc = obs::BreakdownToJson(table, experiment, label);
+    // Merge breakdown + registry into one document.
+    doc.pop_back();  // trailing '}'
+    doc += ",\"registry\":";
+    doc += obs::RegistryToJson(server.SnapshotMetrics());
+    doc += "}";
+    obs::WriteFile(std::string(dir) + "/" + experiment + "_" + label +
+                       ".json",
+                   doc);
+  }
+}
+
+/** Convenience overload over the collector's current table. */
+inline void DumpBreakdown(core::ReflexServer& server,
+                          const std::string& experiment,
+                          const std::string& label) {
+  DumpBreakdown(server, server.tracer().Table(), experiment, label);
+}
+
+/**
+ * Reconciliation check for the breakdown table: the per-stage interval
+ * means must sum to the end-to-end mean (they telescope per span, so
+ * any gap indicates a missed stage). Prints and returns the relative
+ * error against `e2e_mean_us` (an independently measured end-to-end
+ * mean; pass table.total_mean_us to check only internal consistency).
+ */
+inline double CheckBreakdownReconciles(const obs::BreakdownTable& table,
+                                       double e2e_mean_us,
+                                       const char* what) {
+  const double err =
+      e2e_mean_us > 0.0
+          ? std::abs(table.stage_sum_us - e2e_mean_us) / e2e_mean_us
+          : 0.0;
+  std::printf(
+      "reconcile,%s: stage_sum=%.3f us vs e2e_mean=%.3f us "
+      "(%.3f%% error, %lld spans)\n",
+      what, table.stage_sum_us, e2e_mean_us, err * 100.0,
+      static_cast<long long>(table.spans));
+  return err;
+}
 
 /**
  * QD-1 latency probe over any FlashService: issues `samples` random

@@ -103,6 +103,10 @@ void RunScenario(int scenario, bool sched_enabled) {
     copts.stack = net::StackCosts::IxDataplane();
     copts.num_connections = 8;
     copts.seed = 500 + idx;
+    // Trace every request: the latency-breakdown table below must
+    // reconcile with the generator histograms, so both populations
+    // need to be (nearly) the same.
+    copts.trace_sample_every = 1;
     s.client = std::make_unique<client::ReflexClient>(
         world.sim, *world.server,
         world.client_machines[idx % world.client_machines.size()], copts);
@@ -126,6 +130,16 @@ void RunScenario(int scenario, bool sched_enabled) {
 
   const sim::TimeNs warm = sim::Millis(150);
   const sim::TimeNs end = sim::Millis(650);
+  // Align the trace population with the measurement window: count
+  // only spans issued after warmup, and capture the table at `end`
+  // (the generators keep draining past it).
+  obs::BreakdownTable window_table;
+  world.sim.ScheduleAt(warm, [&world, warm] {
+    world.server->tracer().Reset(/*min_issue=*/warm);
+  });
+  world.sim.ScheduleAt(end, [&world, &window_table] {
+    window_table = world.server->tracer().Table();
+  });
   for (TenantSetup& s : setups) s.generator->Run(warm, end);
   for (TenantSetup& s : setups) {
     world.Await(s.generator->Done(), sim::Seconds(120));
@@ -142,6 +156,20 @@ void RunScenario(int scenario, bool sched_enabled) {
                 s.generator->read_latency().Percentile(0.95) / 1e3,
                 lc ? "500" : "-");
   }
+
+  // Machine-readable per-stage latency breakdown from the trace spans,
+  // reconciled against the independently measured end-to-end mean
+  // (merged over all tenants, reads and writes).
+  char label[32];
+  std::snprintf(label, sizeof(label), "s%d_%s", scenario,
+                sched_enabled ? "on" : "off");
+  sim::Histogram merged;
+  for (TenantSetup& s : setups) {
+    merged.Merge(s.generator->read_latency());
+    merged.Merge(s.generator->write_latency());
+  }
+  bench::DumpBreakdown(*world.server, window_table, "fig5_qos", label);
+  bench::CheckBreakdownReconciles(window_table, merged.Mean() / 1e3, label);
   std::printf("\n");
 }
 

@@ -96,16 +96,24 @@ void Run() {
   core::Tenant* write_tenant = world.server->RegisterTenant(
       write_slo, core::TenantClass::kLatencyCritical);
 
-  auto measure_reflex = [&](net::StackCosts stack, const Row& row) {
+  auto measure_reflex = [&](net::StackCosts stack, const Row& row,
+                            const char* label) {
     client::ReflexClient::Options copts;
     copts.stack = stack;
     copts.num_connections = 1;
+    // QD-1 probes: trace every request so the per-stage breakdown
+    // covers exactly the probe population.
+    copts.trace_sample_every = 1;
     client::ReflexClient rc(world.sim, *world.server, client, copts);
     rc.BindAll(read_tenant->handle());
     client::ReflexService rd(rc, read_tenant->handle());
     client::ReflexService wr(rc, write_tenant->handle());
+    world.server->tracer().Reset();
     sim::Histogram reads = bench::ProbeLatency(world, rd, true, kSamples);
+    const obs::BreakdownTable read_table = world.server->tracer().Table();
+    world.server->tracer().Reset();
     sim::Histogram writes = bench::ProbeLatency(world, wr, false, kSamples);
+    const obs::BreakdownTable write_table = world.server->tracer().Table();
     std::printf(
         "%-24s %6.0f %6.0f  (paper %3.0f/%3.0f) | %6.0f %6.0f  "
         "(paper %3.0f/%3.0f)\n",
@@ -113,11 +121,20 @@ void Run() {
         row.paper_read_avg, row.paper_read_p95, writes.Mean() / 1e3,
         writes.Percentile(0.95) / 1e3, row.paper_write_avg,
         row.paper_write_p95);
+    const std::string rd_label = std::string(label) + "_reads";
+    const std::string wr_label = std::string(label) + "_writes";
+    bench::DumpBreakdown(*world.server, read_table, "table2", rd_label);
+    bench::DumpBreakdown(*world.server, write_table, "table2", wr_label);
+    bench::CheckBreakdownReconciles(read_table, reads.Mean() / 1e3,
+                                    rd_label.c_str());
+    bench::CheckBreakdownReconciles(write_table, writes.Mean() / 1e3,
+                                    wr_label.c_str());
   };
   measure_reflex(net::StackCosts::LinuxEpoll(),
-                 {"ReFlex (Linux client)", 117, 135, 58, 64});
+                 {"ReFlex (Linux client)", 117, 135, 58, 64},
+                 "reflex_linux");
   measure_reflex(net::StackCosts::IxDataplane(),
-                 {"ReFlex (IX client)", 99, 113, 31, 34});
+                 {"ReFlex (IX client)", 99, 113, 31, 34}, "reflex_ix");
 
   std::printf(
       "\nNVMe-over-Fabrics (hardware-accelerated, quoted from [45]):\n"

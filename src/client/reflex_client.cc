@@ -12,7 +12,8 @@ ReflexClient::ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
       server_(server),
       machine_(machine),
       options_(options),
-      rng_(options.seed, "reflex_client") {
+      rng_(options.seed, "reflex_client"),
+      sampler_(options.trace_sample_every) {
   REFLEX_CHECK(options_.num_connections >= 1);
   for (int i = 0; i < options_.num_connections; ++i) OpenConnection();
 }
@@ -95,6 +96,15 @@ sim::Future<IoResult> ReflexClient::SubmitIo(core::ReqType type,
   msg.data = data;
   msg.cookie = next_cookie_++;
 
+  std::shared_ptr<obs::TraceSpan> trace;
+  if (type != core::ReqType::kBarrier && sampler_.Sample()) {
+    trace = std::make_shared<obs::TraceSpan>();
+    trace->is_read = type == core::ReqType::kRead;
+    trace->tenant = handle;
+    trace->Mark(obs::Stage::kClientIssue, sim_.Now());
+    msg.trace = trace;
+  }
+
   if (conn_index < 0) {
     conn_index = next_conn_;
     next_conn_ = (next_conn_ + 1) % static_cast<int>(connections_.size());
@@ -107,7 +117,8 @@ sim::Future<IoResult> ReflexClient::SubmitIo(core::ReqType type,
   const uint32_t payload_bytes =
       type == core::ReqType::kRead ? sectors * core::kSectorBytes : 0;
   pending_.emplace(msg.cookie,
-                   PendingOp{std::move(promise), sim_.Now(), payload_bytes});
+                   PendingOp{std::move(promise), sim_.Now(), payload_bytes,
+                             std::move(trace)});
 
   // Client-side transmit processing, then ship over TCP.
   const uint32_t wire = msg.WireBytes(core::kSectorBytes);
@@ -145,11 +156,16 @@ void ReflexClient::OnResponse(const core::ResponseMsg& resp) {
   const sim::TimeNs issue_time = op.issue_time;
   const core::ReqStatus status = resp.status;
   sim_.ScheduleAfter(delay, [promise, issue_time, status,
+                             trace = std::move(op.trace),
                              this]() mutable {
     IoResult result;
     result.status = status;
     result.issue_time = issue_time;
     result.complete_time = sim_.Now();
+    if (trace) {
+      trace->Mark(obs::Stage::kClientDone, sim_.Now());
+      server_.tracer().Finish(*trace);
+    }
     promise.Set(result);
   });
 }

@@ -32,6 +32,12 @@ class ReflexClient {
     /** Number of TCP connections to open up front. */
     int num_connections = 1;
     uint64_t seed = 1;
+    /**
+     * Trace one in N read/write requests end-to-end (0 = off, 1 =
+     * every request). Finished spans land in the server's
+     * TraceCollector; see DESIGN.md "Observability".
+     */
+    uint32_t trace_sample_every = 0;
   };
 
   ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
@@ -84,6 +90,8 @@ class ReflexClient {
     sim::Promise<IoResult> promise;
     sim::TimeNs issue_time;
     uint32_t payload_bytes;
+    /** Sampled-request trace; null on the untraced path. */
+    std::shared_ptr<obs::TraceSpan> trace;
   };
 
   sim::Future<IoResult> SubmitIo(core::ReqType type, uint32_t handle,
@@ -99,6 +107,7 @@ class ReflexClient {
 
   std::vector<core::ServerConnection*> connections_;
   int next_conn_ = 0;
+  obs::TraceSampler sampler_;
 
   uint64_t next_cookie_ = 1;
   std::unordered_map<uint64_t, PendingOp> pending_;

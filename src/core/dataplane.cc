@@ -42,6 +42,8 @@ DataplaneThread::DataplaneThread(sim::Simulator& sim, ReflexServer& server,
   }
   scheduler_.set_neg_limit_callback(
       [this](Tenant& t) { server_.control_plane().OnNegLimit(t); });
+  scheduler_.set_metrics(
+      obs::SchedulerMetrics::ForThread(server.metrics(), index));
 }
 
 DataplaneThread::~DataplaneThread() {
@@ -64,7 +66,9 @@ void DataplaneThread::Shutdown() {
 
 void DataplaneThread::EnqueueRx(ServerConnection* conn,
                                 const RequestMsg& msg) {
-  rx_ring_.push_back(RxItem{conn, msg});
+  const sim::TimeNs now = sim_.Now();
+  if (msg.trace) msg.trace->Mark(obs::Stage::kServerRx, now);
+  rx_ring_.push_back(RxItem{conn, msg, now});
   Wake();
 }
 
@@ -174,6 +178,7 @@ sim::Task DataplaneThread::RunLoop() {
     for (RxItem& item : rx_batch) {
       ++stats_.requests_rx;
       RequestMsg& msg = item.msg;
+      if (msg.trace) msg.trace->Mark(obs::Stage::kParsed, now);
       if (msg.type == ReqType::kRegister ||
           msg.type == ReqType::kUnregister) {
         HandleControlMsg(item.conn, msg);
@@ -248,6 +253,7 @@ sim::Task DataplaneThread::RunLoop() {
       resp.handle = tenant->handle();
       resp.cookie = item.io.msg.cookie;
       resp.sectors = item.io.msg.sectors;
+      item.io.MarkStage(obs::Stage::kTxQueued, sim_.Now());
       SendResponse(item.io.conn, resp);
     }
   }
@@ -267,10 +273,12 @@ void DataplaneThread::SubmitToFlash(Tenant& tenant, PendingIo&& io) {
     resp.status = ReqStatus::kOk;
     resp.handle = tenant.handle();
     resp.cookie = io.msg.cookie;
+    io.MarkStage(obs::Stage::kTxQueued, sim_.Now());
     SendResponse(io.conn, resp);
     return;
   }
   ++stats_.flash_submitted;
+  io.MarkStage(obs::Stage::kSubmitted, sim_.Now());
   flash::FlashCommand cmd;
   cmd.op = io.msg.type == ReqType::kRead ? flash::FlashOp::kRead
                                          : flash::FlashOp::kWrite;
@@ -284,6 +292,7 @@ void DataplaneThread::SubmitToFlash(Tenant& tenant, PendingIo&& io) {
   const bool ok = device_.Submit(
       qp_, cmd,
       [this, tenant_ptr, shared_io](const flash::FlashCompletion& c) {
+        shared_io->MarkStage(obs::Stage::kFlashDone, sim_.Now());
         cq_ring_.push_back(CqItem{tenant_ptr, std::move(*shared_io), c});
         Wake();
       });
@@ -312,6 +321,7 @@ void DataplaneThread::FailIo(const PendingIo& io, ReqStatus status) {
   resp.status = status;
   resp.handle = io.msg.handle;
   resp.cookie = io.msg.cookie;
+  io.MarkStage(obs::Stage::kTxQueued, sim_.Now());
   SendResponse(io.conn, resp);
 }
 

@@ -175,6 +175,8 @@ class DataplaneThread {
   struct RxItem {
     ServerConnection* conn;
     RequestMsg msg;
+    /** NIC arrival time (trace stage kServerRx). */
+    sim::TimeNs rx_time;
   };
   struct CqItem {
     Tenant* tenant;

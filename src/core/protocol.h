@@ -2,8 +2,10 @@
 #define REFLEX_CORE_PROTOCOL_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "core/slo.h"
+#include "obs/trace.h"
 
 namespace reflex::core {
 
@@ -74,6 +76,15 @@ struct RequestMsg {
   // kRegister payload.
   SloSpec slo;
   TenantClass tenant_class = TenantClass::kBestEffort;
+
+  /**
+   * Latency-breakdown trace span for sampled requests (null for the
+   * untraced fast path). Rides along with the parsed message through
+   * the dataplane; each layer timestamps its stage. Models the
+   * request-id correlation a real deployment would do out of band, so
+   * it contributes no wire bytes.
+   */
+  std::shared_ptr<obs::TraceSpan> trace;
 
   /** Bytes this message occupies on the wire (excl. TCP framing). */
   uint32_t WireBytes(uint32_t sector_bytes) const {

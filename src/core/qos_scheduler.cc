@@ -44,6 +44,7 @@ void QosScheduler::Enqueue(sim::TimeNs now, Tenant* tenant, PendingIo io) {
         shared_.read_ratio.IsReadOnly(now));
   }
   io.enqueue_time = now;
+  io.MarkStage(obs::Stage::kEnqueued, now);
   tenant->queue_.push_back(std::move(io));
   tenant->queued_cost_ += tenant->queue_.back().cost;
 }
@@ -72,6 +73,11 @@ void QosScheduler::SubmitFront(sim::TimeNs now, Tenant& t,
   t.tokens_ -= io.cost;
   t.tokens_spent += io.cost;
   shared_.tokens_spent_total += io.cost;
+  io.MarkStage(obs::Stage::kGranted, now);
+  if (metrics_.enabled()) {
+    metrics_.tokens_spent->Add(io.cost);
+    metrics_.requests_submitted->Increment();
+  }
   if (io.msg.type != ReqType::kBarrier) {
     const bool is_read = io.msg.type == ReqType::kRead;
     shared_.read_ratio.Observe(now, is_read);
@@ -89,9 +95,14 @@ int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
     prev_round_time_ = now;
     has_run_ = true;
   }
-  const double dt = sim::ToSeconds(now - prev_round_time_);
+  const sim::TimeNs gap = now - prev_round_time_;
+  const double dt = sim::ToSeconds(gap);
   prev_round_time_ = now;
   int submitted = 0;
+  if (metrics_.enabled()) {
+    metrics_.rounds->Increment();
+    metrics_.round_gap_ns->Record(gap);
+  }
 
   if (!config_.enforce) {
     // Pass-through mode: no token accounting, submit everything
@@ -117,11 +128,13 @@ int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
     Tenant& t = *tp;
     const double gen = t.token_rate_ * dt;
     t.tokens_ += gen;
+    if (metrics_.enabled()) metrics_.tokens_generated->Add(gen);
     t.grant_history_[t.grant_cursor_] = gen;
     t.grant_cursor_ = (t.grant_cursor_ + 1) % 3;
 
     if (t.tokens_ < config_.neg_limit) {
       ++t.neg_limit_hits;
+      if (metrics_.enabled()) metrics_.neg_limit_hits->Increment();
       if (on_neg_limit_) on_neg_limit_(t);
     }
     while (!t.queue_.empty() && t.tokens_ > config_.neg_limit &&
@@ -132,9 +145,17 @@ int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
     const double pos_limit = t.grant_history_[0] + t.grant_history_[1] +
                              t.grant_history_[2];
     if (t.tokens_ > pos_limit) {
-      const double spill = t.tokens_ * config_.donate_fraction;
+      // Alg. 1 lines 13-15: only the *excess above POS_LIMIT* is
+      // donated (scaled by donate_fraction); the tenant keeps its full
+      // burst allowance. Donating a fraction of the whole balance --
+      // the previous behavior -- pulled the balance below POS_LIMIT
+      // and eroded the very burst headroom POS_LIMIT exists to
+      // protect (pinned by QosSchedulerTest.LcDonatesOnlyExcess...).
+      const double spill =
+          (t.tokens_ - pos_limit) * config_.donate_fraction;
       shared_.global_bucket.Donate(spill);
       t.tokens_ -= spill;
+      if (metrics_.enabled()) metrics_.tokens_donated->Add(spill);
     }
   }
 
@@ -142,10 +163,14 @@ int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
   const size_t n = be_tenants_.size();
   for (size_t k = 0; k < n; ++k) {
     Tenant& t = *be_tenants_[(be_cursor_ + k) % n];
-    t.tokens_ += t.token_rate_ * dt;
+    const double gen = t.token_rate_ * dt;
+    t.tokens_ += gen;
+    if (metrics_.enabled()) metrics_.tokens_generated->Add(gen);
     const double deficit = t.queued_cost_ - t.tokens_;
     if (deficit > 0.0) {
-      t.tokens_ += shared_.global_bucket.TryClaim(deficit);
+      const double claimed = shared_.global_bucket.TryClaim(deficit);
+      t.tokens_ += claimed;
+      if (metrics_.enabled()) metrics_.tokens_claimed->Add(claimed);
     }
     while (!t.queue_.empty() && t.tokens_ >= t.queue_.front().cost &&
            !FrontBlockedByBarrier(t)) {
@@ -155,6 +180,7 @@ int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
     if (t.tokens_ > 0.0 && t.queue_.empty()) {
       // DRR-style: idle BE tenants may not hoard tokens.
       shared_.global_bucket.Donate(t.tokens_);
+      if (metrics_.enabled()) metrics_.tokens_donated->Add(t.tokens_);
       t.tokens_ = 0.0;
     }
   }

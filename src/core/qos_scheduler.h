@@ -9,6 +9,7 @@
 #include "core/cost_model.h"
 #include "core/tenant.h"
 #include "core/token_bucket.h"
+#include "obs/hooks.h"
 #include "sim/time.h"
 
 namespace reflex::core {
@@ -102,6 +103,11 @@ class QosScheduler {
     on_neg_limit_ = std::move(fn);
   }
 
+  /** Attaches cached metric handles (all-null struct disables). */
+  void set_metrics(const obs::SchedulerMetrics& metrics) {
+    metrics_ = metrics;
+  }
+
   const RequestCostModel& cost_model() const { return cost_model_; }
 
  private:
@@ -114,6 +120,7 @@ class QosScheduler {
   SchedulerShared& shared_;
   const RequestCostModel& cost_model_;
   Config config_;
+  obs::SchedulerMetrics metrics_;
 
   std::vector<Tenant*> lc_tenants_;
   std::vector<Tenant*> be_tenants_;

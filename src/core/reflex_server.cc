@@ -26,6 +26,8 @@ ReflexServer::ReflexServer(sim::Simulator& sim, net::Network& net,
     REFLEX_FATAL("num_threads=%d out of range [1, %d]",
                  options_.num_threads, options_.max_threads);
   }
+  device_.AttachMetrics(metrics_);
+  net_.AttachMetrics(metrics_);
   control_plane_ = std::make_unique<ControlPlane>(*this);
   shared_.num_threads = 0;
   for (int i = 0; i < options_.num_threads; ++i) AddThreadInternal();
@@ -135,6 +137,35 @@ ResponseMsg ReflexServer::HandleRegisterMsg(ServerConnection* conn,
     }
   }
   return resp;
+}
+
+obs::MetricsRegistry& ReflexServer::SnapshotMetrics() {
+  for (const auto& t : threads_) {
+    const DataplaneStats& s = t->stats();
+    const obs::LabelSet labels = obs::Label("thread", t->index());
+    metrics_.GetGauge("thread_iterations", labels)->Set(s.iterations);
+    metrics_.GetGauge("thread_requests_rx", labels)->Set(s.requests_rx);
+    metrics_.GetGauge("thread_responses_tx", labels)->Set(s.responses_tx);
+    metrics_.GetGauge("thread_busy_ns", labels)->Set(s.busy_ns);
+    metrics_.GetGauge("thread_tcp_ns", labels)->Set(s.tcp_ns);
+    metrics_.GetGauge("thread_sched_ns", labels)->Set(s.sched_ns);
+    metrics_.GetGauge("thread_flash_ns", labels)->Set(s.flash_ns);
+  }
+  for (const Tenant* t : tenant_list_) {
+    const obs::LabelSet labels = obs::Label(
+        "tenant", static_cast<int64_t>(t->handle()));
+    metrics_.GetGauge("tenant_submitted_reads", labels)
+        ->Set(t->submitted_reads);
+    metrics_.GetGauge("tenant_submitted_writes", labels)
+        ->Set(t->submitted_writes);
+    metrics_.GetGauge("tenant_neg_limit_hits", labels)
+        ->Set(t->neg_limit_hits);
+    metrics_.GetGauge("tenant_tokens_spent", labels)
+        ->Set(static_cast<int64_t>(t->tokens_spent));
+    metrics_.GetGauge("tenant_queue_depth", labels)
+        ->Set(static_cast<int64_t>(t->queue_depth()));
+  }
+  return metrics_;
 }
 
 DataplaneStats ReflexServer::AggregateStats() const {

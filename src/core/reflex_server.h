@@ -17,6 +17,8 @@
 #include "flash/calibration.h"
 #include "flash/flash_device.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace reflex::core {
@@ -113,6 +115,20 @@ class ReflexServer {
   /** Sum of per-thread stats. */
   DataplaneStats AggregateStats() const;
 
+  // --- Observability ---
+  /** Metric registry shared by the scheduler, device and network. */
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /** Sink for finished per-request trace spans. */
+  obs::TraceCollector& tracer() { return tracer_; }
+
+  /**
+   * Publishes point-in-time state that is not maintained incrementally
+   * -- per-thread cycle accounting and per-tenant counters/gauges --
+   * into the registry, then returns it. Call before exporting.
+   */
+  obs::MetricsRegistry& SnapshotMetrics();
+
   /** All registered tenants (including unregistered zombies). */
   const std::vector<Tenant*>& tenants() const { return tenant_list_; }
 
@@ -139,6 +155,11 @@ class ReflexServer {
   RequestCostModel cost_model_;
   SchedulerShared shared_;
   AccessControl acl_;
+
+  // Declared before threads_: dataplane threads cache metric handles
+  // out of the registry at construction time.
+  obs::MetricsRegistry metrics_;
+  obs::TraceCollector tracer_;
 
   std::vector<std::unique_ptr<DataplaneThread>> threads_;
   int active_threads_ = 0;

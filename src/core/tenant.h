@@ -20,6 +20,14 @@ struct PendingIo {
   sim::TimeNs enqueue_time = 0;
   /** Token cost, priced at enqueue time (section 3.2.1). */
   double cost = 0.0;
+
+  /** Trace span of a sampled request (null on the untraced path). */
+  obs::TraceSpan* trace() const { return msg.trace.get(); }
+
+  /** Timestamps `stage` if this request is being traced. */
+  void MarkStage(obs::Stage stage, sim::TimeNs now) const {
+    if (msg.trace) msg.trace->Mark(stage, now);
+  }
 };
 
 /**

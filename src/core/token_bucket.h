@@ -2,6 +2,7 @@
 #define REFLEX_CORE_TOKEN_BUCKET_H_
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 
 namespace reflex::core {
@@ -56,7 +57,13 @@ class GlobalTokenBucket {
 
  private:
   static int64_t ToMicro(double tokens) {
-    return static_cast<int64_t>(tokens * 1e6);
+    // llround, not truncation: donations like 0.29 tokens land a hair
+    // below an integer micro-token count (0.29 * 1e6 ==
+    // 289999.99999999994), and truncating every sub-token donation
+    // toward zero silently bleeds tokens out of the system -- about
+    // one token per million fractional donations, which a long-running
+    // scheduler performs continuously.
+    return std::llround(tokens * 1e6);
   }
   static double FromMicro(int64_t micro) {
     return static_cast<double>(micro) / 1e6;

@@ -55,6 +55,7 @@ bool FlashDevice::Submit(QueuePair* qp, const FlashCommand& cmd,
   REFLEX_CHECK(qp != nullptr && qp->dev_ == this);
   if (qp->outstanding_ >= qp->depth_) {
     ++stats_.queue_full_rejections;
+    if (metrics_.enabled()) metrics_.queue_full_rejections->Increment();
     return false;
   }
   if (cmd.sectors == 0 ||
@@ -62,6 +63,7 @@ bool FlashDevice::Submit(QueuePair* qp, const FlashCommand& cmd,
     return false;
   }
   ++qp->outstanding_;
+  if (metrics_.enabled()) metrics_.queue_depth->Add(1);
 
   auto op = std::make_shared<InFlight>();
   op->cmd = cmd;
@@ -155,6 +157,7 @@ void FlashDevice::AdmitWrite(const std::shared_ptr<InFlight>& op) {
     if (rng_.NextBernoulli(profile_.gc_prob_per_flush_chunk)) {
       q += profile_.gc_pause;
       ++stats_.gc_stalls;
+      if (metrics_.enabled()) metrics_.gc_stalls->Increment();
     }
     flush_done = std::max(flush_done, OccupyDie(die, q));
     ++chunks;
@@ -168,10 +171,16 @@ void FlashDevice::AdmitWrite(const std::shared_ptr<InFlight>& op) {
     ++chunks;
   }
   flush_backlog_chunks_ += chunks;
+  if (metrics_.enabled()) {
+    metrics_.flush_backlog_chunks->Set(flush_backlog_chunks_);
+  }
 
   const int pages_held = BufferPagesFor(op->cmd);
   sim_.ScheduleAt(flush_done, [this, chunks, pages_held] {
     flush_backlog_chunks_ -= chunks;
+    if (metrics_.enabled()) {
+      metrics_.flush_backlog_chunks->Set(flush_backlog_chunks_);
+    }
     write_buffer_free_ += pages_held;
     while (!pending_writes_.empty()) {
       auto next = pending_writes_.front().op;
@@ -200,6 +209,16 @@ void FlashDevice::Complete(const std::shared_ptr<InFlight>& op,
     ++stats_.writes_completed;
     stats_.write_sectors += op->cmd.sectors;
     write_latency_.Record(completion.Latency());
+  }
+  if (metrics_.enabled()) {
+    metrics_.queue_depth->Add(-1);
+    if (op->cmd.op == FlashOp::kRead) {
+      metrics_.reads_completed->Increment();
+      metrics_.read_service_ns->Record(completion.Latency());
+    } else {
+      metrics_.writes_completed->Increment();
+      metrics_.write_service_ns->Record(completion.Latency());
+    }
   }
   if (op->cb) op->cb(completion);
 }

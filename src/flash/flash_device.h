@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "flash/device_profile.h"
+#include "obs/hooks.h"
 #include "sim/histogram.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -136,6 +137,11 @@ class FlashDevice {
   const sim::Histogram& read_latency() const { return read_latency_; }
   const sim::Histogram& write_latency() const { return write_latency_; }
 
+  /** Registers device counters/gauges/histograms with `registry`. */
+  void AttachMetrics(obs::MetricsRegistry& registry) {
+    metrics_ = obs::FlashMetrics::ForDevice(registry);
+  }
+
  private:
   struct InFlight {
     FlashCommand cmd;
@@ -180,6 +186,7 @@ class FlashDevice {
   FlashDeviceStats stats_;
   sim::Histogram read_latency_;
   sim::Histogram write_latency_;
+  obs::FlashMetrics metrics_;
 };
 
 }  // namespace reflex::flash

@@ -30,6 +30,7 @@ void TcpConnection::Send(Machine* from, Machine* to, uint32_t bytes,
   // (FIFO serialization). The message is delivered when its last frame
   // finishes on the receiver side.
   uint32_t remaining = bytes;
+  int64_t total_wire_bytes = 0;
   sim::TimeNs last_arrival = sim.Now();
   while (remaining > 0) {
     const uint32_t payload = std::min(remaining, from->nic_.mtu_payload);
@@ -52,7 +53,15 @@ void TcpConnection::Send(Machine* from, Machine* to, uint32_t bytes,
         std::max(at_switch + net_.propagation_, to->rx_free_);
     to->rx_free_ = rx_start + rx_ser;  // link occupancy only
     to->rx_bytes_ += wire_bytes;
+    total_wire_bytes += wire_bytes;
     last_arrival = to->rx_free_ + to->nic_.nic_latency;
+  }
+
+  obs::NetMetrics& metrics = net_.metrics_;
+  if (metrics.enabled()) {
+    metrics.messages->Increment();
+    metrics.wire_bytes->Add(total_wire_bytes);
+    metrics.wire_ns->Record(last_arrival - sim.Now());
   }
 
   sim.ScheduleAt(last_arrival, [this, cb = std::move(on_rx_nic)] {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/stack_costs.h"
+#include "obs/hooks.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -80,6 +81,11 @@ class Network {
 
   sim::Simulator& sim() { return sim_; }
 
+  /** Registers fabric-level counters (messages, wire bytes/time). */
+  void AttachMetrics(obs::MetricsRegistry& registry) {
+    metrics_ = obs::NetMetrics::ForFabric(registry);
+  }
+
  private:
   friend class TcpConnection;
 
@@ -87,6 +93,7 @@ class Network {
   sim::TimeNs switch_latency_;
   sim::TimeNs propagation_;
   std::vector<std::unique_ptr<Machine>> machines_;
+  obs::NetMetrics metrics_;
 };
 
 /**

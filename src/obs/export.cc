@@ -1,0 +1,169 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace reflex::obs {
+namespace {
+
+/** Minimal JSON string escaping (quotes and backslashes only: metric
+ * names and labels are generated identifiers, never arbitrary text). */
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string LabelsJson(const LabelSet& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels.entries()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string HistogramJson(const sim::Histogram& h) {
+  std::string out;
+  out += "\"count\":" + std::to_string(h.Count());
+  out += ",\"mean\":" + FormatDouble(h.Mean());
+  out += ",\"min\":" + std::to_string(h.Min());
+  out += ",\"p50\":" + std::to_string(h.Percentile(0.50));
+  out += ",\"p95\":" + std::to_string(h.Percentile(0.95));
+  out += ",\"p99\":" + std::to_string(h.Percentile(0.99));
+  out += ",\"max\":" + std::to_string(h.Max());
+  return out;
+}
+
+}  // namespace
+
+std::string RegistryToJson(const MetricsRegistry& registry) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricsRegistry::Entry& e : registry.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\"";
+    out += ",\"labels\":" + LabelsJson(e.labels);
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out += ",\"kind\":\"counter\",\"value\":" +
+               FormatDouble(e.counter->value());
+        break;
+      case MetricKind::kGauge:
+        out += ",\"kind\":\"gauge\",\"value\":" +
+               FormatDouble(e.gauge->value());
+        break;
+      case MetricKind::kHistogram:
+        out += ",\"kind\":\"histogram\"," + HistogramJson(*e.histogram);
+        break;
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RegistryToCsv(const MetricsRegistry& registry) {
+  std::string out = "name,labels,kind,value_or_count,mean,p50,p95,p99,max\n";
+  for (const MetricsRegistry::Entry& e : registry.Snapshot()) {
+    out += e.name + "," + e.labels.Render() + ",";
+    char buf[256];
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "counter,%.6g,,,,,\n",
+                      e.counter->value());
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof(buf), "gauge,%.6g,,,,,\n",
+                      e.gauge->value());
+        break;
+      case MetricKind::kHistogram: {
+        const sim::Histogram& h = *e.histogram;
+        std::snprintf(buf, sizeof(buf),
+                      "histogram,%" PRId64 ",%.6g,%" PRId64 ",%" PRId64
+                      ",%" PRId64 ",%" PRId64 "\n",
+                      h.Count(), h.Mean(), h.Percentile(0.50),
+                      h.Percentile(0.95), h.Percentile(0.99), h.Max());
+        break;
+      }
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string BreakdownToJson(const BreakdownTable& table,
+                            const std::string& experiment,
+                            const std::string& label) {
+  std::string out = "{";
+  out += "\"experiment\":\"" + JsonEscape(experiment) + "\"";
+  out += ",\"label\":\"" + JsonEscape(label) + "\"";
+  out += ",\"spans\":" + std::to_string(table.spans);
+  out += ",\"total_mean_us\":" + FormatDouble(table.total_mean_us);
+  out += ",\"total_p95_us\":" + FormatDouble(table.total_p95_us);
+  out += ",\"stage_sum_us\":" + FormatDouble(table.stage_sum_us);
+  out += ",\"stages\":[";
+  bool first = true;
+  for (const BreakdownRow& row : table.rows) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"interval\":\"" + JsonEscape(row.interval) + "\"";
+    out += ",\"stage\":\"" + JsonEscape(row.stage) + "\"";
+    out += ",\"count\":" + std::to_string(row.count);
+    out += ",\"mean_us\":" + FormatDouble(row.mean_us);
+    out += ",\"p95_us\":" + FormatDouble(row.p95_us);
+    out += ",\"mean_per_span_us\":" + FormatDouble(row.mean_per_span_us);
+    out += ",\"share_pct\":" + FormatDouble(row.share_pct);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string BreakdownToCsv(const BreakdownTable& table,
+                           const std::string& experiment,
+                           const std::string& label) {
+  std::string out;
+  char buf[256];
+  for (const BreakdownRow& row : table.rows) {
+    std::snprintf(buf, sizeof(buf),
+                  "breakdown,%s,%s,%s,%" PRId64 ",%.3f,%.3f,%.3f,%.2f\n",
+                  experiment.c_str(), label.c_str(), row.interval.c_str(),
+                  row.count, row.mean_us, row.p95_us, row.mean_per_span_us,
+                  row.share_pct);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "breakdown,%s,%s,total,%" PRId64 ",%.3f,%.3f,%.3f,100.00\n",
+                experiment.c_str(), label.c_str(), table.spans,
+                table.total_mean_us, table.total_p95_us, table.stage_sum_us);
+  out += buf;
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return n == content.size();
+}
+
+}  // namespace reflex::obs

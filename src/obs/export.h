@@ -1,0 +1,53 @@
+#ifndef REFLEX_OBS_EXPORT_H_
+#define REFLEX_OBS_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace reflex::obs {
+
+/**
+ * JSON document for a registry snapshot:
+ *   {"metrics":[{"name":...,"labels":{...},"kind":"counter","value":...},
+ *               {...,"kind":"histogram","count":...,"mean":...,...}]}
+ */
+std::string RegistryToJson(const MetricsRegistry& registry);
+
+/**
+ * CSV for a registry snapshot, one metric (or histogram statistic
+ * column set) per line:
+ *   name,labels,kind,value_or_count,mean,p50,p95,p99,max
+ * Counters/gauges leave the histogram columns empty.
+ */
+std::string RegistryToCsv(const MetricsRegistry& registry);
+
+/**
+ * JSON document for a latency-breakdown table:
+ *   {"experiment":...,"label":...,"spans":N,
+ *    "total_mean_us":...,"total_p95_us":...,"stage_sum_us":...,
+ *    "stages":[{"interval":...,"stage":...,"count":...,...}]}
+ */
+std::string BreakdownToJson(const BreakdownTable& table,
+                            const std::string& experiment,
+                            const std::string& label);
+
+/**
+ * CSV rows for a latency-breakdown table, prefixed so they can be
+ * grepped out of mixed bench output:
+ *   breakdown,<experiment>,<label>,<interval>,<count>,<mean_us>,
+ *   <p95_us>,<mean_per_span_us>,<share_pct>
+ * plus one "total" row carrying spans/total_mean/total_p95/stage_sum.
+ */
+std::string BreakdownToCsv(const BreakdownTable& table,
+                           const std::string& experiment,
+                           const std::string& label);
+
+/** Writes `content` to `path`; returns false (and warns) on failure. */
+bool WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace reflex::obs
+
+#endif  // REFLEX_OBS_EXPORT_H_

@@ -1,0 +1,95 @@
+#ifndef REFLEX_OBS_HOOKS_H_
+#define REFLEX_OBS_HOOKS_H_
+
+#include "obs/metrics.h"
+
+namespace reflex::obs {
+
+/**
+ * Cached metric handles for one QosScheduler (one dataplane thread).
+ * Subsystems hold these structs by value with null handles when
+ * observability is off; every hot-path update is guarded by a single
+ * pointer test. Registration happens once, at thread construction.
+ */
+struct SchedulerMetrics {
+  Counter* tokens_generated = nullptr;
+  Counter* tokens_spent = nullptr;
+  Counter* tokens_donated = nullptr;
+  Counter* tokens_claimed = nullptr;
+  Counter* neg_limit_hits = nullptr;
+  Counter* rounds = nullptr;
+  Counter* requests_submitted = nullptr;
+  /** Gap between consecutive scheduling rounds (ns). */
+  sim::Histogram* round_gap_ns = nullptr;
+
+  bool enabled() const { return rounds != nullptr; }
+
+  static SchedulerMetrics ForThread(MetricsRegistry& registry, int thread) {
+    const LabelSet labels = Label("thread", thread);
+    SchedulerMetrics m;
+    m.tokens_generated = registry.GetCounter("sched_tokens_generated", labels);
+    m.tokens_spent = registry.GetCounter("sched_tokens_spent", labels);
+    m.tokens_donated = registry.GetCounter("sched_tokens_donated", labels);
+    m.tokens_claimed = registry.GetCounter("sched_tokens_claimed", labels);
+    m.neg_limit_hits = registry.GetCounter("sched_neg_limit_hits", labels);
+    m.rounds = registry.GetCounter("sched_rounds", labels);
+    m.requests_submitted =
+        registry.GetCounter("sched_requests_submitted", labels);
+    m.round_gap_ns = registry.GetHistogram("sched_round_gap_ns", labels);
+    return m;
+  }
+};
+
+/** Cached metric handles for one FlashDevice. */
+struct FlashMetrics {
+  /** Commands in flight across all hardware queue pairs. */
+  Gauge* queue_depth = nullptr;
+  Gauge* flush_backlog_chunks = nullptr;
+  Counter* gc_stalls = nullptr;
+  Counter* queue_full_rejections = nullptr;
+  Counter* reads_completed = nullptr;
+  Counter* writes_completed = nullptr;
+  /** Device service time split by op (submit -> completion, ns). */
+  sim::Histogram* read_service_ns = nullptr;
+  sim::Histogram* write_service_ns = nullptr;
+
+  bool enabled() const { return queue_depth != nullptr; }
+
+  static FlashMetrics ForDevice(MetricsRegistry& registry) {
+    FlashMetrics m;
+    m.queue_depth = registry.GetGauge("flash_queue_depth");
+    m.flush_backlog_chunks = registry.GetGauge("flash_flush_backlog_chunks");
+    m.gc_stalls = registry.GetCounter("flash_gc_stalls");
+    m.queue_full_rejections =
+        registry.GetCounter("flash_queue_full_rejections");
+    m.reads_completed = registry.GetCounter("flash_reads_completed");
+    m.writes_completed = registry.GetCounter("flash_writes_completed");
+    m.read_service_ns = registry.GetHistogram("flash_read_service_ns");
+    m.write_service_ns = registry.GetHistogram("flash_write_service_ns");
+    return m;
+  }
+};
+
+/** Cached metric handles for the simulated network fabric. */
+struct NetMetrics {
+  Counter* messages = nullptr;
+  Counter* wire_bytes = nullptr;
+  /** NIC-to-NIC time of one message: serialization + propagation +
+   * switch + NIC latency + link queueing (the wire share of net_in /
+   * net_out; endpoint stack time is charged by the endpoints). */
+  sim::Histogram* wire_ns = nullptr;
+
+  bool enabled() const { return messages != nullptr; }
+
+  static NetMetrics ForFabric(MetricsRegistry& registry) {
+    NetMetrics m;
+    m.messages = registry.GetCounter("net_messages");
+    m.wire_bytes = registry.GetCounter("net_wire_bytes");
+    m.wire_ns = registry.GetHistogram("net_wire_ns");
+    return m;
+  }
+};
+
+}  // namespace reflex::obs
+
+#endif  // REFLEX_OBS_HOOKS_H_

@@ -1,0 +1,102 @@
+#include "obs/trace.h"
+
+namespace reflex::obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kClientIssue: return "client_issue";
+    case Stage::kServerRx:    return "server_rx";
+    case Stage::kParsed:      return "parsed";
+    case Stage::kEnqueued:    return "enqueued";
+    case Stage::kGranted:     return "granted";
+    case Stage::kSubmitted:   return "submitted";
+    case Stage::kFlashDone:   return "flash_done";
+    case Stage::kTxQueued:    return "tx_queued";
+    case Stage::kClientDone:  return "client_done";
+    case Stage::kNumStages:   break;
+  }
+  return "?";
+}
+
+const char* IntervalName(Stage stage) {
+  switch (stage) {
+    case Stage::kClientIssue: return "-";
+    case Stage::kServerRx:    return "net_in";      // client stack + wire
+    case Stage::kParsed:      return "parse";       // batch wait + rx CPU
+    case Stage::kEnqueued:    return "enqueue";     // pricing + queue insert
+    case Stage::kGranted:     return "token_wait";  // QoS queueing delay
+    case Stage::kSubmitted:   return "submit";      // NVMe command build
+    case Stage::kFlashDone:   return "flash";       // device service time
+    case Stage::kTxQueued:    return "complete";    // completion CPU + batch
+    case Stage::kClientDone:  return "net_out";     // wire + client stack
+    case Stage::kNumStages:   break;
+  }
+  return "?";
+}
+
+TraceCollector::TraceCollector() { interval_sum_ns_.fill(0.0); }
+
+void TraceCollector::Finish(const TraceSpan& span) {
+  if (!span.Has(Stage::kClientIssue) || !span.Has(Stage::kClientDone) ||
+      span.At(Stage::kClientIssue) < min_issue_) {
+    ++dropped_;
+    return;
+  }
+  // Walk stages in pipeline order; each marked stage closes the
+  // interval since the previous marked stage. Stages a request skipped
+  // (e.g. kSubmitted for an error reply) contribute nothing, and their
+  // elapsed time collapses into the next marked stage, so the per-span
+  // interval sum is always exactly Total().
+  sim::TimeNs prev = span.At(Stage::kClientIssue);
+  for (int i = 1; i < kNumStages; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    if (!span.Has(stage)) continue;
+    const sim::TimeNs delta = span.At(stage) - prev;
+    intervals_[static_cast<size_t>(i)].Record(delta);
+    interval_sum_ns_[static_cast<size_t>(i)] +=
+        static_cast<double>(delta);
+    prev = span.At(stage);
+  }
+  total_.Record(span.Total());
+  ++finished_;
+}
+
+BreakdownTable TraceCollector::Table() const {
+  BreakdownTable table;
+  table.spans = finished_;
+  table.total_mean_us = total_.Mean() / 1e3;
+  table.total_p95_us = static_cast<double>(total_.Percentile(0.95)) / 1e3;
+  if (finished_ == 0) return table;
+  const double total_sum_ns =
+      total_.Mean() * static_cast<double>(total_.Count());
+  for (int i = 1; i < kNumStages; ++i) {
+    const sim::Histogram& h = intervals_[static_cast<size_t>(i)];
+    if (h.Count() == 0) continue;
+    BreakdownRow row;
+    row.interval = IntervalName(static_cast<Stage>(i));
+    row.stage = StageName(static_cast<Stage>(i));
+    row.count = h.Count();
+    row.mean_us = h.Mean() / 1e3;
+    row.p95_us = static_cast<double>(h.Percentile(0.95)) / 1e3;
+    row.mean_per_span_us = interval_sum_ns_[static_cast<size_t>(i)] /
+                           static_cast<double>(finished_) / 1e3;
+    row.share_pct = total_sum_ns > 0.0
+                        ? 100.0 * interval_sum_ns_[static_cast<size_t>(i)] /
+                              total_sum_ns
+                        : 0.0;
+    table.stage_sum_us += row.mean_per_span_us;
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+void TraceCollector::Reset(sim::TimeNs min_issue) {
+  for (auto& h : intervals_) h.Reset();
+  interval_sum_ns_.fill(0.0);
+  total_.Reset();
+  finished_ = 0;
+  dropped_ = 0;
+  min_issue_ = min_issue;
+}
+
+}  // namespace reflex::obs

@@ -1,0 +1,172 @@
+#ifndef REFLEX_OBS_TRACE_H_
+#define REFLEX_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/histogram.h"
+#include "sim/time.h"
+
+namespace reflex::obs {
+
+/**
+ * Lifecycle stages of one traced request, in pipeline order. A stage
+ * timestamp is the simulated time at which the request *entered* that
+ * stage; the duration attributed to a stage is the gap since the
+ * previous marked stage, so per-request stage durations telescope to
+ * exactly the end-to-end latency (the reconciliation property the
+ * benches assert).
+ */
+enum class Stage : uint8_t {
+  kClientIssue = 0,  // application submits (client library entry)
+  kServerRx,         // last frame of the request reached the server NIC
+  kParsed,           // dataplane parsed + access-checked the request
+  kEnqueued,         // priced and queued in the tenant's software queue
+  kGranted,          // QoS scheduler admitted it (token spend)
+  kSubmitted,        // NVMe command handed to the Flash device
+  kFlashDone,        // Flash completion arrived at the dataplane
+  kTxQueued,         // response handed to the server TCP stack
+  kClientDone,       // client application observed the completion
+  kNumStages,
+};
+
+inline constexpr int kNumStages = static_cast<int>(Stage::kNumStages);
+
+/** Short machine-readable stage name ("server_rx", "flash", ...). */
+const char* StageName(Stage stage);
+
+/**
+ * Human-oriented name of the *interval ending at* a stage, i.e. what
+ * the time between the previous stage and this one was spent on
+ * ("net_in" for kClientIssue->kServerRx, "token_wait" for
+ * kEnqueued->kGranted, ...).
+ */
+const char* IntervalName(Stage stage);
+
+/**
+ * Per-request trace record: absolute timestamps for each stage the
+ * request passed through (-1 = not reached / not applicable, e.g.
+ * barriers never reach kSubmitted). Allocated only for sampled
+ * requests and threaded through RequestMsg/PendingIo, so the untraced
+ * hot path pays one pointer test per stage.
+ */
+struct TraceSpan {
+  std::array<sim::TimeNs, kNumStages> ts;
+  bool is_read = true;
+  uint32_t tenant = 0;
+
+  TraceSpan() { ts.fill(-1); }
+
+  void Mark(Stage stage, sim::TimeNs now) {
+    ts[static_cast<size_t>(stage)] = now;
+  }
+  sim::TimeNs At(Stage stage) const {
+    return ts[static_cast<size_t>(stage)];
+  }
+  bool Has(Stage stage) const { return At(stage) >= 0; }
+
+  /** End-to-end latency; -1 if the span never completed. */
+  sim::TimeNs Total() const {
+    return Has(Stage::kClientIssue) && Has(Stage::kClientDone)
+               ? At(Stage::kClientDone) - At(Stage::kClientIssue)
+               : -1;
+  }
+};
+
+/**
+ * Deterministic 1-in-N sampler (default 1/64, the rate the paper-scale
+ * polling loop can absorb without perturbing the measurement). N == 0
+ * disables tracing entirely; N == 1 traces every request.
+ */
+class TraceSampler {
+ public:
+  explicit TraceSampler(uint32_t every = 0) : every_(every) {}
+
+  bool Sample() {
+    if (every_ == 0) return false;
+    return (counter_++ % every_) == 0;
+  }
+
+  uint32_t every() const { return every_; }
+
+ private:
+  uint32_t every_;
+  uint64_t counter_ = 0;
+};
+
+/** One row of the exported latency-breakdown table. */
+struct BreakdownRow {
+  std::string interval;   // e.g. "flash" (kSubmitted -> kFlashDone)
+  std::string stage;      // stage the interval ends at, e.g. "flash_done"
+  int64_t count = 0;      // spans that passed through this interval
+  double mean_us = 0.0;   // mean over spans that have the interval
+  double p95_us = 0.0;
+  /** Sum of this interval across ALL finished spans / span count: the
+   * column whose per-stage values sum exactly to total_mean_us. */
+  double mean_per_span_us = 0.0;
+  double share_pct = 0.0;  // of total end-to-end time
+};
+
+/** The full exported table plus end-to-end statistics. */
+struct BreakdownTable {
+  std::vector<BreakdownRow> rows;
+  int64_t spans = 0;
+  double total_mean_us = 0.0;
+  double total_p95_us = 0.0;
+  /** Sum over rows of mean_per_span_us (== total_mean_us by
+   * construction, modulo floating point). */
+  double stage_sum_us = 0.0;
+};
+
+/**
+ * Aggregates finished TraceSpans into per-interval histograms. One
+ * collector per server; spans are handed in by the client library once
+ * the application observes the completion.
+ */
+class TraceCollector {
+ public:
+  TraceCollector();
+
+  /** Accounts one finished span. Spans missing kClientIssue or
+   * kClientDone -- or issued before the measurement window (see
+   * Reset) -- are counted as dropped and otherwise ignored. */
+  void Finish(const TraceSpan& span);
+
+  int64_t finished() const { return finished_; }
+  int64_t dropped() const { return dropped_; }
+
+  /** End-to-end latency histogram over finished spans (ns). */
+  const sim::Histogram& total() const { return total_; }
+
+  /** Interval histogram (ns) for the interval ending at `stage`. */
+  const sim::Histogram& interval(Stage stage) const {
+    return intervals_[static_cast<size_t>(stage)];
+  }
+
+  /** Builds the per-stage latency-breakdown table. */
+  BreakdownTable Table() const;
+
+  /**
+   * Discards everything (e.g. at the end of a warmup window). Spans
+   * issued (kClientIssue) before `min_issue` are subsequently dropped,
+   * which aligns the trace population with load generators that only
+   * record requests issued inside the measurement window.
+   */
+  void Reset(sim::TimeNs min_issue = 0);
+
+ private:
+  // Interval histograms are indexed by the stage the interval ends at;
+  // index 0 (kClientIssue) is unused.
+  std::array<sim::Histogram, kNumStages> intervals_;
+  std::array<double, kNumStages> interval_sum_ns_;
+  sim::Histogram total_;
+  int64_t finished_ = 0;
+  int64_t dropped_ = 0;
+  sim::TimeNs min_issue_ = 0;
+};
+
+}  // namespace reflex::obs
+
+#endif  // REFLEX_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "core/cost_model.h"
@@ -131,6 +132,33 @@ TEST_F(QosSchedulerTest, LcSurplusSpillsToGlobalBucket) {
   EXPECT_LT(t.tokens(), 7000.0);
 }
 
+TEST_F(QosSchedulerTest, LcDonatesOnlyExcessAbovePosLimit) {
+  // Pins Alg. 1 lines 13-15: the donation is donate_fraction of the
+  // *excess above POS_LIMIT*, not of the whole balance. Donating a
+  // fraction of the whole balance would pull the tenant below
+  // POS_LIMIT and erode the burst headroom POS_LIMIT protects.
+  Tenant t(1, TenantClass::kLatencyCritical, SloSpec{});
+  t.set_token_rate(100000.0);
+  sched_.AddTenant(&t);
+  shared_.num_threads = 2;  // defer the end-of-round bucket reset
+  sched_.RunRound(0, Collect());           // gen 0
+  sched_.RunRound(Millis(10), Collect());  // gen 1000, tokens 1000
+  sched_.RunRound(Millis(20), Collect());  // gen 1000, tokens 2000
+  sched_.RunRound(Millis(60), Collect());  // gen 4000, tokens 6000
+  // POS_LIMIT = last 3 grants = 1000 + 1000 + 4000 = 6000; tokens are
+  // exactly at the limit, so nothing spills yet.
+  EXPECT_DOUBLE_EQ(shared_.global_bucket.Tokens(), 0.0);
+  EXPECT_NEAR(t.tokens(), 6000.0, 1e-6);
+  sched_.RunRound(Millis(70), Collect());  // gen 1000, tokens 7000
+  // POS_LIMIT = 1000 + 4000 + 1000 = 6000; excess = 1000. With
+  // donate_fraction = 0.9 the bucket gets 900 and the tenant keeps
+  // 6100 -- still >= POS_LIMIT. (The old whole-balance behavior would
+  // donate 6300 and strand the tenant at 700, far below POS_LIMIT.)
+  EXPECT_NEAR(shared_.global_bucket.Tokens(), 900.0, 1e-6);
+  EXPECT_NEAR(t.tokens(), 6100.0, 1e-6);
+  EXPECT_GE(t.tokens(), 6000.0);
+}
+
 TEST_F(QosSchedulerTest, BeRequiresTokensBeforeSubmitting) {
   Tenant t(2, TenantClass::kBestEffort, SloSpec{});
   t.set_token_rate(1000.0);
@@ -223,6 +251,46 @@ TEST_F(QosSchedulerTest, GlobalBucketResetAfterAllThreadsScheduled) {
   EXPECT_NEAR(shared_.global_bucket.Tokens(), 50.0, 1e-6);
   other.RunRound(Millis(1), Collect());
   EXPECT_DOUBLE_EQ(shared_.global_bucket.Tokens(), 0.0);
+}
+
+TEST(SchedulerSharedStressTest, EpochResetSafeUnderRealThreads) {
+  // The epoch-reset protocol (Alg. 1 lines 22-23) is the one piece of
+  // scheduler state shared across OS threads in a real deployment:
+  // exercise MarkRoundComplete + Donate + the bucket reset with
+  // genuine std::threads and check the coordination invariants hold.
+  // (Runs under -fsanitize=address,undefined in CI.)
+  SchedulerShared shared;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 20000;
+  shared.num_threads = kThreads;
+  RequestCostModel cost_model(10.0, 0.5);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, &cost_model, t] {
+      // One scheduler per OS thread, as in the dataplane; no tenants,
+      // so rounds only run the shared coordination path.
+      QosScheduler sched(shared, cost_model);
+      auto noop = [](Tenant&, PendingIo&&) {};
+      for (int i = 0; i < kRounds; ++i) {
+        if ((i + t) % 4 == 0) shared.global_bucket.Donate(0.25);
+        sched.RunRound(i * sim::Micros(10), noop);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every epoch consumed exactly kThreads marks; the epoch counter
+  // advanced (threads kept completing full sets) and the in-progress
+  // epoch never over-counted.
+  EXPECT_GE(shared.reset_epoch.load(), 1u);
+  EXPECT_LE(shared.reset_epoch.load(),
+            static_cast<uint64_t>(kRounds));
+  const int marked = shared.threads_marked.load();
+  EXPECT_GE(marked, 0);
+  EXPECT_LT(marked, kThreads);
+  EXPECT_GE(shared.global_bucket.Tokens(), 0.0);
 }
 
 TEST_F(QosSchedulerTest, TokensSpentTracked) {

@@ -37,6 +37,27 @@ TEST(GlobalTokenBucketTest, FractionalTokens) {
   EXPECT_NEAR(bucket.Tokens(), 1.0, 1e-3);
 }
 
+TEST(GlobalTokenBucketTest, FractionalDonationsDoNotBleedTokens) {
+  // Regression: 0.29 * 1e6 == 289999.99999999994. With truncation
+  // instead of rounding in the micro-token conversion, every such
+  // donation lost a micro-token -- about one whole token per million
+  // fractional donations, a continuous leak in a scheduler that
+  // donates sub-token amounts every round.
+  GlobalTokenBucket bucket;
+  constexpr int kDonations = 1000000;
+  for (int i = 0; i < kDonations; ++i) bucket.Donate(0.29);
+  // Truncation would land at ~289999.0 tokens; rounding is exact.
+  EXPECT_NEAR(bucket.Tokens(), 0.29 * kDonations, 0.01);
+}
+
+TEST(GlobalTokenBucketTest, ClaimRoundTripConservesFractions) {
+  GlobalTokenBucket bucket;
+  bucket.Donate(0.29);
+  const double got = bucket.TryClaim(0.29);
+  EXPECT_NEAR(got, 0.29, 1e-6);
+  EXPECT_DOUBLE_EQ(bucket.Tokens(), 0.0);
+}
+
 TEST(GlobalTokenBucketTest, NegativeAndZeroInputsIgnored) {
   GlobalTokenBucket bucket;
   bucket.Donate(-5.0);

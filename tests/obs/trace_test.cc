@@ -1,0 +1,200 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/export.h"
+
+namespace reflex::obs {
+namespace {
+
+// Builds a fully-marked span with simple round-number stage times.
+TraceSpan FullSpan(sim::TimeNs issue = 0) {
+  TraceSpan s;
+  s.Mark(Stage::kClientIssue, issue);
+  s.Mark(Stage::kServerRx, issue + 1000);
+  s.Mark(Stage::kParsed, issue + 1500);
+  s.Mark(Stage::kEnqueued, issue + 1600);
+  s.Mark(Stage::kGranted, issue + 2600);
+  s.Mark(Stage::kSubmitted, issue + 2700);
+  s.Mark(Stage::kFlashDone, issue + 12700);
+  s.Mark(Stage::kTxQueued, issue + 12900);
+  s.Mark(Stage::kClientDone, issue + 13900);
+  return s;
+}
+
+TEST(TraceSpanTest, MarkHasAndTotal) {
+  TraceSpan s;
+  EXPECT_FALSE(s.Has(Stage::kClientIssue));
+  EXPECT_EQ(s.Total(), -1) << "incomplete span has no total";
+  s.Mark(Stage::kClientIssue, 100);
+  EXPECT_TRUE(s.Has(Stage::kClientIssue));
+  EXPECT_EQ(s.At(Stage::kClientIssue), 100);
+  EXPECT_EQ(s.Total(), -1) << "still missing kClientDone";
+  s.Mark(Stage::kClientDone, 5100);
+  EXPECT_EQ(s.Total(), 5000);
+}
+
+TEST(TraceSpanTest, StageAndIntervalNamesAreStable) {
+  // Exporters and bench consumers key on these strings.
+  EXPECT_STREQ(StageName(Stage::kServerRx), "server_rx");
+  EXPECT_STREQ(StageName(Stage::kFlashDone), "flash_done");
+  EXPECT_STREQ(IntervalName(Stage::kServerRx), "net_in");
+  EXPECT_STREQ(IntervalName(Stage::kGranted), "token_wait");
+  EXPECT_STREQ(IntervalName(Stage::kFlashDone), "flash");
+  EXPECT_STREQ(IntervalName(Stage::kClientDone), "net_out");
+}
+
+TEST(TraceSamplerTest, ZeroDisablesOneAlwaysSamples) {
+  TraceSampler off(0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(off.Sample());
+  TraceSampler all(1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(all.Sample());
+}
+
+TEST(TraceSamplerTest, OneInNIsDeterministicAndExact) {
+  TraceSampler s(64);
+  int sampled = 0;
+  for (int i = 0; i < 64 * 10; ++i) {
+    const bool hit = s.Sample();
+    if (hit) ++sampled;
+    EXPECT_EQ(hit, i % 64 == 0) << "i=" << i;
+  }
+  EXPECT_EQ(sampled, 10);
+}
+
+TEST(TraceCollectorTest, IntervalsTelescopeToTotal) {
+  TraceCollector c;
+  c.Finish(FullSpan());
+  EXPECT_EQ(c.finished(), 1);
+  EXPECT_EQ(c.dropped(), 0);
+  EXPECT_EQ(c.total().Count(), 1);
+  // Every interval histogram got exactly the adjacent-stage delta.
+  EXPECT_DOUBLE_EQ(c.interval(Stage::kServerRx).Mean(), 1000.0);
+  EXPECT_DOUBLE_EQ(c.interval(Stage::kParsed).Mean(), 500.0);
+  EXPECT_DOUBLE_EQ(c.interval(Stage::kGranted).Mean(), 1000.0);
+  EXPECT_DOUBLE_EQ(c.interval(Stage::kFlashDone).Mean(), 10000.0);
+  double sum = 0.0;
+  for (int i = 1; i < kNumStages; ++i) {
+    sum += c.interval(static_cast<Stage>(i)).Mean() *
+           static_cast<double>(c.interval(static_cast<Stage>(i)).Count());
+  }
+  EXPECT_DOUBLE_EQ(sum, 13900.0) << "interval sum == end-to-end total";
+}
+
+TEST(TraceCollectorTest, SkippedStagesCollapseIntoNextMarked) {
+  // An error reply never reaches the flash pipeline: kGranted through
+  // kFlashDone are unmarked, so their time lands in the interval ending
+  // at the next marked stage (kTxQueued) and the telescoping sum still
+  // equals the end-to-end total.
+  TraceSpan s;
+  s.Mark(Stage::kClientIssue, 0);
+  s.Mark(Stage::kServerRx, 1000);
+  s.Mark(Stage::kParsed, 1500);
+  s.Mark(Stage::kEnqueued, 1600);
+  s.Mark(Stage::kTxQueued, 4600);
+  s.Mark(Stage::kClientDone, 5600);
+  TraceCollector c;
+  c.Finish(s);
+  EXPECT_EQ(c.finished(), 1);
+  EXPECT_EQ(c.interval(Stage::kGranted).Count(), 0);
+  EXPECT_EQ(c.interval(Stage::kSubmitted).Count(), 0);
+  EXPECT_EQ(c.interval(Stage::kFlashDone).Count(), 0);
+  // kEnqueued -> kTxQueued gap (3000ns) attributed to "complete".
+  EXPECT_DOUBLE_EQ(c.interval(Stage::kTxQueued).Mean(), 3000.0);
+  double sum = 0.0;
+  for (int i = 1; i < kNumStages; ++i) {
+    const auto& h = c.interval(static_cast<Stage>(i));
+    sum += h.Mean() * static_cast<double>(h.Count());
+  }
+  EXPECT_DOUBLE_EQ(sum, 5600.0);
+}
+
+TEST(TraceCollectorTest, IncompleteSpansAreDropped) {
+  TraceCollector c;
+  TraceSpan no_issue;
+  no_issue.Mark(Stage::kClientDone, 100);
+  c.Finish(no_issue);
+  TraceSpan no_done;
+  no_done.Mark(Stage::kClientIssue, 0);
+  c.Finish(no_done);
+  EXPECT_EQ(c.finished(), 0);
+  EXPECT_EQ(c.dropped(), 2);
+}
+
+TEST(TraceCollectorTest, ResetFiltersSpansIssuedBeforeWindow) {
+  TraceCollector c;
+  c.Finish(FullSpan(0));
+  EXPECT_EQ(c.finished(), 1);
+  // Start a measurement window at t=1ms: history is discarded and
+  // spans issued during warmup no longer pollute the window stats.
+  c.Reset(/*min_issue=*/1000000);
+  EXPECT_EQ(c.finished(), 0);
+  EXPECT_EQ(c.total().Count(), 0);
+  c.Finish(FullSpan(999999));  // issued 1ns before the window
+  EXPECT_EQ(c.finished(), 0);
+  EXPECT_EQ(c.dropped(), 1);
+  c.Finish(FullSpan(1000000));  // issued exactly at the window start
+  EXPECT_EQ(c.finished(), 1);
+  // Plain Reset() clears the filter again.
+  c.Reset();
+  c.Finish(FullSpan(0));
+  EXPECT_EQ(c.finished(), 1);
+}
+
+TEST(TraceCollectorTest, TableStageSumsReconcileWithTotalMean) {
+  TraceCollector c;
+  // Mixed population: full spans plus short-circuited ones, different
+  // magnitudes, so the reconciliation is not an artifact of identical
+  // spans.
+  for (int i = 0; i < 50; ++i) c.Finish(FullSpan(i * 1000));
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan s;
+    s.Mark(Stage::kClientIssue, i * 500);
+    s.Mark(Stage::kServerRx, i * 500 + 900);
+    s.Mark(Stage::kParsed, i * 500 + 1400);
+    s.Mark(Stage::kTxQueued, i * 500 + 2000);
+    s.Mark(Stage::kClientDone, i * 500 + 3100);
+    c.Finish(s);
+  }
+  const BreakdownTable table = c.Table();
+  EXPECT_EQ(table.spans, 60);
+  double sum = 0.0;
+  for (const BreakdownRow& row : table.rows) sum += row.mean_per_span_us;
+  EXPECT_NEAR(sum, table.total_mean_us, 1e-9)
+      << "mean_per_span_us column must sum to the end-to-end mean";
+  EXPECT_NEAR(table.stage_sum_us, table.total_mean_us, 1e-9);
+  double share = 0.0;
+  for (const BreakdownRow& row : table.rows) share += row.share_pct;
+  EXPECT_NEAR(share, 100.0, 1e-9);
+}
+
+TEST(TraceCollectorTest, EmptyTableIsWellFormed) {
+  TraceCollector c;
+  const BreakdownTable table = c.Table();
+  EXPECT_EQ(table.spans, 0);
+  EXPECT_TRUE(table.rows.empty());
+  EXPECT_DOUBLE_EQ(table.stage_sum_us, 0.0);
+}
+
+TEST(TraceExportTest, BreakdownCsvAndJsonCarryIntervalRows) {
+  TraceCollector c;
+  c.Finish(FullSpan());
+  const BreakdownTable table = c.Table();
+
+  const std::string csv = BreakdownToCsv(table, "exp", "lbl");
+  EXPECT_EQ(csv.rfind("breakdown,exp,lbl,net_in,", 0), 0u)
+      << "rows start with the experiment/label prefix";
+  EXPECT_NE(csv.find("breakdown,exp,lbl,flash,"), std::string::npos);
+  EXPECT_NE(csv.find("breakdown,exp,lbl,total,"), std::string::npos);
+
+  const std::string json = BreakdownToJson(table, "exp", "lbl");
+  EXPECT_NE(json.find("\"experiment\":\"exp\""), std::string::npos);
+  EXPECT_NE(json.find("\"interval\":\"token_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage_sum_us\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reflex::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iterator>
 
 #include "sim/random.h"
 
@@ -37,6 +38,71 @@ TEST(HistogramTest, ExactInLinearRange) {
   EXPECT_EQ(h.Percentile(1.0), 63);
   EXPECT_EQ(h.Min(), 0);
   EXPECT_EQ(h.Max(), 63);
+}
+
+TEST(HistogramTest, OctaveBoundariesBucketConsistently) {
+  // Values straddling octave boundaries (the end of the exact linear
+  // range and each power-of-two rollover after it) must land in
+  // buckets whose midpoint stays within the histogram's relative
+  // error, and adjacent boundary values must never swap order.
+  Histogram h(6);  // linear through 63; octaves start at 64
+  const int64_t boundaries[] = {62, 63, 64, 65, 127, 128, 129,
+                                255, 256, 4095, 4096, (1LL << 20) - 1,
+                                1LL << 20, (1LL << 20) + 1};
+  for (int64_t v : boundaries) {
+    Histogram single(6);
+    single.Record(v);
+    const auto p50 = static_cast<double>(single.Percentile(0.5));
+    EXPECT_NEAR(p50, static_cast<double>(v),
+                static_cast<double>(v) * 0.04)
+        << "boundary value " << v;
+    h.Record(v);
+  }
+  // One sample per boundary: quantiles walk the boundaries in order.
+  EXPECT_EQ(h.Count(), static_cast<int64_t>(std::size(boundaries)));
+  EXPECT_EQ(h.Percentile(0.0), 62);
+  EXPECT_EQ(h.Percentile(1.0), (1LL << 20) + 1);
+  int64_t prev = -1;
+  for (size_t i = 1; i <= std::size(boundaries); ++i) {
+    const double q =
+        static_cast<double>(i) / static_cast<double>(std::size(boundaries));
+    const int64_t v = h.Percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, LinearRangeEndIsExactAndFirstOctaveIsNot) {
+  // 63 is the last exactly-stored value with 64 sub-buckets; 64 and
+  // 65 share the first two-wide bucket of octave 1 and read back as
+  // that bucket's midpoint, while 66 belongs to the next bucket.
+  Histogram a(6);
+  a.Record(63);
+  EXPECT_EQ(a.Percentile(0.5), 63);
+
+  Histogram b(6);
+  b.Record(64);
+  Histogram c(6);
+  c.Record(65);
+  // Same bucket => same representative value (clamped to min/max).
+  EXPECT_EQ(b.Percentile(0.5), 64);  // midpoint 65 clamped to max=64
+  EXPECT_EQ(c.Percentile(0.5), 65);
+
+  Histogram d(6);
+  d.Record(66);
+  EXPECT_GT(d.Percentile(0.5), b.Percentile(0.5));
+}
+
+TEST(HistogramTest, PercentileClampsToObservedMinMax) {
+  // Bucket midpoints can exceed the true extremes; Percentile must
+  // clamp to the exactly-tracked min/max at the tails.
+  Histogram h;
+  h.Record(1000001);
+  h.Record(1000001);
+  EXPECT_EQ(h.Percentile(0.0), 1000001);
+  EXPECT_EQ(h.Percentile(1.0), 1000001);
+  EXPECT_EQ(h.Percentile(0.5), 1000001)
+      << "single-bucket population reads back min==max";
 }
 
 TEST(HistogramTest, PercentileMonotone) {
