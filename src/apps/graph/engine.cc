@@ -62,6 +62,8 @@ sim::Task GraphEngine::GatherTask(bool reverse, uint32_t v,
   const uint64_t byte_end = base + end * 4;
   while (byte < byte_end) {
     const uint8_t* page = co_await cache_->GetPage(byte);
+    // The engine has no redundancy: losing graph storage is fatal.
+    REFLEX_CHECK(page != nullptr);
     const uint64_t page_start = byte / PageCache::kPageBytes *
                                 PageCache::kPageBytes;
     const uint64_t take_end =

@@ -396,6 +396,9 @@ sim::Task KvStore::SearchTable(TableRef table, std::string key, bool* found,
   ++stats_.block_reads;
   const uint8_t* page = co_await block_cache_.GetPage(
       table->extent_offset + static_cast<uint64_t>(block) * kBlockBytes);
+  // SSTable blocks have no replica to fall back to: treat persistent
+  // storage failure as fatal.
+  REFLEX_CHECK(page != nullptr);
   co_await sim::Delay(sim_, options_.cpu_per_block_search);
   std::vector<KvEntry> entries = ParseBlock(page);
   const KvEntry* e = FindInBlock(entries, key);

@@ -24,6 +24,7 @@ BlockDevice::BlockDevice(sim::Simulator& sim, core::ReflexServer& server,
   client_options.stack = net::StackCosts::Null();
   client_options.num_connections = options_.num_contexts;
   client_options.seed = options_.seed ^ 0xb10c;
+  client_options.retry = options_.retry;
   client_ = std::make_unique<ReflexClient>(sim, server, machine,
                                            client_options);
   client_->BindAll(tenant_);
@@ -121,6 +122,23 @@ sim::Task BlockDevice::DoChunk(int ctx_index, bool is_read, uint64_t lba,
                                                 ctx_index)
                        : co_await client_->Write(tenant_, lba, sectors,
                                                  data, ctx_index);
+  // blk-mq requeue: transient failures (device error, allocation
+  // pressure, timeout) put the request back on the hardware context
+  // after a delay; permanent errors (bad range, no such tenant) are
+  // completed with the error immediately.
+  int requeues_left = options_.max_requeues;
+  while (!r.ok() && requeues_left > 0 &&
+         (r.status == core::ReqStatus::kDeviceError ||
+          r.status == core::ReqStatus::kOutOfResources ||
+          r.status == core::ReqStatus::kTimedOut)) {
+    --requeues_left;
+    ++requeues_;
+    co_await sim::Delay(sim_, options_.requeue_delay);
+    r = is_read ? co_await client_->Read(tenant_, lba, sectors, data,
+                                         ctx_index)
+                : co_await client_->Write(tenant_, lba, sectors, data,
+                                          ctx_index);
+  }
   if (!r.ok()) *status_out = r.status;
 
   // Completion path: interrupt delivery, then the context's completion

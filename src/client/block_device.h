@@ -50,6 +50,18 @@ class BlockDevice : public StorageBackend {
     uint32_t max_request_sectors = 512;  // 256KB
 
     uint64_t seed = 21;
+
+    /**
+     * blk-mq error handling: requeue a chunk that failed with a
+     * transient status (kDeviceError / kOutOfResources / kTimedOut)
+     * up to this many times before completing the request with the
+     * error. 0 (default) disables requeueing.
+     */
+    int max_requeues = 0;
+    sim::TimeNs requeue_delay = sim::Micros(100);
+
+    /** Failure policy forwarded to the underlying client library. */
+    ReflexClient::RetryPolicy retry;
   };
 
   BlockDevice(sim::Simulator& sim, core::ReflexServer& server,
@@ -84,6 +96,11 @@ class BlockDevice : public StorageBackend {
   int64_t writes_completed() const { return writes_completed_; }
   int64_t bytes_read() const { return bytes_read_; }
   int64_t bytes_written() const { return bytes_written_; }
+  /** Chunks re-issued after a transient failure. */
+  int64_t requeues() const { return requeues_; }
+
+  /** The underlying user-level client (fault counters live there). */
+  ReflexClient& client() { return *client_; }
 
  private:
   struct Context {
@@ -115,6 +132,7 @@ class BlockDevice : public StorageBackend {
   int64_t writes_completed_ = 0;
   int64_t bytes_read_ = 0;
   int64_t bytes_written_ = 0;
+  int64_t requeues_ = 0;
 };
 
 }  // namespace reflex::client

@@ -8,14 +8,16 @@ namespace reflex::client {
 
 PageCache::PageCache(sim::Simulator& sim, client::StorageBackend& backend,
                      uint32_t capacity_pages, int max_outstanding,
-                     int readahead_pages)
+                     int readahead_pages, RetryPolicy retry)
     : sim_(sim),
       backend_(backend),
       capacity_pages_(capacity_pages),
       readahead_pages_(readahead_pages),
+      retry_(retry),
       io_slots_(sim, max_outstanding) {
   REFLEX_CHECK(capacity_pages >= 1);
   REFLEX_CHECK(readahead_pages >= 0);
+  REFLEX_CHECK(retry.max_attempts >= 1);
 }
 
 sim::Future<const uint8_t*> PageCache::GetPage(uint64_t byte_offset) {
@@ -83,13 +85,35 @@ void PageCache::StartFetch(uint64_t page_id) {
 sim::Task PageCache::Fetch(uint64_t page_id) {
   co_await io_slots_.Acquire();
   auto data = std::make_unique<uint8_t[]>(kPageBytes);
-  client::IoResult r = co_await backend_.ReadBytes(
-      page_id * kPageBytes, kPageBytes, data.get());
+  client::IoResult r;
+  int attempt = 0;
+  for (;;) {
+    r = co_await backend_.ReadBytes(page_id * kPageBytes, kPageBytes,
+                                    data.get());
+    ++attempt;
+    // If the range was invalidated while this read was outstanding,
+    // the buffer may hold pre-invalidation data: re-read. Does not
+    // count against the failure-retry budget.
+    if (invalidated_in_flight_.erase(page_id) > 0) {
+      ++stats_.invalidated_refetches;
+      continue;
+    }
+    if (r.ok() || attempt >= retry_.max_attempts) break;
+    ++stats_.fetch_retries;
+    co_await sim::Delay(sim_, retry_.backoff);
+  }
   io_slots_.Release();
   if (!r.ok()) {
-    REFLEX_PANIC("page cache read failed at page %llu (status %d)",
-                 static_cast<unsigned long long>(page_id),
-                 static_cast<int>(r.status));
+    // Persistent failure: surface it to the waiters instead of
+    // panicking the whole simulation; callers decide whether a
+    // missing page is fatal.
+    ++stats_.fetch_failures;
+    auto fl = in_flight_.find(page_id);
+    REFLEX_CHECK(fl != in_flight_.end());
+    for (auto& waiter : fl->second) waiter.Set(nullptr);
+    in_flight_.erase(fl);
+    stream_pages_.erase(page_id);
+    co_return;
   }
 
   EvictIfNeeded();
@@ -111,9 +135,16 @@ void PageCache::Invalidate(uint64_t byte_offset, uint64_t bytes) {
   const uint64_t last = (byte_offset + bytes + kPageBytes - 1) / kPageBytes;
   for (uint64_t page = first; page < last; ++page) {
     auto it = pages_.find(page);
-    if (it == pages_.end()) continue;
-    lru_.erase(it->second.lru_it);
-    pages_.erase(it);
+    if (it != pages_.end()) {
+      lru_.erase(it->second.lru_it);
+      pages_.erase(it);
+    }
+    // A page being fetched right now may complete with data read
+    // before this invalidation; flag it so the fetch re-reads instead
+    // of inserting stale bytes. Also forget any readahead-stream
+    // claim on the range.
+    stream_pages_.erase(page);
+    if (in_flight_.count(page) > 0) invalidated_in_flight_.insert(page);
   }
 }
 

@@ -6,10 +6,12 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "client/storage_backend.h"
 #include "sim/task.h"
+#include "sim/time.h"
 
 namespace reflex::client {
 
@@ -28,6 +30,18 @@ class PageCache {
     int64_t misses = 0;
     int64_t evictions = 0;
     int64_t readaheads = 0;
+    /** Backend read retries before a fetch succeeded or gave up. */
+    int64_t fetch_retries = 0;
+    /** Fetches that exhausted retries (waiters received nullptr). */
+    int64_t fetch_failures = 0;
+    /** Fetches re-issued because the page was invalidated mid-fetch. */
+    int64_t invalidated_refetches = 0;
+  };
+
+  /** Fetch failure policy: attempts per page before giving up. */
+  struct RetryPolicy {
+    int max_attempts = 3;
+    sim::TimeNs backoff = sim::Micros(200);
   };
 
   /**
@@ -36,14 +50,21 @@ class PageCache {
    *        sequential readahead; 0 disables).
    */
   PageCache(sim::Simulator& sim, client::StorageBackend& backend,
+            uint32_t capacity_pages, int max_outstanding,
+            int readahead_pages, RetryPolicy retry);
+
+  PageCache(sim::Simulator& sim, client::StorageBackend& backend,
             uint32_t capacity_pages, int max_outstanding = 64,
-            int readahead_pages = 0);
+            int readahead_pages = 0)
+      : PageCache(sim, backend, capacity_pages, max_outstanding,
+                  readahead_pages, RetryPolicy()) {}
 
   /**
    * Returns a pointer to the page containing `byte_offset` (rounded
    * down to a page boundary). The pointer stays valid until the page
    * is evicted -- callers must copy out what they need before the next
-   * co_await on the cache.
+   * co_await on the cache. Resolves to nullptr if the backend read
+   * failed persistently (after RetryPolicy::max_attempts tries).
    */
   sim::Future<const uint8_t*> GetPage(uint64_t byte_offset);
 
@@ -72,6 +93,7 @@ class PageCache {
   client::StorageBackend& backend_;
   uint32_t capacity_pages_;
   int readahead_pages_;
+  RetryPolicy retry_;
   sim::Semaphore io_slots_;
   /** Recent miss pages, for sequential-pattern detection. */
   std::array<uint64_t, 8> recent_misses_{};
@@ -85,6 +107,12 @@ class PageCache {
   std::unordered_map<uint64_t,
                      std::vector<sim::Promise<const uint8_t*>>>
       in_flight_;
+  /**
+   * In-flight pages invalidated after their fetch was issued: the
+   * outstanding read may return pre-invalidation data, so the fetch
+   * re-reads the backend before inserting into the cache.
+   */
+  std::unordered_set<uint64_t> invalidated_in_flight_;
   Stats stats_;
 };
 

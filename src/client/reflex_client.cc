@@ -1,5 +1,6 @@
 #include "client/reflex_client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.h"
@@ -16,6 +17,12 @@ ReflexClient::ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
       sampler_(options.trace_sample_every) {
   REFLEX_CHECK(options_.num_connections >= 1);
   for (int i = 0; i < options_.num_connections; ++i) OpenConnection();
+  if (retries_enabled()) {
+    obs::MetricsRegistry& registry = server_.metrics();
+    timeouts_metric_ = registry.GetCounter("client_timeouts");
+    retries_metric_ = registry.GetCounter("client_retries");
+    failures_metric_ = registry.GetCounter("client_failures");
+  }
 }
 
 int ReflexClient::OpenConnection() {
@@ -23,6 +30,7 @@ int ReflexClient::OpenConnection() {
       machine_,
       [this](const core::ResponseMsg& resp) { OnResponse(resp); });
   connections_.push_back(conn);
+  conn_timeouts_.push_back(0);
   return static_cast<int>(connections_.size()) - 1;
 }
 
@@ -116,15 +124,109 @@ sim::Future<IoResult> ReflexClient::SubmitIo(core::ReqType type,
   auto future = promise.GetFuture();
   const uint32_t payload_bytes =
       type == core::ReqType::kRead ? sectors * core::kSectorBytes : 0;
-  pending_.emplace(msg.cookie,
-                   PendingOp{std::move(promise), sim_.Now(), payload_bytes,
-                             std::move(trace)});
+  PendingOp op{std::move(promise), sim_.Now(), payload_bytes,
+               std::move(trace)};
+  op.type = type;
+  op.handle = handle;
+  op.lba = lba;
+  op.sectors = sectors;
+  op.data = data;
+  op.conn_index = conn_index;
+  pending_.emplace(msg.cookie, std::move(op));
 
   // Client-side transmit processing, then ship over TCP.
   const uint32_t wire = msg.WireBytes(core::kSectorBytes);
-  sim_.ScheduleAfter(options_.stack.TxCost(wire),
-                     [conn, msg] { conn->Deliver(msg); });
+  const sim::TimeNs tx_cost = options_.stack.TxCost(wire);
+  sim_.ScheduleAfter(tx_cost, [conn, msg] { conn->Deliver(msg); });
+  if (retries_enabled()) ArmTimeout(msg.cookie, /*attempt=*/1, tx_cost);
   return future;
+}
+
+sim::TimeNs ReflexClient::BackoffDelay(int attempt) const {
+  // attempt is the retransmission ordinal (1 = first retry).
+  sim::TimeNs delay = options_.retry.backoff_base;
+  for (int i = 1; i < attempt && delay < options_.retry.backoff_cap; ++i) {
+    delay *= 2;
+  }
+  return std::min(delay, options_.retry.backoff_cap);
+}
+
+void ReflexClient::ArmTimeout(uint64_t cookie, int attempt,
+                              sim::TimeNs extra_delay) {
+  sim_.ScheduleAfter(options_.retry.request_timeout + extra_delay,
+                     [this, cookie, attempt] { OnTimeout(cookie, attempt); });
+}
+
+void ReflexClient::OnTimeout(uint64_t cookie, int attempt) {
+  auto it = pending_.find(cookie);
+  // Completed, or already retransmitted (a newer watchdog is armed).
+  if (it == pending_.end() || it->second.attempts != attempt) return;
+  PendingOp& op = it->second;
+  ++fault_stats_.timeouts;
+  if (timeouts_metric_ != nullptr) timeouts_metric_->Increment();
+
+  const int ci = op.conn_index;
+  if (++conn_timeouts_[ci] >= options_.retry.reconnect_after_timeouts) {
+    ReconnectConnection(ci);
+  }
+
+  const bool idempotent = op.type == core::ReqType::kRead;
+  if (idempotent && op.attempts <= options_.retry.max_retries) {
+    Retransmit(cookie, BackoffDelay(op.attempts));
+    return;
+  }
+  // Writes and barriers are not retransmitted: the request may have
+  // executed and only the response been lost. Surface the uncertainty.
+  PendingOp failed = std::move(it->second);
+  pending_.erase(it);
+  FailPending(std::move(failed), core::ReqStatus::kTimedOut);
+}
+
+void ReflexClient::Retransmit(uint64_t cookie, sim::TimeNs delay) {
+  auto it = pending_.find(cookie);
+  REFLEX_CHECK(it != pending_.end());
+  PendingOp& op = it->second;
+  ++op.attempts;
+  ++fault_stats_.retries;
+  if (retries_metric_ != nullptr) retries_metric_->Increment();
+
+  core::RequestMsg msg;
+  msg.type = op.type;
+  msg.handle = op.handle;
+  msg.lba = op.lba;
+  msg.sectors = op.sectors;
+  msg.data = op.data;
+  msg.cookie = cookie;
+  // The original trace span stays with the pending op; the wire copy
+  // is untraced so server stages are not double-marked.
+
+  core::ServerConnection* conn =
+      connections_[static_cast<size_t>(op.conn_index)];
+  const uint32_t wire = msg.WireBytes(core::kSectorBytes);
+  const sim::TimeNs tx_cost = options_.stack.TxCost(wire);
+  sim_.ScheduleAfter(delay + tx_cost, [conn, msg] { conn->Deliver(msg); });
+  ArmTimeout(cookie, op.attempts, delay + tx_cost);
+}
+
+void ReflexClient::FailPending(PendingOp&& op, core::ReqStatus status) {
+  ++fault_stats_.failures;
+  if (failures_metric_ != nullptr) failures_metric_->Increment();
+  IoResult result;
+  result.status = status;
+  result.issue_time = op.issue_time;
+  result.complete_time = sim_.Now();
+  // The trace never completed; drop it rather than reporting a
+  // partial span as a finished request.
+  op.promise.Set(result);
+}
+
+void ReflexClient::ReconnectConnection(int conn_index) {
+  conn_timeouts_[conn_index] = 0;
+  ++fault_stats_.reconnects;
+  // Model of a reconnect: the TCP session is re-established in place.
+  // Requests lost on the old incarnation are covered by their own
+  // timeout watchdogs.
+  connections_[static_cast<size_t>(conn_index)]->tcp()->Reopen();
 }
 
 void ReflexClient::OnResponse(const core::ResponseMsg& resp) {
@@ -144,7 +246,29 @@ void ReflexClient::OnResponse(const core::ResponseMsg& resp) {
   }
 
   auto it = pending_.find(resp.cookie);
-  REFLEX_CHECK(it != pending_.end());
+  if (it == pending_.end()) {
+    // With retries enabled a late duplicate can arrive after the op
+    // was resolved by an earlier response or a timeout; drop it.
+    // Without retries an unknown cookie is a protocol violation.
+    REFLEX_CHECK(retries_enabled());
+    ++fault_stats_.stale_responses;
+    return;
+  }
+
+  if (retries_enabled()) {
+    conn_timeouts_[it->second.conn_index] = 0;
+    // Transient server-side refusals: retry idempotent reads before
+    // surfacing the error.
+    if (options_.retry.retry_on_error &&
+        it->second.type == core::ReqType::kRead &&
+        (resp.status == core::ReqStatus::kDeviceError ||
+         resp.status == core::ReqStatus::kOutOfResources) &&
+        it->second.attempts <= options_.retry.max_retries) {
+      Retransmit(resp.cookie, BackoffDelay(it->second.attempts));
+      return;
+    }
+  }
+
   PendingOp op = std::move(it->second);
   pending_.erase(it);
 

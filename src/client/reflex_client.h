@@ -27,6 +27,37 @@ namespace reflex::client {
  */
 class ReflexClient {
  public:
+  /**
+   * Failure-handling policy. Disabled by default (request_timeout ==
+   * 0): without timeouts the client behaves exactly as before and
+   * panics on unexpected responses, which is the right mode for the
+   * fault-free benches. With a timeout set, reads (idempotent) are
+   * retransmitted with capped exponential backoff; writes and
+   * barriers fail back to the caller with kTimedOut, since the
+   * library cannot know whether they executed.
+   */
+  struct RetryPolicy {
+    /** 0 disables timeouts and all retry machinery. */
+    sim::TimeNs request_timeout = 0;
+    /** Retransmissions per read on timeout or transient error. */
+    int max_retries = 0;
+    sim::TimeNs backoff_base = sim::Micros(100);
+    sim::TimeNs backoff_cap = sim::Millis(5);
+    /** Also retry reads on kDeviceError / kOutOfResources replies. */
+    bool retry_on_error = true;
+    /** Consecutive timeouts on one connection before reconnecting. */
+    int reconnect_after_timeouts = 3;
+  };
+
+  /** Client-side fault handling outcomes (all zero with retries off). */
+  struct FaultStats {
+    int64_t timeouts = 0;
+    int64_t retries = 0;
+    int64_t failures = 0;
+    int64_t stale_responses = 0;
+    int64_t reconnects = 0;
+  };
+
   struct Options {
     net::StackCosts stack = net::StackCosts::IxDataplane();
     /** Number of TCP connections to open up front. */
@@ -38,6 +69,7 @@ class ReflexClient {
      * TraceCollector; see DESIGN.md "Observability".
      */
     uint32_t trace_sample_every = 0;
+    RetryPolicy retry;
   };
 
   ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
@@ -85,6 +117,8 @@ class ReflexClient {
   /** Binds all connections to a tenant's dataplane thread. */
   void BindAll(uint32_t tenant_handle);
 
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
  private:
   struct PendingOp {
     sim::Promise<IoResult> promise;
@@ -92,12 +126,34 @@ class ReflexClient {
     uint32_t payload_bytes;
     /** Sampled-request trace; null on the untraced path. */
     std::shared_ptr<obs::TraceSpan> trace;
+    // Retransmission state (populated only with retries enabled).
+    core::ReqType type = core::ReqType::kRead;
+    uint32_t handle = 0;
+    uint64_t lba = 0;
+    uint32_t sectors = 0;
+    uint8_t* data = nullptr;
+    int conn_index = 0;
+    int attempts = 1;
   };
 
+  bool retries_enabled() const {
+    return options_.retry.request_timeout > 0;
+  }
   sim::Future<IoResult> SubmitIo(core::ReqType type, uint32_t handle,
                                  uint64_t lba, uint32_t sectors,
                                  uint8_t* data, int conn_index);
   void OnResponse(const core::ResponseMsg& resp);
+  /** Capped exponential backoff before retransmission `attempt`. */
+  sim::TimeNs BackoffDelay(int attempt) const;
+  /** Schedules the timeout watchdog for (cookie, attempt). */
+  void ArmTimeout(uint64_t cookie, int attempt, sim::TimeNs extra_delay);
+  void OnTimeout(uint64_t cookie, int attempt);
+  /** Resends the request for `cookie` after `delay`. */
+  void Retransmit(uint64_t cookie, sim::TimeNs delay);
+  /** Resolves a pending op with a failure status. */
+  void FailPending(PendingOp&& op, core::ReqStatus status);
+  /** Re-establishes a reset/suspect connection in place. */
+  void ReconnectConnection(int conn_index);
 
   sim::Simulator& sim_;
   core::ReflexServer& server_;
@@ -106,6 +162,8 @@ class ReflexClient {
   sim::Rng rng_;
 
   std::vector<core::ServerConnection*> connections_;
+  /** Consecutive timeouts per connection (reconnect trigger). */
+  std::vector<int> conn_timeouts_;
   int next_conn_ = 0;
   obs::TraceSampler sampler_;
 
@@ -113,6 +171,11 @@ class ReflexClient {
   std::unordered_map<uint64_t, PendingOp> pending_;
   std::unordered_map<uint64_t, sim::Promise<core::ResponseMsg>>
       pending_control_;
+
+  FaultStats fault_stats_;
+  obs::Counter* timeouts_metric_ = nullptr;
+  obs::Counter* retries_metric_ = nullptr;
+  obs::Counter* failures_metric_ = nullptr;
 };
 
 }  // namespace reflex::client

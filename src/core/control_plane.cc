@@ -91,13 +91,28 @@ void ControlPlane::RecomputeRates() {
     scheduler_token_rate_ =
         server_.calibration().MaxTokenRateForSlo(strictest);
   }
-  const double be_share =
+  double be_share =
       num_be > 0
           ? std::max(0.0, scheduler_token_rate_ - lc_rate_sum) / num_be
           : 0.0;
+  // Shed best-effort load while the device is browned out or errors
+  // are elevated: LC reservations are untouched, BE tenants are
+  // throttled to a trickle until the fault clears.
+  if (be_shed_active()) be_share *= server_.options().be_shed_factor;
   for (Tenant* t : server_.tenants()) {
     if (t->active() && !t->IsLatencyCritical()) t->set_token_rate(be_share);
   }
+}
+
+void ControlPlane::OnBrownout(bool active) {
+  brownout_depth_ += active ? 1 : -1;
+  if (brownout_depth_ < 0) brownout_depth_ = 0;
+  RecomputeRates();
+}
+
+double ControlPlane::TenantErrorRate(uint32_t handle) const {
+  auto it = tenant_error_rates_.find(handle);
+  return it == tenant_error_rates_.end() ? 0.0 : it->second;
 }
 
 int ControlPlane::PickThreadForTenant() const {
@@ -141,8 +156,13 @@ bool ControlPlane::ScaleTo(int n) {
     }
     server_.active_threads_ = n;
     server_.shared().num_threads = n;
+    // Marks collected under the old thread count are meaningless for
+    // the new quorum; start a fresh epoch (the grow path resets in
+    // AddThreadInternal).
+    server_.shared().ResetMarks();
   }
   RebalanceTenants();
+  if (monitor_running_) ResetMonitorBaselines();
   return true;
 }
 
@@ -182,16 +202,64 @@ void ControlPlane::StartMonitor() {
   MonitorLoop();
 }
 
+void ControlPlane::ResetMonitorBaselines() {
+  const int n = server_.num_threads();
+  last_busy_ns_.assign(n, 0);
+  for (int i = 0; i < n; ++i) {
+    last_busy_ns_[i] = server_.thread(i).stats().busy_ns;
+  }
+  last_monitor_time_ = server_.sim().Now();
+}
+
+void ControlPlane::UpdateErrorRates(sim::TimeNs window) {
+  const double window_sec = sim::ToSeconds(window);
+  int64_t total_errors = 0;
+  int64_t total_responses = 0;
+  for (int i = 0; i < server_.num_threads(); ++i) {
+    const DataplaneStats& s = server_.thread(i).stats();
+    total_errors += s.error_responses;
+    total_responses += s.responses_tx;
+  }
+  for (Tenant* t : server_.tenants()) {
+    int64_t& last = last_tenant_errors_[t->handle()];
+    const int64_t delta = t->errors - last;
+    last = t->errors;
+    tenant_error_rates_[t->handle()] =
+        window_sec > 0.0 ? static_cast<double>(delta) / window_sec : 0.0;
+  }
+  const int64_t err_delta = total_errors - last_total_errors_;
+  const int64_t resp_delta = total_responses - last_total_responses_;
+  last_total_errors_ = total_errors;
+  last_total_responses_ = total_responses;
+  if (resp_delta <= 0) return;
+  const double fraction =
+      static_cast<double>(err_delta) / static_cast<double>(resp_delta);
+  const double threshold = server_.options().error_shed_fraction;
+  // Hysteresis: engage above the threshold, disengage below half of
+  // it, so the shed decision does not flap around the boundary.
+  if (!error_shed_ && fraction > threshold) {
+    error_shed_ = true;
+    RecomputeRates();
+  } else if (error_shed_ && fraction < threshold / 2.0) {
+    error_shed_ = false;
+    RecomputeRates();
+  }
+}
+
 sim::Task ControlPlane::MonitorLoop() {
   sim::Simulator& sim = server_.sim();
-  last_monitor_time_ = sim.Now();
+  ResetMonitorBaselines();
   for (;;) {
     co_await sim::Delay(sim, server_.options().monitor_interval);
     const sim::TimeNs now = sim.Now();
     const sim::TimeNs window = now - last_monitor_time_;
     last_monitor_time_ = now;
+    if (window <= 0) continue;
     const int n = server_.num_active_threads();
-    last_busy_ns_.resize(server_.num_threads(), 0);
+    if (last_busy_ns_.size() < static_cast<size_t>(server_.num_threads())) {
+      last_busy_ns_.resize(server_.num_threads(), 0);
+    }
+    UpdateErrorRates(window);
     double max_util = 0.0;
     double total_util = 0.0;
     for (int i = 0; i < n; ++i) {

@@ -2,6 +2,7 @@
 #define REFLEX_CORE_CONTROL_PLANE_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/protocol.h"
@@ -83,9 +84,40 @@ class ControlPlane {
    */
   void StartMonitor();
 
+  /**
+   * Fault-plan notification: a device brownout window opened (active)
+   * or closed. While any brownout is open the control plane sheds
+   * best-effort load (token share scaled by be_shed_factor) so LC
+   * tenants keep their reservations on the degraded device.
+   */
+  void OnBrownout(bool active);
+
+  /** True while BE load is being shed (brownout or error rate). */
+  bool be_shed_active() const {
+    return brownout_depth_ > 0 || error_shed_;
+  }
+
+  /**
+   * Errors/sec for `handle` over the last monitor window (0 when the
+   * monitor is not running or the tenant is unknown).
+   */
+  double TenantErrorRate(uint32_t handle) const;
+
  private:
   sim::Task MonitorLoop();
   int PickThreadForTenant() const;
+
+  /**
+   * Re-anchors the per-thread busy_ns baselines at the current stats.
+   * Must be called when the active thread set changes (ScaleTo):
+   * utilization deltas computed against baselines from a different
+   * thread configuration misattribute a whole lifetime of busy time
+   * to one window and trigger spurious scaling.
+   */
+  void ResetMonitorBaselines();
+
+  /** Updates per-tenant error rates and the shed decision. */
+  void UpdateErrorRates(sim::TimeNs window);
 
   ReflexServer& server_;
   double scheduler_token_rate_ = 0.0;
@@ -97,6 +129,14 @@ class ControlPlane {
   // Utilization snapshot state for the monitor.
   std::vector<sim::TimeNs> last_busy_ns_;
   sim::TimeNs last_monitor_time_ = 0;
+
+  // Fault handling state.
+  int brownout_depth_ = 0;
+  bool error_shed_ = false;
+  std::unordered_map<uint32_t, int64_t> last_tenant_errors_;
+  std::unordered_map<uint32_t, double> tenant_error_rates_;
+  int64_t last_total_errors_ = 0;
+  int64_t last_total_responses_ = 0;
 };
 
 }  // namespace reflex::core

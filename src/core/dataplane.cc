@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/reflex_server.h"
+#include "sim/fault.h"
 #include "sim/logging.h"
 
 namespace reflex::core {
@@ -55,8 +56,14 @@ DataplaneThread::~DataplaneThread() {
 void DataplaneThread::Start() {
   REFLEX_CHECK(!running_);
   running_ = true;
-  start_time_ = sim_.Now();
-  RunLoop();
+  if (!ever_started_) {
+    ever_started_ = true;
+    start_time_ = sim_.Now();
+  }
+  // If Shutdown was followed by Start before the old coroutine
+  // observed running_ == false, that loop simply keeps going; only
+  // spawn a fresh one once the previous loop has fully unwound.
+  if (!loop_active_) RunLoop();
 }
 
 void DataplaneThread::Shutdown() {
@@ -114,6 +121,7 @@ double DataplaneThread::LlcFactor() const {
 }
 
 sim::Task DataplaneThread::RunLoop() {
+  loop_active_ = true;
   while (running_) {
     if (rx_ring_.empty() && cq_ring_.empty()) {
       // Nothing to poll. A real dataplane would spin; we sleep until a
@@ -215,6 +223,28 @@ sim::Task DataplaneThread::RunLoop() {
         SendResponse(item.conn, resp);
         continue;
       }
+      // Server-level fault injection: a request that passed admission
+      // may still be refused, modeling dataplane allocation failures
+      // and device errors detected before submission.
+      if (server_.fault_plan() != nullptr && msg.type != ReqType::kBarrier) {
+        sim::FaultPlan& plan = *server_.fault_plan();
+        ReqStatus forced = ReqStatus::kOk;
+        if (plan.Roll(sim::FaultKind::kServerDeviceError)) {
+          forced = ReqStatus::kDeviceError;
+        } else if (plan.Roll(sim::FaultKind::kServerOutOfResources)) {
+          forced = ReqStatus::kOutOfResources;
+        }
+        if (forced != ReqStatus::kOk) {
+          ResponseMsg resp;
+          resp.type = msg.type == ReqType::kRead ? RespType::kResponse
+                                                 : RespType::kWritten;
+          resp.status = forced;
+          resp.handle = msg.handle;
+          resp.cookie = msg.cookie;
+          SendResponse(item.conn, resp);
+          continue;
+        }
+      }
       PendingIo io;
       io.msg = msg;
       io.conn = item.conn;
@@ -257,6 +287,7 @@ sim::Task DataplaneThread::RunLoop() {
       SendResponse(item.io.conn, resp);
     }
   }
+  loop_active_ = false;
 }
 
 void DataplaneThread::HandleControlMsg(ServerConnection* conn,
@@ -307,6 +338,11 @@ void DataplaneThread::SubmitToFlash(Tenant& tenant, PendingIo&& io) {
 void DataplaneThread::SendResponse(ServerConnection* conn,
                                    const ResponseMsg& resp) {
   ++stats_.responses_tx;
+  if (resp.status != ReqStatus::kOk) {
+    ++stats_.error_responses;
+    Tenant* tenant = server_.FindTenant(resp.handle);
+    if (tenant != nullptr) ++tenant->errors;
+  }
   ServerConnection* c = conn;
   ResponseMsg r = resp;
   conn->tcp()->SendToClient(resp.WireBytes(kSectorBytes), [c, r] {

@@ -116,6 +116,8 @@ struct DataplaneStats {
   int64_t iterations = 0;
   int64_t requests_rx = 0;
   int64_t responses_tx = 0;
+  /** Responses sent with a non-kOk status (any cause). */
+  int64_t error_responses = 0;
   int64_t sched_rounds = 0;
   int64_t flash_submitted = 0;
   sim::TimeNs busy_ns = 0;
@@ -143,11 +145,18 @@ class DataplaneThread {
   DataplaneThread(const DataplaneThread&) = delete;
   DataplaneThread& operator=(const DataplaneThread&) = delete;
 
-  /** Starts the polling loop. */
+  /**
+   * Starts the polling loop. Restartable: a thread stopped by
+   * Shutdown() (control-plane scale-down) can be started again when
+   * the server scales back up.
+   */
   void Start();
 
   /** Stops the loop (the thread finishes its current iteration). */
   void Shutdown();
+
+  /** True between Start() and Shutdown(). */
+  bool running() const { return running_; }
 
   int index() const { return index_; }
   QosScheduler& scheduler() { return scheduler_; }
@@ -206,6 +215,10 @@ class DataplaneThread {
   std::deque<CqItem> cq_ring_;
 
   bool running_ = false;
+  /** True while a RunLoop coroutine is alive (it may outlive running_
+   * by one iteration after Shutdown). */
+  bool loop_active_ = false;
+  bool ever_started_ = false;
   bool idle_ = false;
   bool resched_armed_ = false;
   std::optional<sim::VoidPromise> wake_promise_;

@@ -46,6 +46,11 @@ enum class ReqStatus : uint8_t {
   kOutOfResources = 3,  // registration rejected (inadmissible SLO)
   kInvalidRange = 4,
   kDeviceError = 5,
+  /**
+   * Synthesized locally by the client when no response arrived within
+   * its request timeout (never carried on the wire).
+   */
+  kTimedOut = 6,
 };
 
 /** Logical sector size used by the ReFlex block protocol. */

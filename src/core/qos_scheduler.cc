@@ -27,7 +27,14 @@ void QosScheduler::RemoveTenant(Tenant* tenant) {
     return true;
   };
   if (!erase_from(lc_tenants_)) {
-    REFLEX_CHECK(erase_from(be_tenants_));
+    auto it = std::find(be_tenants_.begin(), be_tenants_.end(), tenant);
+    REFLEX_CHECK(it != be_tenants_.end());
+    const size_t idx = static_cast<size_t>(it - be_tenants_.begin());
+    be_tenants_.erase(it);
+    // Erasing below the cursor shifts every later tenant down one
+    // slot; keep the cursor pointing at the same next-to-serve tenant
+    // so the round-robin rotation is unaffected by removals.
+    if (idx < be_cursor_) --be_cursor_;
     if (be_cursor_ >= be_tenants_.size()) be_cursor_ = 0;
   }
 }

@@ -31,6 +31,17 @@ struct SchedulerShared {
   std::atomic<int> threads_marked{0};
   std::atomic<uint64_t> reset_epoch{0};
 
+  /**
+   * Discards all marks and starts a fresh epoch. Must be called
+   * whenever num_threads changes (scale up or down): marks collected
+   * under the old thread count would otherwise trigger the global
+   * bucket reset too early or hold it back past the new quorum.
+   */
+  void ResetMarks() {
+    threads_marked.store(0, std::memory_order_release);
+    reset_epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   /** Cumulative tokens spent across all threads (Figure 6a metric). */
   double tokens_spent_total = 0.0;
 };

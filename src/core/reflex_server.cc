@@ -39,14 +39,40 @@ ReflexServer::~ReflexServer() {
 }
 
 DataplaneThread* ReflexServer::AddThreadInternal() {
+  // Scale-down only stops threads; the objects (and their hardware
+  // queue pairs) stay in threads_. Scaling back up must restart the
+  // first stopped thread rather than append a new one -- otherwise
+  // active_threads_ stops matching the live index range and the
+  // round-robin in Connect / PickThreadForTenant routes connections
+  // to a shut-down thread.
+  if (active_threads_ < static_cast<int>(threads_.size())) {
+    DataplaneThread* thread = threads_[active_threads_].get();
+    ++active_threads_;
+    shared_.num_threads = active_threads_;
+    shared_.ResetMarks();
+    thread->Start();
+    return thread;
+  }
   const int index = static_cast<int>(threads_.size());
   threads_.emplace_back(std::make_unique<DataplaneThread>(
       sim_, *this, index, device_, shared_, cost_model_,
       options_.dataplane, options_.qos));
   ++active_threads_;
   shared_.num_threads = active_threads_;
+  shared_.ResetMarks();
   threads_.back()->Start();
   return threads_.back().get();
+}
+
+void ReflexServer::SetFaultPlan(sim::FaultPlan* plan) {
+  fault_plan_ = plan;
+  if (plan == nullptr || brownout_listener_added_) return;
+  brownout_listener_added_ = true;
+  plan->AddWindowListener(
+      [this](sim::FaultKind kind, uint64_t /*id*/, bool active) {
+        if (kind != sim::FaultKind::kFlashBrownout) return;
+        control_plane_->OnBrownout(active);
+      });
 }
 
 Tenant* ReflexServer::CreateTenant(const SloSpec& slo, TenantClass cls) {
@@ -146,6 +172,8 @@ obs::MetricsRegistry& ReflexServer::SnapshotMetrics() {
     metrics_.GetGauge("thread_iterations", labels)->Set(s.iterations);
     metrics_.GetGauge("thread_requests_rx", labels)->Set(s.requests_rx);
     metrics_.GetGauge("thread_responses_tx", labels)->Set(s.responses_tx);
+    metrics_.GetGauge("thread_error_responses", labels)
+        ->Set(s.error_responses);
     metrics_.GetGauge("thread_busy_ns", labels)->Set(s.busy_ns);
     metrics_.GetGauge("thread_tcp_ns", labels)->Set(s.tcp_ns);
     metrics_.GetGauge("thread_sched_ns", labels)->Set(s.sched_ns);
@@ -164,6 +192,16 @@ obs::MetricsRegistry& ReflexServer::SnapshotMetrics() {
         ->Set(static_cast<int64_t>(t->tokens_spent));
     metrics_.GetGauge("tenant_queue_depth", labels)
         ->Set(static_cast<int64_t>(t->queue_depth()));
+    metrics_.GetGauge("tenant_errors", labels)->Set(t->errors);
+  }
+  if (fault_plan_ != nullptr) {
+    for (int k = 0; k < sim::kNumFaultKinds; ++k) {
+      const auto kind = static_cast<sim::FaultKind>(k);
+      metrics_
+          .GetGauge("faults_injected",
+                    obs::Label("kind", sim::FaultKindName(kind)))
+          ->Set(fault_plan_->injected(kind));
+    }
   }
   return metrics_;
 }
@@ -175,6 +213,7 @@ DataplaneStats ReflexServer::AggregateStats() const {
     agg.iterations += s.iterations;
     agg.requests_rx += s.requests_rx;
     agg.responses_tx += s.responses_tx;
+    agg.error_responses += s.error_responses;
     agg.sched_rounds += s.sched_rounds;
     agg.flash_submitted += s.flash_submitted;
     agg.busy_ns += s.busy_ns;

@@ -19,6 +19,7 @@
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace reflex::core {
@@ -50,6 +51,21 @@ struct ServerOptions {
    * per-frame headers and almost no per-connection state.
    */
   net::Transport transport = net::Transport::kTcp;
+
+  /**
+   * Multiplier applied to the best-effort token share while the
+   * control plane sheds load (device brownout or elevated error
+   * rate). 0.1 keeps BE tenants barely alive so their queues drain
+   * once the fault clears.
+   */
+  double be_shed_factor = 0.1;
+
+  /**
+   * Fraction of non-kOk responses (per monitor window) above which
+   * the control plane starts shedding BE load; shedding stops once
+   * the rate falls below half this threshold (hysteresis).
+   */
+  double error_shed_fraction = 0.05;
 };
 
 /**
@@ -107,6 +123,16 @@ class ReflexServer {
   ControlPlane& control_plane() { return *control_plane_; }
   SchedulerShared& shared() { return shared_; }
   const ServerOptions& options() const { return options_; }
+
+  /**
+   * Attaches a fault-injection plan (null detaches). Dataplane threads
+   * roll kServerDeviceError / kServerOutOfResources per request, and
+   * kFlashBrownout windows notify the control plane so it can shed
+   * best-effort load for the duration. The flash device and network
+   * must be wired separately (they are independent subsystems).
+   */
+  void SetFaultPlan(sim::FaultPlan* plan);
+  sim::FaultPlan* fault_plan() const { return fault_plan_; }
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
   int num_active_threads() const { return active_threads_; }
@@ -172,6 +198,8 @@ class ReflexServer {
   size_t next_conn_thread_ = 0;
 
   std::unique_ptr<ControlPlane> control_plane_;
+  sim::FaultPlan* fault_plan_ = nullptr;
+  bool brownout_listener_added_ = false;
 };
 
 }  // namespace reflex::core

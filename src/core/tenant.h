@@ -88,6 +88,8 @@ class Tenant {
   double tokens_spent = 0.0;
   /** I/Os submitted to the device and not yet completed (barriers). */
   int64_t inflight = 0;
+  /** Non-kOk responses sent on behalf of this tenant. */
+  int64_t errors = 0;
 
  private:
   friend class QosScheduler;

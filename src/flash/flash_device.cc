@@ -76,6 +76,19 @@ bool FlashDevice::Submit(QueuePair* qp, const FlashCommand& cmd,
     if (cmd.data != nullptr) CopyFromStore(cmd);
     StartRead(op);
   } else {
+    if (fault_ != nullptr &&
+        fault_->Roll(sim::FaultKind::kFlashWriteError,
+                     (cmd.lba / profile_.SectorsPerPage()) %
+                         die_free_.size())) {
+      // Media error during programming: the data never reaches the
+      // store; fail at the normal buffer-ack latency.
+      ++stats_.write_errors;
+      if (metrics_.enabled()) metrics_.write_errors->Increment();
+      sim_.ScheduleAfter(
+          profile_.write_buffer_latency + profile_.fixed_op_overhead / 4,
+          [this, op] { Complete(op, FlashStatus::kMediaError); });
+      return true;
+    }
     if (cmd.data != nullptr) CopyToStore(cmd);
     last_write_time_ = sim_.Now();
     const int pages = BufferPagesFor(cmd);
@@ -106,6 +119,15 @@ sim::TimeNs FlashDevice::ReadServiceQuantum() {
       static_cast<double>(base), profile_.service_sigma));
 }
 
+sim::TimeNs FlashDevice::FaultScaled(sim::TimeNs service) const {
+  if (fault_ != nullptr &&
+      fault_->WindowActive(sim::FaultKind::kFlashBrownout)) {
+    return static_cast<sim::TimeNs>(static_cast<double>(service) *
+                                    fault_->brownout_slowdown());
+  }
+  return service;
+}
+
 sim::TimeNs FlashDevice::OccupyDie(uint64_t die, sim::TimeNs service) {
   const int d = static_cast<int>(die % die_free_.size());
   const sim::TimeNs start = std::max(sim_.Now(), die_free_[d]);
@@ -120,10 +142,25 @@ void FlashDevice::StartRead(const std::shared_ptr<InFlight>& op) {
   const uint64_t last_page = (op->cmd.lba + op->cmd.sectors - 1) / spp;
   sim::TimeNs done = sim_.Now();
   for (uint64_t page = first_page; page <= last_page; ++page) {
-    done = std::max(done, OccupyDie(page, ReadServiceQuantum()));
+    done = std::max(done, OccupyDie(page, FaultScaled(ReadServiceQuantum())));
   }
   done += profile_.read_pipeline_latency + profile_.fixed_op_overhead;
-  sim_.ScheduleAt(done, [this, op] { Complete(op, FlashStatus::kOk); });
+  FlashStatus status = FlashStatus::kOk;
+  if (fault_ != nullptr) {
+    const uint64_t die = first_page % die_free_.size();
+    if (fault_->Roll(sim::FaultKind::kFlashReadError, die)) {
+      // Uncorrectable read: the dies were still occupied (the
+      // controller retried internally), but the data is lost.
+      status = FlashStatus::kMediaError;
+      ++stats_.read_errors;
+      if (metrics_.enabled()) metrics_.read_errors->Increment();
+    }
+    if (fault_->Roll(sim::FaultKind::kFlashLatencySpike, die)) {
+      done += fault_->latency_spike();
+      ++stats_.latency_spikes;
+    }
+  }
+  sim_.ScheduleAt(done, [this, op, status] { Complete(op, status); });
 }
 
 void FlashDevice::AdmitWrite(const std::shared_ptr<InFlight>& op) {
@@ -159,7 +196,7 @@ void FlashDevice::AdmitWrite(const std::shared_ptr<InFlight>& op) {
       ++stats_.gc_stalls;
       if (metrics_.enabled()) metrics_.gc_stalls->Increment();
     }
-    flush_done = std::max(flush_done, OccupyDie(die, q));
+    flush_done = std::max(flush_done, OccupyDie(die, FaultScaled(q)));
     ++chunks;
   }
   if (frac > 1e-9) {
@@ -167,7 +204,7 @@ void FlashDevice::AdmitWrite(const std::shared_ptr<InFlight>& op) {
         frac * static_cast<double>(profile_.read_service_mixed));
     const int die = next_flush_die_++;
     if (next_flush_die_ >= profile_.num_dies) next_flush_die_ = 0;
-    flush_done = std::max(flush_done, OccupyDie(die, q));
+    flush_done = std::max(flush_done, OccupyDie(die, FaultScaled(q)));
     ++chunks;
   }
   flush_backlog_chunks_ += chunks;
@@ -201,23 +238,30 @@ void FlashDevice::Complete(const std::shared_ptr<InFlight>& op,
   completion.cookie = op->cmd.cookie;
   completion.submit_time = op->submit_time;
   completion.complete_time = sim_.Now();
-  if (op->cmd.op == FlashOp::kRead) {
-    ++stats_.reads_completed;
-    stats_.read_sectors += op->cmd.sectors;
-    read_latency_.Record(completion.Latency());
-  } else {
-    ++stats_.writes_completed;
-    stats_.write_sectors += op->cmd.sectors;
-    write_latency_.Record(completion.Latency());
+  // Failed commands are accounted in read_errors/write_errors at the
+  // injection site; success counters and latency distributions track
+  // only served I/O.
+  if (status == FlashStatus::kOk) {
+    if (op->cmd.op == FlashOp::kRead) {
+      ++stats_.reads_completed;
+      stats_.read_sectors += op->cmd.sectors;
+      read_latency_.Record(completion.Latency());
+    } else {
+      ++stats_.writes_completed;
+      stats_.write_sectors += op->cmd.sectors;
+      write_latency_.Record(completion.Latency());
+    }
   }
   if (metrics_.enabled()) {
     metrics_.queue_depth->Add(-1);
-    if (op->cmd.op == FlashOp::kRead) {
-      metrics_.reads_completed->Increment();
-      metrics_.read_service_ns->Record(completion.Latency());
-    } else {
-      metrics_.writes_completed->Increment();
-      metrics_.write_service_ns->Record(completion.Latency());
+    if (status == FlashStatus::kOk) {
+      if (op->cmd.op == FlashOp::kRead) {
+        metrics_.reads_completed->Increment();
+        metrics_.read_service_ns->Record(completion.Latency());
+      } else {
+        metrics_.writes_completed->Increment();
+        metrics_.write_service_ns->Record(completion.Latency());
+      }
     }
   }
   if (op->cb) op->cb(completion);

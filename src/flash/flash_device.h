@@ -11,6 +11,7 @@
 
 #include "flash/device_profile.h"
 #include "obs/hooks.h"
+#include "sim/fault.h"
 #include "sim/histogram.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -26,6 +27,7 @@ enum class FlashStatus : uint8_t {
   kOk = 0,
   kInvalidLba = 1,
   kQueueFull = 2,
+  kMediaError = 3,  // uncorrectable error (injected by a FaultPlan)
 };
 
 /** One NVMe command. */
@@ -88,6 +90,10 @@ struct FlashDeviceStats {
   int64_t write_sectors = 0;
   int64_t gc_stalls = 0;
   int64_t queue_full_rejections = 0;
+  // Injected-fault outcomes (always zero without an attached FaultPlan).
+  int64_t read_errors = 0;
+  int64_t write_errors = 0;
+  int64_t latency_spikes = 0;
 };
 
 /**
@@ -142,6 +148,16 @@ class FlashDevice {
     metrics_ = obs::FlashMetrics::ForDevice(registry);
   }
 
+  /**
+   * Attaches a fault-injection plan (null detaches). The device
+   * consults kFlashReadError / kFlashWriteError / kFlashLatencySpike
+   * per command (scoped to the die of the command's first page) and
+   * kFlashBrownout as a device-wide service-time multiplier. The plan
+   * draws from its own RNG stream, so an attached-but-idle plan leaves
+   * the device's timing bit-identical.
+   */
+  void SetFaultPlan(sim::FaultPlan* plan) { fault_ = plan; }
+
  private:
   struct InFlight {
     FlashCommand cmd;
@@ -162,6 +178,8 @@ class FlashDevice {
   /** Occupies the die owning `page` and returns the completion time. */
   sim::TimeNs OccupyDie(uint64_t page, sim::TimeNs service);
   sim::TimeNs ReadServiceQuantum();
+  /** Applies the brownout slowdown to a die service quantum. */
+  sim::TimeNs FaultScaled(sim::TimeNs service) const;
   void CopyToStore(const FlashCommand& cmd);
   void CopyFromStore(const FlashCommand& cmd);
   uint8_t* PageAt(uint64_t page_index, bool create);
@@ -169,6 +187,7 @@ class FlashDevice {
   sim::Simulator& sim_;
   DeviceProfile profile_;
   sim::Rng rng_;
+  sim::FaultPlan* fault_ = nullptr;
 
   std::vector<std::unique_ptr<QueuePair>> queue_pairs_;
   std::vector<sim::TimeNs> die_free_;  // per-die next-free time

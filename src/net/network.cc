@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.h"
 #include "sim/logging.h"
 
 namespace reflex::net {
@@ -10,6 +11,22 @@ Machine* Network::AddMachine(const std::string& name, NicSpec nic) {
   const int id = static_cast<int>(machines_.size());
   machines_.emplace_back(new Machine(id, name, nic));
   return machines_.back().get();
+}
+
+void Network::SetFaultPlan(sim::FaultPlan* plan) {
+  fault_plan_ = plan;
+  if (plan == nullptr || flap_listener_added_) return;
+  flap_listener_added_ = true;
+  plan->AddWindowListener(
+      [this](sim::FaultKind kind, uint64_t id, bool active) {
+        if (kind != sim::FaultKind::kNetLinkFlap) return;
+        const int delta = active ? 1 : -1;
+        if (id == sim::FaultPlan::kAnyId) {
+          for (auto& m : machines_) m->link_.down_count_ += delta;
+        } else if (id < machines_.size()) {
+          machines_[id]->link_.down_count_ += delta;
+        }
+      });
 }
 
 TcpConnection::TcpConnection(Network& net, Machine* client, Machine* server,
@@ -23,6 +40,11 @@ void TcpConnection::Send(Machine* from, Machine* to, uint32_t bytes,
                          std::function<void()> on_rx_nic) {
   REFLEX_CHECK(bytes > 0);
   sim::Simulator& sim = net_.sim_;
+  // One branch on the hot path: with no plan attached and the
+  // connection open, fault handling costs a single predictable test.
+  if (closed_ || net_.fault_plan_ != nullptr) {
+    if (DropFaulted(from, to)) return;
+  }
   ++in_flight_;
 
   // Segment the message into jumbo frames and push each through the
@@ -68,6 +90,30 @@ void TcpConnection::Send(Machine* from, Machine* to, uint32_t bytes,
     --in_flight_;
     if (cb) cb();
   });
+}
+
+bool TcpConnection::DropFaulted(Machine* from, Machine* to) {
+  sim::FaultPlan* plan = net_.fault_plan_;
+  if (!closed_ && plan != nullptr &&
+      plan->Roll(sim::FaultKind::kNetReset,
+                 static_cast<uint64_t>(from->id_))) {
+    closed_ = true;
+    ++net_.connection_resets_;
+    if (net_.metrics_.enabled()) {
+      net_.metrics_.connection_resets->Increment();
+    }
+  }
+  const bool link_down =
+      plan != nullptr && (!from->link_.up() || !to->link_.up());
+  const bool dropped =
+      closed_ || link_down ||
+      (plan != nullptr &&
+       plan->Roll(sim::FaultKind::kNetDrop, static_cast<uint64_t>(from->id_)));
+  if (dropped) {
+    ++net_.dropped_messages_;
+    if (net_.metrics_.enabled()) net_.metrics_.dropped_messages->Increment();
+  }
+  return dropped;
 }
 
 }  // namespace reflex::net

@@ -12,10 +12,29 @@
 #include "sim/simulator.h"
 #include "sim/time.h"
 
+namespace reflex::sim {
+class FaultPlan;
+}  // namespace reflex::sim
+
 namespace reflex::net {
 
 class Network;
 class TcpConnection;
+
+/**
+ * State of a machine's physical link. A link can be taken down by
+ * overlapping kNetLinkFlap fault windows; it is up only when no window
+ * holds it down. While down, every message sent from or to the machine
+ * is dropped (senders see the drop; reliable callers must retry).
+ */
+class Link {
+ public:
+  bool up() const { return down_count_ == 0; }
+
+ private:
+  friend class Network;
+  int down_count_ = 0;
+};
 
 /**
  * Transport used by a connection. The paper ships TCP ("the most
@@ -41,6 +60,9 @@ class Machine {
   int64_t tx_bytes() const { return tx_bytes_; }
   int64_t rx_bytes() const { return rx_bytes_; }
 
+  /** This machine's physical link (down during link-flap windows). */
+  const Link& link() const { return link_; }
+
  private:
   friend class Network;
   friend class TcpConnection;
@@ -54,6 +76,7 @@ class Machine {
   sim::TimeNs rx_free_ = 0;
   int64_t tx_bytes_ = 0;
   int64_t rx_bytes_ = 0;
+  Link link_;
 };
 
 /**
@@ -86,6 +109,20 @@ class Network {
     metrics_ = obs::NetMetrics::ForFabric(registry);
   }
 
+  /**
+   * Attaches a fault-injection plan (null detaches). Connections roll
+   * kNetDrop / kNetReset per message, scoped to the sending machine's
+   * id, and kNetLinkFlap windows take machine links down for their
+   * duration (id = machine id, or kAnyId for every machine).
+   */
+  void SetFaultPlan(sim::FaultPlan* plan);
+
+  /** Messages dropped by fault injection (drops + messages sent while
+   * the connection was reset or a link was down). */
+  int64_t dropped_messages() const { return dropped_messages_; }
+  /** Connections forcibly reset by fault injection. */
+  int64_t connection_resets() const { return connection_resets_; }
+
  private:
   friend class TcpConnection;
 
@@ -94,6 +131,10 @@ class Network {
   sim::TimeNs propagation_;
   std::vector<std::unique_ptr<Machine>> machines_;
   obs::NetMetrics metrics_;
+  sim::FaultPlan* fault_plan_ = nullptr;
+  bool flap_listener_added_ = false;
+  int64_t dropped_messages_ = 0;
+  int64_t connection_resets_ = 0;
 };
 
 /**
@@ -152,15 +193,28 @@ class TcpConnection {
     return transport_ == Transport::kTcp ? kStateBytes : kUdpStateBytes;
   }
 
+  /**
+   * True once the connection has been reset (by a kNetReset fault or
+   * an explicit Close). Every subsequent Send is silently dropped;
+   * endpoints detect the reset via timeouts and reconnect.
+   */
+  bool closed() const { return closed_; }
+  void Close() { closed_ = true; }
+  /** Re-establishes a reset connection in place (models reconnect). */
+  void Reopen() { closed_ = false; }
+
  private:
   void Send(Machine* from, Machine* to, uint32_t bytes,
             std::function<void()> on_rx_nic);
+  /** Rolls connection faults; true means the message was dropped. */
+  bool DropFaulted(Machine* from, Machine* to);
 
   Network& net_;
   Machine* client_;
   Machine* server_;
   Transport transport_;
   int64_t in_flight_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace reflex::net

@@ -49,6 +49,9 @@ struct FlashMetrics {
   Counter* queue_full_rejections = nullptr;
   Counter* reads_completed = nullptr;
   Counter* writes_completed = nullptr;
+  /** Injected media errors (nonzero only with a FaultPlan attached). */
+  Counter* read_errors = nullptr;
+  Counter* write_errors = nullptr;
   /** Device service time split by op (submit -> completion, ns). */
   sim::Histogram* read_service_ns = nullptr;
   sim::Histogram* write_service_ns = nullptr;
@@ -64,6 +67,8 @@ struct FlashMetrics {
         registry.GetCounter("flash_queue_full_rejections");
     m.reads_completed = registry.GetCounter("flash_reads_completed");
     m.writes_completed = registry.GetCounter("flash_writes_completed");
+    m.read_errors = registry.GetCounter("flash_read_errors");
+    m.write_errors = registry.GetCounter("flash_write_errors");
     m.read_service_ns = registry.GetHistogram("flash_read_service_ns");
     m.write_service_ns = registry.GetHistogram("flash_write_service_ns");
     return m;
@@ -78,6 +83,9 @@ struct NetMetrics {
    * switch + NIC latency + link queueing (the wire share of net_in /
    * net_out; endpoint stack time is charged by the endpoints). */
   sim::Histogram* wire_ns = nullptr;
+  /** Fault outcomes (nonzero only with a FaultPlan attached). */
+  Counter* dropped_messages = nullptr;
+  Counter* connection_resets = nullptr;
 
   bool enabled() const { return messages != nullptr; }
 
@@ -86,6 +94,8 @@ struct NetMetrics {
     m.messages = registry.GetCounter("net_messages");
     m.wire_bytes = registry.GetCounter("net_wire_bytes");
     m.wire_ns = registry.GetHistogram("net_wire_ns");
+    m.dropped_messages = registry.GetCounter("net_dropped_messages");
+    m.connection_resets = registry.GetCounter("net_connection_resets");
     return m;
   }
 };

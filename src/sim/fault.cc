@@ -1,0 +1,105 @@
+#include "sim/fault.h"
+
+#include "sim/logging.h"
+
+namespace reflex::sim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFlashReadError:
+      return "flash_read_error";
+    case FaultKind::kFlashWriteError:
+      return "flash_write_error";
+    case FaultKind::kFlashLatencySpike:
+      return "flash_latency_spike";
+    case FaultKind::kFlashBrownout:
+      return "flash_brownout";
+    case FaultKind::kNetDrop:
+      return "net_drop";
+    case FaultKind::kNetReset:
+      return "net_reset";
+    case FaultKind::kNetLinkFlap:
+      return "net_link_flap";
+    case FaultKind::kServerDeviceError:
+      return "server_device_error";
+    case FaultKind::kServerOutOfResources:
+      return "server_out_of_resources";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(Simulator& sim, uint64_t seed)
+    : sim_(sim), rng_(seed, "fault_plan") {}
+
+void FaultPlan::SetProbability(FaultKind kind, double p) {
+  REFLEX_CHECK(p >= 0.0 && p <= 1.0);
+  prob_[static_cast<int>(kind)] = p;
+}
+
+void FaultPlan::SetProbability(FaultKind kind, uint64_t id, double p) {
+  REFLEX_CHECK(p >= 0.0 && p <= 1.0);
+  id_prob_[Key{static_cast<uint8_t>(kind), id}] = p;
+}
+
+double FaultPlan::probability(FaultKind kind, uint64_t id) const {
+  if (id != kAnyId) {
+    auto it = id_prob_.find(Key{static_cast<uint8_t>(kind), id});
+    if (it != id_prob_.end()) return it->second;
+  }
+  return prob_[static_cast<int>(kind)];
+}
+
+bool FaultPlan::Roll(FaultKind kind, uint64_t id) {
+  if (!open_windows_.empty() && WindowActive(kind, id)) {
+    ++injected_[static_cast<int>(kind)];
+    return true;
+  }
+  const double p = probability(kind, id);
+  if (p <= 0.0) return false;
+  if (p < 1.0 && !rng_.NextBernoulli(p)) return false;
+  ++injected_[static_cast<int>(kind)];
+  return true;
+}
+
+void FaultPlan::ScheduleWindow(FaultKind kind, TimeNs start, TimeNs duration,
+                               uint64_t id) {
+  REFLEX_CHECK(start >= sim_.Now() && duration > 0);
+  sim_.ScheduleAt(start, [this, kind, id] { FlipWindow(kind, id, true); });
+  sim_.ScheduleAt(start + duration,
+                  [this, kind, id] { FlipWindow(kind, id, false); });
+}
+
+void FaultPlan::FlipWindow(FaultKind kind, uint64_t id, bool active) {
+  int& open = open_windows_[Key{static_cast<uint8_t>(kind), id}];
+  open += active ? 1 : -1;
+  REFLEX_CHECK(open >= 0);
+  if (active) ++injected_[static_cast<int>(kind)];
+  // Listeners fire on every transition, even for nested windows; they
+  // must treat the signal as a +1/-1 depth change, not a boolean.
+  for (const WindowListener& fn : listeners_) fn(kind, id, active);
+}
+
+bool FaultPlan::WindowActive(FaultKind kind, uint64_t id) const {
+  auto open = [this](uint64_t key_id, FaultKind k) {
+    auto it = open_windows_.find(Key{static_cast<uint8_t>(k), key_id});
+    return it != open_windows_.end() && it->second > 0;
+  };
+  if (open(kAnyId, kind)) return true;
+  return id != kAnyId && open(id, kind);
+}
+
+void FaultPlan::AddWindowListener(WindowListener fn) {
+  listeners_.push_back(std::move(fn));
+}
+
+int64_t FaultPlan::injected(FaultKind kind) const {
+  return injected_[static_cast<int>(kind)];
+}
+
+int64_t FaultPlan::total_injected() const {
+  int64_t total = 0;
+  for (int64_t n : injected_) total += n;
+  return total;
+}
+
+}  // namespace reflex::sim

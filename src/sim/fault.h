@@ -1,0 +1,138 @@
+#ifndef REFLEX_SIM_FAULT_H_
+#define REFLEX_SIM_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace reflex::sim {
+
+/**
+ * Fault classes injectable into the simulation. Each class is consumed
+ * by exactly one subsystem: the Flash device model (read/write media
+ * errors, per-op latency spikes, whole-device brownouts), the network
+ * model (message drops, connection resets, link flaps) and the server
+ * dataplane (forced error replies).
+ */
+enum class FaultKind : uint8_t {
+  kFlashReadError = 0,     // read completes with a media error
+  kFlashWriteError,        // write completes with a media error
+  kFlashLatencySpike,      // op delayed by latency_spike()
+  kFlashBrownout,          // all die service scaled by brownout_slowdown()
+  kNetDrop,                // message silently lost on the wire
+  kNetReset,               // connection closed; all later sends dropped
+  kNetLinkFlap,            // machine link down; sends through it dropped
+  kServerDeviceError,      // server replies kDeviceError without device I/O
+  kServerOutOfResources,   // server replies kOutOfResources
+};
+
+inline constexpr int kNumFaultKinds = 9;
+
+/** Stable lower-case name, e.g. "flash_read_error". */
+const char* FaultKindName(FaultKind kind);
+
+/**
+ * A deterministic, schedulable fault-injection plan.
+ *
+ * A FaultPlan owns its own named RNG stream, so attaching one to a
+ * simulation perturbs no other component's draws: with every
+ * probability at zero and no windows scheduled, the simulation is
+ * bit-identical to a run without the plan.
+ *
+ * Two injection mechanisms compose:
+ *
+ *  - steady-state probabilities: Roll(kind, id) returns true with the
+ *    configured per-kind (or per-id override) probability;
+ *  - scheduled windows: ScheduleWindow() arms on/off events in the DES
+ *    event queue. While a window for (kind, id) is active, Roll() for
+ *    that (kind, id) always fires and WindowActive() reports true, so
+ *    hard fault episodes ("the die is gone from t1 to t2") are exactly
+ *    reproducible.
+ *
+ * `id` scopes a fault to one entity -- a Flash die index for the flash
+ * kinds, a machine id for the net kinds. kAnyId means device-/
+ * fabric-wide.
+ */
+class FaultPlan {
+ public:
+  static constexpr uint64_t kAnyId = ~uint64_t{0};
+
+  FaultPlan(Simulator& sim, uint64_t seed);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /** Sets the kind-wide injection probability (0 disables). */
+  void SetProbability(FaultKind kind, double p);
+
+  /** Sets a per-id override (falls back to the kind-wide value). */
+  void SetProbability(FaultKind kind, uint64_t id, double p);
+
+  double probability(FaultKind kind, uint64_t id = kAnyId) const;
+
+  /**
+   * One injection decision. Returns true inside an active window for
+   * (kind, id), else Bernoulli(probability). Draws from the plan's RNG
+   * only when the effective probability is in (0, 1), so disabled
+   * kinds cost nothing and stay deterministic.
+   */
+  bool Roll(FaultKind kind, uint64_t id = kAnyId);
+
+  /**
+   * Arms a fault window [start, start + duration) via the event queue.
+   * Windows for the same (kind, id) nest: the state is active while at
+   * least one window covers the current time.
+   */
+  void ScheduleWindow(FaultKind kind, TimeNs start, TimeNs duration,
+                      uint64_t id = kAnyId);
+
+  /** True while a window for (kind, id) or (kind, kAnyId) is active. */
+  bool WindowActive(FaultKind kind, uint64_t id = kAnyId) const;
+
+  /**
+   * Registers a callback fired on every window transition with
+   * (kind, id, active). Used by the control plane (brownout shedding)
+   * and the network (link state).
+   */
+  using WindowListener = std::function<void(FaultKind, uint64_t, bool)>;
+  void AddWindowListener(WindowListener fn);
+
+  /** Extra latency added when a kFlashLatencySpike fires. */
+  void set_latency_spike(TimeNs spike) { latency_spike_ = spike; }
+  TimeNs latency_spike() const { return latency_spike_; }
+
+  /** Die-service multiplier while a kFlashBrownout window is active. */
+  void set_brownout_slowdown(double factor) { brownout_slowdown_ = factor; }
+  double brownout_slowdown() const { return brownout_slowdown_; }
+
+  /** Faults injected so far (Roll hits plus window starts). */
+  int64_t injected(FaultKind kind) const;
+  int64_t total_injected() const;
+
+ private:
+  using Key = std::pair<uint8_t, uint64_t>;
+
+  void FlipWindow(FaultKind kind, uint64_t id, bool active);
+
+  Simulator& sim_;
+  Rng rng_;
+  std::array<double, kNumFaultKinds> prob_{};
+  std::map<Key, double> id_prob_;
+  /** Count of currently-open windows per (kind, id). */
+  std::map<Key, int> open_windows_;
+  std::array<int64_t, kNumFaultKinds> injected_{};
+  std::vector<WindowListener> listeners_;
+  TimeNs latency_spike_ = Micros(500);
+  double brownout_slowdown_ = 8.0;
+};
+
+}  // namespace reflex::sim
+
+#endif  // REFLEX_SIM_FAULT_H_

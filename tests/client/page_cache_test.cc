@@ -7,6 +7,7 @@
 #include "baseline/local_spdk.h"
 #include "client/storage_backend.h"
 #include "flash/flash_device.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace reflex::client {
@@ -89,6 +90,58 @@ TEST_F(PageCacheTest, InvalidateDropsPages) {
   sim_.Run();
   EXPECT_EQ(f2.Get()[0], 0x22);
   EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST_F(PageCacheTest, InvalidateCoversInFlightFetch) {
+  WritePattern(6, 0xAA);
+  PageCache cache(sim_, backend_, 16);
+  // Start a fetch but do not run the simulator: the Flash read has
+  // snapshotted the old contents and is now in flight.
+  auto f = cache.GetPage(6 * 4096);
+  ASSERT_FALSE(f.Ready());
+  // New data lands (the store is updated at submit time) and the range
+  // is invalidated while the old read is still outstanding.
+  std::vector<uint8_t> buf(4096, 0xBB);
+  auto w = backend_.WriteBytes(6 * 4096, 4096, buf.data());
+  cache.Invalidate(6 * 4096, 4096);
+  sim_.Run();
+  ASSERT_TRUE(w.Ready() && w.Get().ok());
+  ASSERT_TRUE(f.Ready());
+  ASSERT_NE(f.Get(), nullptr);
+  EXPECT_EQ(f.Get()[0], 0xBB)
+      << "the outstanding fetch must re-read the backend instead of "
+         "inserting pre-invalidation data";
+  EXPECT_EQ(cache.stats().invalidated_refetches, 1);
+
+  // The refetched page is genuinely cached (no stale residue).
+  auto again = cache.GetPage(6 * 4096);
+  sim_.Run();
+  EXPECT_EQ(again.Get()[0], 0xBB);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST_F(PageCacheTest, FetchRetriesBeforeSurfacingFailure) {
+  // max_attempts = 1 => a failed backend read surfaces immediately as
+  // nullptr instead of panicking (callers decide whether it is fatal).
+  PageCache::RetryPolicy retry;
+  retry.max_attempts = 1;
+  PageCache cache(sim_, backend_, 16, 64, 0, retry);
+  sim::FaultPlan plan(sim_, 11);
+  device_.SetFaultPlan(&plan);
+  plan.SetProbability(sim::FaultKind::kFlashReadError, 1.0);
+  auto f = cache.GetPage(2 * 4096);
+  sim_.Run();
+  ASSERT_TRUE(f.Ready());
+  EXPECT_EQ(f.Get(), nullptr);
+  EXPECT_EQ(cache.stats().fetch_failures, 1);
+
+  // With retries and the fault cleared mid-backoff, the same fetch
+  // succeeds and counts its retry.
+  plan.SetProbability(sim::FaultKind::kFlashReadError, 0.0);
+  auto f2 = cache.GetPage(2 * 4096);
+  sim_.Run();
+  ASSERT_TRUE(f2.Ready());
+  EXPECT_NE(f2.Get(), nullptr);
 }
 
 TEST_F(PageCacheTest, BoundsOutstandingIo) {

@@ -189,6 +189,97 @@ TEST(ControlPlaneTest, PersistentBurstersGetFlagged) {
   EXPECT_TRUE(flagged) << "control plane flags SLO renegotiation";
 }
 
+TEST(ControlPlaneTest, ShrinkThenGrowRestartsStoppedThreads) {
+  core::ServerOptions options;
+  options.num_threads = 3;
+  options.max_threads = 6;
+  Harness h(options);
+  ASSERT_EQ(h.server.num_threads(), 3);
+
+  ASSERT_TRUE(h.server.control_plane().ScaleTo(1));
+  ASSERT_TRUE(h.server.control_plane().ScaleTo(3));
+  EXPECT_EQ(h.server.num_active_threads(), 3);
+  EXPECT_EQ(h.server.num_threads(), 3)
+      << "growing after a shrink restarts the stopped threads instead "
+         "of appending new ones (which would desync active_threads_ "
+         "from the live thread indices)";
+  EXPECT_EQ(h.server.shared().num_threads, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(h.server.thread(i).running()) << "thread " << i;
+  }
+
+  // End to end: a connection routed round-robin across the active
+  // threads still reaches a live one.
+  core::Tenant* tenant = h.LcTenant();
+  client::ReflexClient::Options copts;
+  copts.num_connections = 3;
+  client::ReflexClient client(h.sim, h.server, h.client_machine, copts);
+  client.BindAll(tenant->handle());
+  for (int c = 0; c < 3; ++c) {
+    auto io = client.Read(tenant->handle(), c * 800, 8, nullptr, c);
+    ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
+    EXPECT_TRUE(io.Get().ok()) << "connection " << c;
+  }
+}
+
+TEST(ControlPlaneTest, ScaleToClearsStaleEpochMarks) {
+  core::ServerOptions options;
+  options.num_threads = 3;
+  options.max_threads = 3;
+  Harness h(options);
+  auto noop = [](core::Tenant&, core::PendingIo&&) {};
+
+  // Thread 2 completes a round and marks the current epoch (1 of 3).
+  h.server.thread(2).scheduler().RunRound(0, noop);
+  EXPECT_EQ(h.server.shared().threads_marked.load(), 1);
+
+  // Shrinking to 2 threads must discard that mark: it was collected
+  // under a 3-thread quorum and thread 2 is no longer participating.
+  ASSERT_TRUE(h.server.control_plane().ScaleTo(2));
+  EXPECT_EQ(h.server.shared().threads_marked.load(), 0);
+
+  h.server.shared().global_bucket.Donate(100.0);
+  h.server.thread(0).scheduler().RunRound(0, noop);
+  EXPECT_NEAR(h.server.shared().global_bucket.Tokens(), 100.0, 1e-9)
+      << "one mark out of two must not complete the epoch; the stale "
+         "pre-shrink mark would make this round reset the bucket";
+}
+
+TEST(ControlPlaneTest, MonitorStartsFromFreshUtilizationBaselines) {
+  core::ServerOptions options;
+  options.num_threads = 1;
+  options.max_threads = 4;
+  options.auto_scale = false;  // monitor started manually below
+  options.monitor_interval = Millis(5);
+  Harness h(options);
+  core::Tenant* tenant = h.BeTenant();
+  client::ReflexClient::Options copts;
+  copts.num_connections = 8;
+  client::ReflexClient client(h.sim, h.server, h.client_machine, copts);
+  client.BindAll(tenant->handle());
+
+  // Saturate the single thread for 100ms with the monitor off, then
+  // let the load drain completely.
+  client::LoadGenSpec spec;
+  spec.queue_depth = 256;
+  spec.request_bytes = 1024;
+  client::LoadGenerator load(h.sim, client, tenant->handle(), spec);
+  load.Run(Millis(10), Millis(100));
+  ASSERT_TRUE(h.RunUntilDone(load.Done(), sim::Seconds(60)));
+  ASSERT_EQ(h.server.num_active_threads(), 1);
+
+  // The monitor's first window must measure utilization from now on,
+  // not charge the whole loaded phase's busy time to one interval.
+  h.server.control_plane().StartMonitor();
+  h.RunUntilReady([] { return false; }, h.sim.Now() + Millis(50));
+  EXPECT_EQ(h.server.num_active_threads(), 1)
+      << "idle server scaled up from stale busy-time baselines";
+  // Even a transient spurious scale-up leaves a second thread object
+  // behind, so this catches scale-up-then-scale-down flapping too.
+  EXPECT_EQ(h.server.num_threads(), 1)
+      << "monitor transiently scaled up before settling back";
+}
+
 TEST(ControlPlaneTest, AutoScaleMonitorAddsThreads) {
   core::ServerOptions options;
   options.num_threads = 1;

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "client/reflex_client.h"
+#include "sim/fault.h"
+#include "testing/harness.h"
+
+namespace reflex {
+namespace {
+
+using core::ReqStatus;
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::Micros;
+using sim::Millis;
+using testing::Harness;
+
+client::ReflexClient::Options RetryingClientOptions() {
+  client::ReflexClient::Options copts;
+  copts.retry.request_timeout = Millis(1);
+  copts.retry.max_retries = 5;
+  copts.retry.backoff_base = Micros(100);
+  copts.retry.reconnect_after_timeouts = 2;
+  return copts;
+}
+
+TEST(FaultInjectionTest, IdlePlanLeavesTimingBitIdentical) {
+  sim::TimeNs baseline = 0;
+  for (int run = 0; run < 2; ++run) {
+    Harness h;
+    FaultPlan plan(h.sim, 1234);
+    if (run == 1) {
+      // Attached everywhere, but with no probabilities or windows.
+      h.device.SetFaultPlan(&plan);
+      h.net.SetFaultPlan(&plan);
+      h.server.SetFaultPlan(&plan);
+    }
+    core::Tenant* tenant = h.LcTenant();
+    client::ReflexClient client(h.sim, h.server, h.client_machine, {});
+    client.BindAll(tenant->handle());
+    auto io = client.Read(tenant->handle(), 0, 8);
+    ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
+    ASSERT_TRUE(io.Get().ok());
+    if (run == 0) {
+      baseline = io.Get().complete_time;
+    } else {
+      EXPECT_EQ(io.Get().complete_time, baseline)
+          << "attached-but-idle plan must not perturb the simulation";
+    }
+  }
+}
+
+TEST(FaultInjectionTest, FlashReadErrorSurfacesAsDeviceError) {
+  Harness h;
+  FaultPlan plan(h.sim, 5);
+  h.device.SetFaultPlan(&plan);
+  plan.ScheduleWindow(FaultKind::kFlashReadError, Micros(1), Millis(10));
+  core::Tenant* tenant = h.LcTenant();
+  client::ReflexClient client(h.sim, h.server, h.client_machine, {});
+  client.BindAll(tenant->handle());
+
+  auto io = client.Read(tenant->handle(), 0, 8);
+  ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
+  EXPECT_EQ(io.Get().status, ReqStatus::kDeviceError);
+  EXPECT_GE(h.device.stats().read_errors, 1);
+  EXPECT_EQ(h.device.stats().reads_completed, 0)
+      << "failed reads must not count as completions";
+}
+
+TEST(FaultInjectionTest, FlashWriteErrorSurfacesAsDeviceError) {
+  Harness h;
+  FaultPlan plan(h.sim, 5);
+  h.device.SetFaultPlan(&plan);
+  plan.ScheduleWindow(FaultKind::kFlashWriteError, Micros(1), Millis(10));
+  core::Tenant* tenant = h.LcTenant();
+  client::ReflexClient client(h.sim, h.server, h.client_machine, {});
+  client.BindAll(tenant->handle());
+
+  auto io = client.Write(tenant->handle(), 0, 8);
+  ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
+  EXPECT_EQ(io.Get().status, ReqStatus::kDeviceError);
+  EXPECT_GE(h.device.stats().write_errors, 1);
+}
+
+TEST(FaultInjectionTest, BrownoutSlowsReadsWhileActive) {
+  Harness h;
+  FaultPlan plan(h.sim, 5);
+  plan.set_brownout_slowdown(16.0);
+  h.device.SetFaultPlan(&plan);
+  core::Tenant* tenant = h.LcTenant();
+  client::ReflexClient client(h.sim, h.server, h.client_machine, {});
+  client.BindAll(tenant->handle());
+
+  auto before = client.Read(tenant->handle(), 0, 8);
+  ASSERT_TRUE(h.RunUntilReady([&] { return before.Ready(); }));
+  ASSERT_TRUE(before.Get().ok());
+
+  plan.ScheduleWindow(FaultKind::kFlashBrownout, Millis(5), Millis(20));
+  h.RunUntilReady([&] { return h.sim.Now() >= Millis(6); });
+  auto during = client.Read(tenant->handle(), 800, 8);
+  ASSERT_TRUE(h.RunUntilReady([&] { return during.Ready(); }));
+  ASSERT_TRUE(during.Get().ok());
+  EXPECT_GT(during.Get().Latency(), before.Get().Latency())
+      << "browned-out device serves reads slower";
+
+  h.RunUntilReady([&] { return h.sim.Now() >= Millis(30); });
+  auto after = client.Read(tenant->handle(), 1600, 8);
+  ASSERT_TRUE(h.RunUntilReady([&] { return after.Ready(); }));
+  ASSERT_TRUE(after.Get().ok());
+  EXPECT_LT(after.Get().Latency(), during.Get().Latency())
+      << "latency recovers once the brownout clears";
+}
+
+TEST(FaultInjectionTest, BrownoutShedsBestEffortTokenShare) {
+  Harness h;
+  FaultPlan plan(h.sim, 5);
+  h.server.SetFaultPlan(&plan);
+  core::Tenant* be = h.BeTenant();
+  h.LcTenant();
+  const double nominal = be->token_rate();
+  ASSERT_GT(nominal, 0.0);
+
+  plan.ScheduleWindow(FaultKind::kFlashBrownout, Millis(1), Millis(10));
+  h.RunUntilReady([&] { return h.sim.Now() >= Millis(2); });
+  EXPECT_TRUE(h.server.control_plane().be_shed_active());
+  EXPECT_NEAR(be->token_rate(),
+              nominal * h.server.options().be_shed_factor,
+              nominal * 0.01)
+      << "BE share shed during the brownout";
+
+  h.RunUntilReady([&] { return h.sim.Now() >= Millis(15); });
+  EXPECT_FALSE(h.server.control_plane().be_shed_active());
+  EXPECT_NEAR(be->token_rate(), nominal, nominal * 0.01)
+      << "BE share restored after the brownout";
+}
+
+TEST(FaultInjectionTest, ServerForcedErrorsAreCountedPerTenant) {
+  Harness h;
+  FaultPlan plan(h.sim, 5);
+  h.server.SetFaultPlan(&plan);
+  plan.ScheduleWindow(FaultKind::kServerDeviceError, Micros(1), Millis(50));
+  core::Tenant* tenant = h.LcTenant();
+  client::ReflexClient client(h.sim, h.server, h.client_machine, {});
+  client.BindAll(tenant->handle());
+
+  for (int i = 0; i < 4; ++i) {
+    auto io = client.Read(tenant->handle(), i * 800, 8);
+    ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
+    EXPECT_EQ(io.Get().status, ReqStatus::kDeviceError);
+  }
+  EXPECT_EQ(tenant->errors, 4);
+  EXPECT_EQ(h.server.AggregateStats().error_responses, 4);
+  EXPECT_EQ(h.device.stats().reads_completed, 0)
+      << "forced server errors never reach the device";
+
+  // The snapshot publishes both the per-tenant counter and the
+  // injected-fault totals.
+  obs::MetricsRegistry& registry = h.server.SnapshotMetrics();
+  EXPECT_EQ(registry
+                .GetGauge("tenant_errors",
+                          obs::Label("tenant",
+                                     static_cast<int64_t>(tenant->handle())))
+                ->value(),
+            4.0);
+  EXPECT_GE(registry
+                .GetGauge("faults_injected",
+                          obs::Label("kind", "server_device_error"))
+                ->value(),
+            4.0);
+}
+
+TEST(FaultInjectionTest, ClientRetriesReadThroughServerErrorWindow) {
+  Harness h;
+  FaultPlan plan(h.sim, 5);
+  h.server.SetFaultPlan(&plan);
+  // Errors forced only for the first 500us; the client's retry lands
+  // after the window closes and succeeds.
+  plan.ScheduleWindow(FaultKind::kServerDeviceError, Micros(1),
+                      Micros(500));
+  core::Tenant* tenant = h.LcTenant();
+  client::ReflexClient client(h.sim, h.server, h.client_machine,
+                              RetryingClientOptions());
+  client.BindAll(tenant->handle());
+
+  auto io = client.Read(tenant->handle(), 0, 8);
+  ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
+  EXPECT_TRUE(io.Get().ok()) << "read retried to success";
+  EXPECT_GE(client.fault_stats().retries, 1);
+  EXPECT_EQ(client.fault_stats().failures, 0);
+}
+
+TEST(FaultInjectionTest, WriteTimesOutInsteadOfRetrying) {
+  Harness h;
+  FaultPlan plan(h.sim, 5);
+  h.net.SetFaultPlan(&plan);
+  // Link down for a long time: the write can never be delivered.
+  plan.ScheduleWindow(FaultKind::kNetLinkFlap, Micros(1), sim::Seconds(1));
+  core::Tenant* tenant = h.LcTenant();
+  client::ReflexClient client(h.sim, h.server, h.client_machine,
+                              RetryingClientOptions());
+  client.BindAll(tenant->handle());
+
+  auto io = client.Write(tenant->handle(), 0, 8);
+  ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
+  EXPECT_EQ(io.Get().status, ReqStatus::kTimedOut)
+      << "writes are not idempotent and must not be retransmitted";
+  EXPECT_EQ(client.fault_stats().timeouts, 1);
+  EXPECT_EQ(client.fault_stats().retries, 0);
+  EXPECT_EQ(client.fault_stats().failures, 1);
+  EXPECT_GE(h.net.dropped_messages(), 1);
+}
+
+TEST(FaultInjectionTest, ConnectionResetTriggersReconnectAndRecovery) {
+  Harness h;
+  FaultPlan plan(h.sim, 5);
+  h.net.SetFaultPlan(&plan);
+  // Reset any connection whose client machine sends in the first
+  // 100us. The connection stays closed until the client library
+  // notices (consecutive timeouts) and reconnects.
+  plan.ScheduleWindow(FaultKind::kNetReset, Micros(1), Micros(100),
+                      static_cast<uint64_t>(h.client_machine->id()));
+  core::Tenant* tenant = h.LcTenant();
+  client::ReflexClient client(h.sim, h.server, h.client_machine,
+                              RetryingClientOptions());
+  client.BindAll(tenant->handle());
+
+  // Step into the window so the first transmission hits the reset.
+  h.sim.RunUntil(Micros(2));
+  auto io = client.Read(tenant->handle(), 0, 8);
+  ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
+  EXPECT_TRUE(io.Get().ok()) << "read recovered after reconnect";
+  EXPECT_EQ(h.net.connection_resets(), 1);
+  EXPECT_EQ(client.fault_stats().reconnects, 1);
+  EXPECT_GE(client.fault_stats().timeouts, 2);
+}
+
+TEST(FaultInjectionTest, ReadSurvivesPacketLoss) {
+  Harness h;
+  FaultPlan plan(h.sim, 5);
+  h.net.SetFaultPlan(&plan);
+  // 30% of messages from either endpoint vanish; idempotent retries
+  // still finish every read.
+  plan.SetProbability(FaultKind::kNetDrop, 0.3);
+  core::Tenant* tenant = h.LcTenant();
+  client::ReflexClient client(h.sim, h.server, h.client_machine,
+                              RetryingClientOptions());
+  client.BindAll(tenant->handle());
+
+  int ok = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto io = client.Read(tenant->handle(), i * 800, 8);
+    ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
+    if (io.Get().ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 20) << "every read eventually succeeded";
+  EXPECT_GE(client.fault_stats().retries, 1);
+  EXPECT_GE(h.net.dropped_messages(), 1);
+}
+
+}  // namespace
+}  // namespace reflex

@@ -316,6 +316,34 @@ TEST_F(QosSchedulerTest, RemoveTenantStopsService) {
   EXPECT_EQ(Submitted(), 0);
 }
 
+TEST_F(QosSchedulerTest, BeRotationUnaffectedByRemoval) {
+  Tenant a(1, TenantClass::kBestEffort, SloSpec{});
+  Tenant b(2, TenantClass::kBestEffort, SloSpec{});
+  Tenant c(3, TenantClass::kBestEffort, SloSpec{});
+  sched_.AddTenant(&a);
+  sched_.AddTenant(&b);
+  sched_.AddTenant(&c);
+  EnqueueN(&a, 5, ReqType::kRead);
+  EnqueueN(&b, 5, ReqType::kRead);
+  EnqueueN(&c, 5, ReqType::kRead);
+
+  // One token per round => exactly the tenant at the cursor submits.
+  shared_.global_bucket.Donate(1.0);
+  sched_.RunRound(Micros(10), Collect());
+  ASSERT_EQ(Submitted(), 1);
+  EXPECT_EQ(submitted_[0].first, 1u) << "a served first; cursor now at b";
+
+  // Removing the already-served tenant shifts b and c down one slot;
+  // the cursor must follow so b is still next in rotation.
+  sched_.RemoveTenant(&a);
+  submitted_.clear();
+  shared_.global_bucket.Donate(1.0);
+  sched_.RunRound(Micros(20), Collect());
+  ASSERT_EQ(Submitted(), 1);
+  EXPECT_EQ(submitted_[0].first, 2u)
+      << "removal below the cursor skipped b's turn";
+}
+
 TEST_F(QosSchedulerTest, HasPendingDemand) {
   Tenant t(1, TenantClass::kBestEffort, SloSpec{});
   sched_.AddTenant(&t);

@@ -1,0 +1,149 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace reflex::sim {
+namespace {
+
+TEST(FaultPlanTest, DisabledPlanNeverFires) {
+  Simulator sim;
+  FaultPlan plan(sim, 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(plan.Roll(FaultKind::kFlashReadError));
+    EXPECT_FALSE(plan.Roll(FaultKind::kNetDrop, 3));
+  }
+  EXPECT_EQ(plan.total_injected(), 0);
+}
+
+TEST(FaultPlanTest, ProbabilityOneAlwaysFires) {
+  Simulator sim;
+  FaultPlan plan(sim, 7);
+  plan.SetProbability(FaultKind::kNetDrop, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(plan.Roll(FaultKind::kNetDrop));
+  }
+  EXPECT_EQ(plan.injected(FaultKind::kNetDrop), 100);
+  EXPECT_EQ(plan.injected(FaultKind::kNetReset), 0);
+}
+
+TEST(FaultPlanTest, FractionalProbabilityHitsExpectedRate) {
+  Simulator sim;
+  FaultPlan plan(sim, 7);
+  plan.SetProbability(FaultKind::kFlashReadError, 0.25);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (plan.Roll(FaultKind::kFlashReadError)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(FaultPlanTest, PerIdOverrideBeatsKindWide) {
+  Simulator sim;
+  FaultPlan plan(sim, 7);
+  plan.SetProbability(FaultKind::kFlashReadError, 1.0);
+  plan.SetProbability(FaultKind::kFlashReadError, /*id=*/4, 0.0);
+  EXPECT_TRUE(plan.Roll(FaultKind::kFlashReadError, 3));
+  EXPECT_FALSE(plan.Roll(FaultKind::kFlashReadError, 4));
+  EXPECT_DOUBLE_EQ(plan.probability(FaultKind::kFlashReadError, 4), 0.0);
+  EXPECT_DOUBLE_EQ(plan.probability(FaultKind::kFlashReadError, 5), 1.0);
+}
+
+TEST(FaultPlanTest, DeterministicAcrossRuns) {
+  std::vector<bool> first;
+  for (int run = 0; run < 2; ++run) {
+    Simulator sim;
+    FaultPlan plan(sim, 99);
+    plan.SetProbability(FaultKind::kNetDrop, 0.3);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 500; ++i) {
+      outcomes.push_back(plan.Roll(FaultKind::kNetDrop));
+    }
+    if (run == 0) {
+      first = outcomes;
+    } else {
+      EXPECT_EQ(first, outcomes);
+    }
+  }
+}
+
+TEST(FaultPlanTest, WindowActivatesAndClears) {
+  Simulator sim;
+  FaultPlan plan(sim, 7);
+  plan.ScheduleWindow(FaultKind::kFlashBrownout, Micros(10), Micros(20));
+  EXPECT_FALSE(plan.WindowActive(FaultKind::kFlashBrownout));
+  sim.RunUntil(Micros(15));
+  EXPECT_TRUE(plan.WindowActive(FaultKind::kFlashBrownout));
+  // Inside a window Roll always fires, regardless of probability.
+  EXPECT_TRUE(plan.Roll(FaultKind::kFlashBrownout));
+  sim.RunUntil(Micros(40));
+  EXPECT_FALSE(plan.WindowActive(FaultKind::kFlashBrownout));
+  EXPECT_FALSE(plan.Roll(FaultKind::kFlashBrownout));
+}
+
+TEST(FaultPlanTest, WildcardWindowCoversAllIds) {
+  Simulator sim;
+  FaultPlan plan(sim, 7);
+  plan.ScheduleWindow(FaultKind::kNetLinkFlap, Micros(5), Micros(10));
+  sim.RunUntil(Micros(7));
+  EXPECT_TRUE(plan.WindowActive(FaultKind::kNetLinkFlap, 0));
+  EXPECT_TRUE(plan.WindowActive(FaultKind::kNetLinkFlap, 42));
+  EXPECT_TRUE(plan.WindowActive(FaultKind::kNetLinkFlap));
+}
+
+TEST(FaultPlanTest, ScopedWindowCoversOnlyItsId) {
+  Simulator sim;
+  FaultPlan plan(sim, 7);
+  plan.ScheduleWindow(FaultKind::kFlashReadError, Micros(5), Micros(10),
+                      /*id=*/2);
+  sim.RunUntil(Micros(7));
+  EXPECT_TRUE(plan.WindowActive(FaultKind::kFlashReadError, 2));
+  EXPECT_FALSE(plan.WindowActive(FaultKind::kFlashReadError, 3));
+  EXPECT_FALSE(plan.WindowActive(FaultKind::kFlashReadError));
+}
+
+TEST(FaultPlanTest, NestedWindowsStayActiveUntilAllClose) {
+  Simulator sim;
+  FaultPlan plan(sim, 7);
+  plan.ScheduleWindow(FaultKind::kFlashBrownout, Micros(10), Micros(30));
+  plan.ScheduleWindow(FaultKind::kFlashBrownout, Micros(20), Micros(30));
+  sim.RunUntil(Micros(45));
+  EXPECT_TRUE(plan.WindowActive(FaultKind::kFlashBrownout))
+      << "second window still open after the first closed";
+  sim.RunUntil(Micros(55));
+  EXPECT_FALSE(plan.WindowActive(FaultKind::kFlashBrownout));
+}
+
+TEST(FaultPlanTest, ListenersSeeEveryTransition) {
+  Simulator sim;
+  FaultPlan plan(sim, 7);
+  int depth = 0;
+  int transitions = 0;
+  plan.AddWindowListener(
+      [&](FaultKind kind, uint64_t id, bool active) {
+        EXPECT_EQ(kind, FaultKind::kNetLinkFlap);
+        EXPECT_EQ(id, uint64_t{1});
+        depth += active ? 1 : -1;
+        ++transitions;
+      });
+  plan.ScheduleWindow(FaultKind::kNetLinkFlap, Micros(10), Micros(10), 1);
+  plan.ScheduleWindow(FaultKind::kNetLinkFlap, Micros(15), Micros(10), 1);
+  sim.RunUntil(Micros(100));
+  EXPECT_EQ(transitions, 4);
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(FaultPlanTest, KindNamesAreStable) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kFlashReadError),
+               "flash_read_error");
+  EXPECT_STREQ(FaultKindName(FaultKind::kServerOutOfResources),
+               "server_out_of_resources");
+}
+
+}  // namespace
+}  // namespace reflex::sim
