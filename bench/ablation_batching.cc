@@ -30,8 +30,8 @@ void RunPoint(int max_batch) {
   copts.num_connections = 16;
   client::ReflexClient client(world.sim, *world.server,
                               world.client_machines[0], copts);
-  client.BindAll(tenant->handle());
-  client::ReflexService service(client, tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
+  client::ReflexService service(*session);
 
   // Peak: heavy open-loop overload, count what gets through.
   bench::LoadPoint peak = bench::MeasureOpenLoop(

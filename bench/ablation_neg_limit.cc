@@ -38,25 +38,23 @@ void RunPoint(double neg_limit) {
   copts.num_connections = 8;
   client::ReflexClient lc_client(world.sim, *world.server,
                                  world.client_machines[0], copts);
-  lc_client.BindAll(lc->handle());
+  auto lc_session = lc_client.AttachSession(lc->handle());
   client::LoadGenSpec lc_spec;
   lc_spec.offered_iops = 70000;
   lc_spec.read_fraction = 0.8;
-  client::LoadGenerator lc_load(world.sim, lc_client, lc->handle(),
-                                lc_spec);
+  client::LoadGenerator lc_load(world.sim, *lc_session, lc_spec);
 
   client::ReflexClient::Options be_copts;
   be_copts.num_connections = 8;
   be_copts.seed = 2;
   client::ReflexClient be_client(world.sim, *world.server,
                                  world.client_machines[1], be_copts);
-  be_client.BindAll(be->handle());
+  auto be_session = be_client.AttachSession(be->handle());
   client::LoadGenSpec be_spec;
   be_spec.queue_depth = 32;
   be_spec.read_fraction = 0.95;
   be_spec.seed = 3;
-  client::LoadGenerator be_load(world.sim, be_client, be->handle(),
-                                be_spec);
+  client::LoadGenerator be_load(world.sim, *be_session, be_spec);
 
   lc_load.Run(sim::Millis(100), sim::Millis(500));
   be_load.Run(sim::Millis(100), sim::Millis(500));

@@ -30,15 +30,17 @@ void RunTransport(net::Transport transport, const char* name) {
   copts.num_connections = 16;
   client::ReflexClient client(world.sim, *world.server,
                               world.client_machines[0], copts);
-  client.BindAll(lc->handle());
-  client::ReflexService lc_service(client, lc->handle());
+  auto lc_session = client.AttachSession(lc->handle());
+  client::ReflexService lc_service(*lc_session);
 
   sim::Histogram unloaded =
       bench::ProbeLatency(world, lc_service, true, 400);
 
   core::Tenant* be = world.server->RegisterTenant(
       core::SloSpec{}, core::TenantClass::kBestEffort);
-  client::ReflexService be_service(client, be->handle());
+  // Second tenant over the same client: shares the connection pool.
+  auto be_session = client.AttachSession(be->handle());
+  client::ReflexService be_service(*be_session);
   bench::LoadPoint peak = bench::MeasureOpenLoop(
       world, {&be_service}, 1300000.0, 1.0, 2, sim::Millis(50),
       sim::Millis(200));

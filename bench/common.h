@@ -167,7 +167,8 @@ inline sim::Histogram ProbeLatency(BenchWorld& world,
   sim::Rng rng(seed, "bench_probe");
   for (int i = 0; i < samples; ++i) {
     const uint64_t lba = rng.NextBounded(4000000) * 8;
-    auto f = service.SubmitIo(is_read, lba, 8, nullptr);
+    auto f = service.SubmitIo(is_read ? client::IoDesc::Read(lba, 8)
+                                      : client::IoDesc::Write(lba, 8));
     hist.Record(world.Await(std::move(f)).Latency());
   }
   return hist;
@@ -182,8 +183,10 @@ inline sim::Task SaturationWorker(sim::Simulator& sim,
   sim::Rng rng(salt, "bench_saturate");
   while (sim.Now() < end) {
     const uint64_t lba = rng.NextBounded(4000000) * 8;
-    co_await service.SubmitIo(rng.NextBernoulli(read_fraction), lba,
-                              sectors, nullptr);
+    const bool is_read = rng.NextBernoulli(read_fraction);
+    co_await service.SubmitIo(is_read
+                                  ? client::IoDesc::Read(lba, sectors)
+                                  : client::IoDesc::Write(lba, sectors));
     ++*completed;
   }
 }
@@ -201,10 +204,10 @@ namespace internal {
 /** Open-loop Poisson generator over a set of FlashServices. */
 class OpenLoopDriver {
  public:
-  OpenLoopDriver(BenchWorld& world, std::vector<client::FlashService*> svcs,
+  OpenLoopDriver(sim::Simulator& sim, std::vector<client::FlashService*> svcs,
                  double offered_iops, double read_fraction,
                  uint32_t sectors, uint64_t seed)
-      : world_(world),
+      : sim_(sim),
         services_(std::move(svcs)),
         read_fraction_(read_fraction),
         sectors_(sectors),
@@ -212,12 +215,12 @@ class OpenLoopDriver {
         mean_gap_(1e9 / offered_iops) {}
 
   LoadPoint Measure(sim::TimeNs warmup, sim::TimeNs duration) {
-    warm_end_ = world_.sim.Now() + warmup;
+    warm_end_ = sim_.Now() + warmup;
     end_ = warm_end_ + duration;
     ScheduleNext();
-    while ((world_.sim.Now() < end_ || outstanding_ > 0) &&
-           world_.sim.Now() < end_ + sim::Seconds(5)) {
-      world_.sim.RunUntil(world_.sim.Now() + sim::Millis(1));
+    while ((sim_.Now() < end_ || outstanding_ > 0) &&
+           sim_.Now() < end_ + sim::Seconds(5)) {
+      sim_.RunUntil(sim_.Now() + sim::Millis(1));
     }
     LoadPoint point;
     point.offered_iops = 1e9 / mean_gap_;
@@ -232,8 +235,8 @@ class OpenLoopDriver {
   void ScheduleNext() {
     const auto gap = static_cast<sim::TimeNs>(
         rng_.NextExponential(mean_gap_));
-    world_.sim.ScheduleAfter(gap, [this] {
-      if (world_.sim.Now() >= end_) return;
+    sim_.ScheduleAfter(gap, [this] {
+      if (sim_.Now() >= end_) return;
       ++outstanding_;
       IssueOne(services_[next_service_]);
       next_service_ = (next_service_ + 1) % services_.size();
@@ -244,8 +247,9 @@ class OpenLoopDriver {
   sim::Task IssueOne(client::FlashService* service) {
     const bool is_read = rng_.NextBernoulli(read_fraction_);
     const uint64_t lba = rng_.NextBounded(4000000) * 8;
-    client::IoResult r =
-        co_await service->SubmitIo(is_read, lba, sectors_, nullptr);
+    client::IoResult r = co_await service->SubmitIo(
+        is_read ? client::IoDesc::Read(lba, sectors_)
+                : client::IoDesc::Write(lba, sectors_));
     --outstanding_;
     if (r.ok() && r.complete_time >= warm_end_ && r.complete_time < end_) {
       ++ops_in_window_;
@@ -253,7 +257,7 @@ class OpenLoopDriver {
     }
   }
 
-  BenchWorld& world_;
+  sim::Simulator& sim_;
   std::vector<client::FlashService*> services_;
   double read_fraction_;
   uint32_t sectors_;
@@ -274,6 +278,19 @@ class OpenLoopDriver {
  * the given services (Poisson arrivals). Returns achieved throughput
  * and read-latency stats over the window.
  */
+inline LoadPoint MeasureOpenLoop(sim::Simulator& sim,
+                                 std::vector<client::FlashService*> services,
+                                 double offered_iops, double read_fraction,
+                                 uint32_t sectors,
+                                 sim::TimeNs warmup = sim::Millis(50),
+                                 sim::TimeNs duration = sim::Millis(250),
+                                 uint64_t seed = 9) {
+  internal::OpenLoopDriver driver(sim, std::move(services), offered_iops,
+                                  read_fraction, sectors, seed);
+  return driver.Measure(warmup, duration);
+}
+
+/** Convenience overload over a BenchWorld's simulator. */
 inline LoadPoint MeasureOpenLoop(BenchWorld& world,
                                  std::vector<client::FlashService*> services,
                                  double offered_iops, double read_fraction,
@@ -281,9 +298,8 @@ inline LoadPoint MeasureOpenLoop(BenchWorld& world,
                                  sim::TimeNs warmup = sim::Millis(50),
                                  sim::TimeNs duration = sim::Millis(250),
                                  uint64_t seed = 9) {
-  internal::OpenLoopDriver driver(world, std::move(services), offered_iops,
-                                  read_fraction, sectors, seed);
-  return driver.Measure(warmup, duration);
+  return MeasureOpenLoop(world.sim, std::move(services), offered_iops,
+                         read_fraction, sectors, warmup, duration, seed);
 }
 
 }  // namespace reflex::bench

@@ -68,11 +68,9 @@ struct Timeline {
  */
 class LcDriver {
  public:
-  LcDriver(bench::BenchWorld& world, client::ReflexClient& client,
-           uint32_t handle)
+  LcDriver(bench::BenchWorld& world, client::TenantSession& session)
       : world_(world),
-        client_(client),
-        handle_(handle),
+        session_(session),
         rng_(17, "fault_recovery_lc"),
         gap_(static_cast<sim::TimeNs>(1e9 / kLcOfferedIops)) {}
 
@@ -92,14 +90,13 @@ class LcDriver {
   }
   sim::Task IssueOne() {
     const uint64_t lba = rng_.NextBounded(4000000) * 8;
-    client::IoResult r = co_await client_.Read(handle_, lba, 8);
+    client::IoResult r = co_await session_.Read(lba, 8);
     --outstanding_;
     timeline_.Record(r);
   }
 
   bench::BenchWorld& world_;
-  client::ReflexClient& client_;
-  uint32_t handle_;
+  client::TenantSession& session_;
   sim::Rng rng_;
   sim::TimeNs gap_;
   int64_t outstanding_ = 0;
@@ -109,9 +106,8 @@ class LcDriver {
 /** Closed-loop best-effort load with per-bucket completion counts. */
 class BeDriver {
  public:
-  BeDriver(bench::BenchWorld& world, client::ReflexClient& client,
-           uint32_t handle)
-      : world_(world), client_(client), handle_(handle),
+  BeDriver(bench::BenchWorld& world, client::TenantSession& session)
+      : world_(world), session_(session),
         completed_per_bucket_(static_cast<size_t>(kRunEnd / kBucket), 0) {}
 
   void Start(int workers) {
@@ -130,8 +126,8 @@ class BeDriver {
       const uint64_t lba = rng.NextBounded(4000000) * 8;
       client::IoResult r =
           rng.NextBernoulli(0.5)
-              ? co_await client_.Read(handle_, lba, 8)
-              : co_await client_.Write(handle_, lba, 8);
+              ? co_await session_.Read(lba, 8)
+              : co_await session_.Write(lba, 8);
       if (r.ok()) {
         size_t b = static_cast<size_t>(r.complete_time / kBucket);
         if (b >= completed_per_bucket_.size()) {
@@ -144,8 +140,7 @@ class BeDriver {
   }
 
   bench::BenchWorld& world_;
-  client::ReflexClient& client_;
-  uint32_t handle_;
+  client::TenantSession& session_;
   int64_t outstanding_ = 0;
   std::vector<int64_t> completed_per_bucket_;
 };
@@ -268,11 +263,11 @@ bool RunScenario(Scenario scenario) {
   client::ReflexClient lc_client(world.sim, *world.server,
                                  world.client_machines[0],
                                  RetryingClient(501));
-  lc_client.BindAll(lc->handle());
+  auto lc_session = lc_client.AttachSession(lc->handle());
   client::ReflexClient be_client(world.sim, *world.server,
                                  world.client_machines[1],
                                  RetryingClient(502));
-  be_client.BindAll(be->handle());
+  auto be_session = be_client.AttachSession(be->handle());
 
   switch (scenario) {
     case Scenario::kDeviceError:
@@ -301,8 +296,8 @@ bool RunScenario(Scenario scenario) {
       break;
   }
 
-  LcDriver lc_load(world, lc_client, lc->handle());
-  BeDriver be_load(world, be_client, be->handle());
+  LcDriver lc_load(world, *lc_session);
+  BeDriver be_load(world, *be_session);
   // 4 closed-loop BE workers: enough to make brownout shedding
   // visible, but intrinsically bounded below the leftover token share
   // so the device runs with latency headroom (a BE pool that soaks the

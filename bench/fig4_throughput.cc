@@ -59,6 +59,7 @@ void RunReflex(int threads) {
   // One BE tenant per dataplane thread (a tenant is served by exactly
   // one thread; the paper scales tenants with threads).
   std::vector<std::unique_ptr<client::ReflexClient>> clients;
+  std::vector<std::unique_ptr<client::TenantSession>> sessions;
   std::vector<std::unique_ptr<client::ReflexService>> services;
   std::vector<client::FlashService*> svc_ptrs;
   for (int t = 0; t < threads; ++t) {
@@ -75,9 +76,9 @@ void RunReflex(int threads) {
     clients.push_back(std::make_unique<client::ReflexClient>(
         world.sim, *world.server,
         world.client_machines[t % world.client_machines.size()], copts));
-    clients.back()->BindAll(tenant->handle());
-    services.push_back(std::make_unique<client::ReflexService>(
-        *clients.back(), tenant->handle()));
+    sessions.push_back(clients.back()->AttachSession(tenant->handle()));
+    services.push_back(
+        std::make_unique<client::ReflexService>(*sessions.back()));
     svc_ptrs.push_back(services.back().get());
   }
 

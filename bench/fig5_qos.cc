@@ -35,6 +35,7 @@ struct TenantSetup {
   double read_fraction;
   core::Tenant* tenant = nullptr;
   std::unique_ptr<client::ReflexClient> client;
+  std::unique_ptr<client::TenantSession> session;
   std::unique_ptr<client::LoadGenerator> generator;
 };
 
@@ -110,7 +111,7 @@ void RunScenario(int scenario, bool sched_enabled) {
     s.client = std::make_unique<client::ReflexClient>(
         world.sim, *world.server,
         world.client_machines[idx % world.client_machines.size()], copts);
-    s.client->BindAll(s.tenant->handle());
+    s.session = s.client->AttachSession(s.tenant->handle());
 
     client::LoadGenSpec spec;
     spec.read_fraction = s.read_fraction;
@@ -124,7 +125,7 @@ void RunScenario(int scenario, bool sched_enabled) {
     }
     spec.seed = 900 + idx;
     s.generator = std::make_unique<client::LoadGenerator>(
-        world.sim, *s.client, s.tenant->handle(), spec);
+        world.sim, *s.session, spec);
     ++idx;
   }
 

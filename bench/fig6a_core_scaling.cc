@@ -20,6 +20,7 @@ namespace {
 
 struct Gen {
   std::unique_ptr<client::ReflexClient> client;
+  std::unique_ptr<client::TenantSession> session;
   std::unique_ptr<client::LoadGenerator> generator;
 };
 
@@ -33,9 +34,9 @@ Gen MakeGen(bench::BenchWorld& world, core::Tenant* tenant,
   g.client = std::make_unique<client::ReflexClient>(
       world.sim, *world.server,
       world.client_machines[idx % world.client_machines.size()], copts);
-  g.client->BindAll(tenant->handle());
+  g.session = g.client->AttachSession(tenant->handle());
   g.generator = std::make_unique<client::LoadGenerator>(
-      world.sim, *g.client, tenant->handle(), spec);
+      world.sim, *g.session, spec);
   return g;
 }
 

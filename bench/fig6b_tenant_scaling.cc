@@ -26,6 +26,7 @@ double RunPoint(int cores, int num_tenants) {
   // every tenant still gets its own TCP connection, as in the paper.
   const int kTenantsPerClient = 250;
   std::vector<std::unique_ptr<client::ReflexClient>> clients;
+  std::vector<std::unique_ptr<client::TenantSession>> sessions;
   std::vector<std::unique_ptr<client::LoadGenerator>> generators;
 
   int made = 0;
@@ -40,6 +41,12 @@ double RunPoint(int cores, int num_tenants) {
         world.client_machines[(made / kTenantsPerClient) %
                               world.client_machines.size()],
         copts);
+    // Every tenant gets its own TCP connection, as in the paper, but
+    // the connections are shared (tenant-unbound): the dataplane
+    // routes each request by its tenant handle. Open them explicitly
+    // so the sessions below attach to this shared pool instead of
+    // opening tenant-bound connections.
+    for (int i = 0; i < batch; ++i) client->OpenConnection();
     for (int i = 0; i < batch; ++i) {
       core::Tenant* t = world.server->RegisterTenant(
           core::SloSpec{}, core::TenantClass::kBestEffort);
@@ -48,8 +55,9 @@ double RunPoint(int cores, int num_tenants) {
       spec.read_fraction = 1.0;
       spec.request_bytes = 1024;
       spec.seed = 5000 + made + i;
+      sessions.push_back(client->AttachSession(t->handle()));
       generators.push_back(std::make_unique<client::LoadGenerator>(
-          world.sim, *client, t->handle(), spec));
+          world.sim, *sessions.back(), spec));
     }
     clients.push_back(std::move(client));
     made += batch;

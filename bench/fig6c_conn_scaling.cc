@@ -30,6 +30,7 @@ double RunPoint(int num_conns, double iops_per_conn) {
   // Spread connections over client machines (mutilate-style agents).
   const int kMachines = 8;
   std::vector<std::unique_ptr<client::ReflexClient>> clients;
+  std::vector<std::unique_ptr<client::TenantSession>> sessions;
   std::vector<std::unique_ptr<client::LoadGenerator>> generators;
   int remaining = num_conns;
   for (int m = 0; m < kMachines && remaining > 0; ++m) {
@@ -43,14 +44,14 @@ double RunPoint(int num_conns, double iops_per_conn) {
     copts.seed = 6000 + m;
     auto client = std::make_unique<client::ReflexClient>(
         world.sim, *world.server, world.client_machines[m], copts);
-    client->BindAll(tenant->handle());
+    sessions.push_back(client->AttachSession(tenant->handle()));
     client::LoadGenSpec spec;
     spec.offered_iops = iops_per_conn * batch;
     spec.read_fraction = 1.0;
     spec.request_bytes = 1024;
     spec.seed = 7000 + m;
     generators.push_back(std::make_unique<client::LoadGenerator>(
-        world.sim, *client, tenant->handle(), spec));
+        world.sim, *sessions.back(), spec));
     clients.push_back(std::move(client));
     remaining -= batch;
   }

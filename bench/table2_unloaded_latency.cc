@@ -105,9 +105,12 @@ void Run() {
     // covers exactly the probe population.
     copts.trace_sample_every = 1;
     client::ReflexClient rc(world.sim, *world.server, client, copts);
-    rc.BindAll(read_tenant->handle());
-    client::ReflexService rd(rc, read_tenant->handle());
-    client::ReflexService wr(rc, write_tenant->handle());
+    // Both tenants share the one-connection pool opened by the first
+    // session (the dataplane reroutes by tenant handle per request).
+    auto rd_session = rc.AttachSession(read_tenant->handle());
+    auto wr_session = rc.AttachSession(write_tenant->handle());
+    client::ReflexService rd(*rd_session);
+    client::ReflexService wr(*wr_session);
     world.server->tracer().Reset();
     sim::Histogram reads = bench::ProbeLatency(world, rd, true, kSamples);
     const obs::BreakdownTable read_table = world.server->tracer().Table();

@@ -98,27 +98,26 @@ int main() {
   client::ReflexClient::Options db_copts;
   db_copts.num_connections = 8;
   client::ReflexClient db_client(sim, server, db_machine, db_copts);
-  db_client.BindAll(db->handle());
+  auto db_session = db_client.AttachSession(db->handle());
   client::LoadGenSpec db_spec;
   db_spec.offered_iops = 72000;
   db_spec.poisson_arrivals = false;
   db_spec.read_fraction = 0.9;
   db_spec.lba_span_sectors = 1ULL << 30;
-  client::LoadGenerator db_load(sim, db_client, db->handle(), db_spec);
+  client::LoadGenerator db_load(sim, *db_session, db_spec);
 
   client::ReflexClient::Options an_copts;
   an_copts.num_connections = 8;
   an_copts.seed = 2;
   client::ReflexClient an_client(sim, server, analytics_machine, an_copts);
-  an_client.BindAll(analytics->handle());
+  auto an_session = an_client.AttachSession(analytics->handle());
   client::LoadGenSpec an_spec;
   an_spec.queue_depth = 32;       // as fast as it can go
   an_spec.read_fraction = 0.8;    // scan-heavy analytics mix
   an_spec.lba_offset = 1ULL << 30;
   an_spec.lba_span_sectors = 400ULL << 20;
   an_spec.seed = 3;
-  client::LoadGenerator an_load(sim, an_client, analytics->handle(),
-                                an_spec);
+  client::LoadGenerator an_load(sim, *an_session, an_spec);
 
   db_load.Run(sim::Millis(100), sim::Millis(400));
   an_load.Run(sim::Millis(100), sim::Millis(400));
@@ -137,7 +136,7 @@ int main() {
               an_load.read_latency().Percentile(0.95) / 1e3);
 
   // --- Cross-tenant access is denied ---
-  auto trespass = db_client.Read(db->handle(), (1ULL << 30) + 8, 8);
+  auto trespass = db_session->Read((1ULL << 30) + 8, 8);
   while (!trespass.Ready()) sim.RunUntil(sim.Now() + sim::Millis(1));
   std::printf("\ndatabase tenant reading analytics' namespace: %s\n",
               trespass.Get().status == core::ReqStatus::kAccessDenied

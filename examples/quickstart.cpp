@@ -45,44 +45,45 @@ int main() {
   core::ReflexServer server(sim, network, server_machine, device,
                             calibration, options);
 
-  // --- 4. Register a tenant with an SLO: 50K IOPS, 80% reads,
-  //        p95 read latency <= 500us ---
+  // --- 4. A client on the app server (IX-style dataplane stack) ---
+  client::ReflexClient::Options copts;
+  copts.stack = net::StackCosts::IxDataplane();
+  client::ReflexClient client(sim, server, client_machine, copts);
+
+  // --- 5. Open a tenant session with an SLO: 50K IOPS, 80% reads,
+  //        p95 read latency <= 500us. OpenSession registers the
+  //        tenant, opens the connection pool, and unregisters again
+  //        when the session is destroyed (RAII). ---
   core::SloSpec slo;
   slo.iops = 50000;
   slo.read_fraction = 0.8;
   slo.latency = sim::Micros(500);
   core::ReqStatus status;
-  core::Tenant* tenant = server.RegisterTenant(
-      slo, core::TenantClass::kLatencyCritical, &status);
-  if (tenant == nullptr) {
+  auto session =
+      client.OpenSession(slo, core::TenantClass::kLatencyCritical, &status);
+  if (session == nullptr) {
     std::printf("tenant inadmissible!\n");
     return 1;
   }
+  core::Tenant* tenant = server.FindTenant(session->handle());
   std::printf("registered LC tenant %u: 50K IOPS @ 80%% read, "
               "500us p95 (reserves %.0fK tokens/s)\n",
-              tenant->handle(), tenant->token_rate() / 1e3);
-
-  // --- 5. A client on the app server (IX-style dataplane stack) ---
-  client::ReflexClient::Options copts;
-  copts.stack = net::StackCosts::IxDataplane();
-  client::ReflexClient client(sim, server, client_machine, copts);
-  client.BindAll(tenant->handle());
+              session->handle(), tenant->token_rate() / 1e3);
 
   // --- 6. Write a block, read it back, and time both ---
   std::vector<uint8_t> out(4096);
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = static_cast<uint8_t>(i & 0xff);
   }
-  auto write_future = client.Write(tenant->handle(), /*lba=*/2048,
-                                   /*sectors=*/8, out.data());
+  auto write_future = session->Write(/*lba=*/2048, /*sectors=*/8,
+                                     out.data());
   while (!write_future.Ready()) sim.RunUntil(sim.Now() + sim::Millis(1));
   std::printf("remote write: %s, latency %.1f us\n",
               write_future.Get().ok() ? "OK" : "FAILED",
               sim::ToMicros(write_future.Get().Latency()));
 
   std::vector<uint8_t> in(4096, 0);
-  auto read_future =
-      client.Read(tenant->handle(), 2048, 8, in.data());
+  auto read_future = session->Read(2048, 8, in.data());
   while (!read_future.Ready()) sim.RunUntil(sim.Now() + sim::Millis(1));
   std::printf("remote read:  %s, latency %.1f us, data %s\n",
               read_future.Get().ok() ? "OK" : "FAILED",
@@ -93,7 +94,7 @@ int main() {
   sim::Histogram hist;
   sim::Rng rng(7, "quickstart");
   for (int i = 0; i < 200; ++i) {
-    auto f = client.Read(tenant->handle(), rng.NextBounded(1000000) * 8, 8);
+    auto f = session->Read(rng.NextBounded(1000000) * 8, 8);
     while (!f.Ready()) sim.RunUntil(sim.Now() + sim::Millis(1));
     hist.Record(f.Get().Latency());
   }

@@ -64,12 +64,13 @@ KernelStorageServer::~KernelStorageServer() {
 }
 
 sim::Future<client::IoResult> KernelStorageServer::SubmitIo(
-    bool is_read, uint64_t lba, uint32_t sectors, uint8_t* data) {
+    const client::IoDesc& io) {
   sim::Promise<client::IoResult> promise(sim_);
   auto future = promise.GetFuture();
   const int conn = next_conn_;
   next_conn_ = (next_conn_ + 1) % static_cast<int>(conns_.size());
-  DoIo(conn, is_read, lba, sectors, data, std::move(promise));
+  DoIo(conn, io.is_read(), io.lba, io.sectors, io.data,
+       std::move(promise));
   return future;
 }
 

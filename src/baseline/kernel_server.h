@@ -79,9 +79,7 @@ class KernelStorageServer : public client::FlashService {
                       uint64_t seed = 55);
   ~KernelStorageServer() override;
 
-  sim::Future<client::IoResult> SubmitIo(bool is_read, uint64_t lba,
-                                         uint32_t sectors,
-                                         uint8_t* data) override;
+  sim::Future<client::IoResult> SubmitIo(const client::IoDesc& io) override;
 
   const char* name() const override { return name_; }
 

@@ -29,15 +29,13 @@ LocalNvmeDriver::~LocalNvmeDriver() {
   }
 }
 
-sim::Future<client::IoResult> LocalNvmeDriver::SubmitIo(bool is_read,
-                                                        uint64_t lba,
-                                                        uint32_t sectors,
-                                                        uint8_t* data) {
+sim::Future<client::IoResult> LocalNvmeDriver::SubmitIo(
+    const client::IoDesc& io) {
   sim::Promise<client::IoResult> promise(sim_);
   auto future = promise.GetFuture();
   const int ctx = next_ctx_;
   next_ctx_ = (next_ctx_ + 1) % options_.num_contexts;
-  DoIo(ctx, is_read, lba, sectors, data, std::move(promise));
+  DoIo(ctx, io.is_read(), io.lba, io.sectors, io.data, std::move(promise));
   return future;
 }
 

@@ -41,9 +41,7 @@ class LocalNvmeDriver : public client::FlashService {
                   Options options);
   ~LocalNvmeDriver() override;
 
-  sim::Future<client::IoResult> SubmitIo(bool is_read, uint64_t lba,
-                                         uint32_t sectors,
-                                         uint8_t* data) override;
+  sim::Future<client::IoResult> SubmitIo(const client::IoDesc& io) override;
 
   const char* name() const override { return "Local (kernel NVMe)"; }
 

@@ -26,15 +26,14 @@ LocalSpdkService::~LocalSpdkService() {
   }
 }
 
-sim::Future<client::IoResult> LocalSpdkService::SubmitIo(bool is_read,
-                                                         uint64_t lba,
-                                                         uint32_t sectors,
-                                                         uint8_t* data) {
+sim::Future<client::IoResult> LocalSpdkService::SubmitIo(
+    const client::IoDesc& io) {
   sim::Promise<client::IoResult> promise(sim_);
   auto future = promise.GetFuture();
   const int thread = next_thread_;
   next_thread_ = (next_thread_ + 1) % options_.num_threads;
-  DoIo(thread, is_read, lba, sectors, data, std::move(promise));
+  DoIo(thread, io.is_read(), io.lba, io.sectors, io.data,
+       std::move(promise));
   return future;
 }
 

@@ -34,9 +34,7 @@ class LocalSpdkService : public client::FlashService {
                    Options options);
   ~LocalSpdkService() override;
 
-  sim::Future<client::IoResult> SubmitIo(bool is_read, uint64_t lba,
-                                         uint32_t sectors,
-                                         uint8_t* data) override;
+  sim::Future<client::IoResult> SubmitIo(const client::IoDesc& io) override;
 
   const char* name() const override { return "Local (SPDK)"; }
 

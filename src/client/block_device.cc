@@ -13,7 +13,6 @@ BlockDevice::BlockDevice(sim::Simulator& sim, core::ReflexServer& server,
                          Options options)
     : sim_(sim),
       server_(server),
-      tenant_(tenant_handle),
       options_(options),
       rng_(options.seed, "block_device"),
       contexts_(options.num_contexts) {
@@ -27,7 +26,8 @@ BlockDevice::BlockDevice(sim::Simulator& sim, core::ReflexServer& server,
   client_options.retry = options_.retry;
   client_ = std::make_unique<ReflexClient>(sim, server, machine,
                                            client_options);
-  client_->BindAll(tenant_);
+  session_ = client_->AttachSession(tenant_handle);
+  REFLEX_CHECK(session_ != nullptr);
 }
 
 uint64_t BlockDevice::CapacityBytes() const {
@@ -118,10 +118,9 @@ sim::Task BlockDevice::DoChunk(int ctx_index, bool is_read, uint64_t lba,
   ctx.core_free = submit_start + submit_cost;
   co_await sim::Delay(sim_, ctx.core_free - sim_.Now());
 
-  IoResult r = is_read ? co_await client_->Read(tenant_, lba, sectors, data,
-                                                ctx_index)
-                       : co_await client_->Write(tenant_, lba, sectors,
-                                                 data, ctx_index);
+  IoResult r = is_read
+                   ? co_await session_->Read(lba, sectors, data, ctx_index)
+                   : co_await session_->Write(lba, sectors, data, ctx_index);
   // blk-mq requeue: transient failures (device error, allocation
   // pressure, timeout) put the request back on the hardware context
   // after a delay; permanent errors (bad range, no such tenant) are
@@ -134,10 +133,8 @@ sim::Task BlockDevice::DoChunk(int ctx_index, bool is_read, uint64_t lba,
     --requeues_left;
     ++requeues_;
     co_await sim::Delay(sim_, options_.requeue_delay);
-    r = is_read ? co_await client_->Read(tenant_, lba, sectors, data,
-                                         ctx_index)
-                : co_await client_->Write(tenant_, lba, sectors, data,
-                                          ctx_index);
+    r = is_read ? co_await session_->Read(lba, sectors, data, ctx_index)
+                : co_await session_->Write(lba, sectors, data, ctx_index);
   }
   if (!r.ok()) *status_out = r.status;
 

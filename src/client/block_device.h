@@ -121,10 +121,10 @@ class BlockDevice : public StorageBackend {
 
   sim::Simulator& sim_;
   core::ReflexServer& server_;
-  uint32_t tenant_;
   Options options_;
   sim::Rng rng_;
   std::unique_ptr<ReflexClient> client_;
+  std::unique_ptr<TenantSession> session_;
   std::vector<Context> contexts_;
   int next_ctx_ = 0;
 

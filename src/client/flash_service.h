@@ -9,6 +9,34 @@
 
 namespace reflex::client {
 
+/** Direction of one Flash I/O. */
+enum class IoOp : uint8_t { kRead, kWrite };
+
+/**
+ * One Flash I/O: direction, sector range and (optional) payload
+ * buffer. `lba` and `sectors` are in 512B sectors; `data` receives
+ * the payload on reads and supplies it on writes (null models a
+ * data-less request, which still moves the full payload over the
+ * wire).
+ */
+struct IoDesc {
+  IoOp op = IoOp::kRead;
+  uint64_t lba = 0;
+  uint32_t sectors = 0;
+  uint8_t* data = nullptr;
+
+  bool is_read() const { return op == IoOp::kRead; }
+
+  static IoDesc Read(uint64_t lba, uint32_t sectors,
+                     uint8_t* data = nullptr) {
+    return IoDesc{IoOp::kRead, lba, sectors, data};
+  }
+  static IoDesc Write(uint64_t lba, uint32_t sectors,
+                      uint8_t* data = nullptr) {
+    return IoDesc{IoOp::kWrite, lba, sectors, data};
+  }
+};
+
 /**
  * Uniform Flash access interface used by the comparison benches
  * (Table 2, Figure 4, Figure 7a): local SPDK, iSCSI, the libaio
@@ -23,32 +51,28 @@ class FlashService {
    * Issues one I/O; the future resolves when the application would
    * observe the completion (all stack costs included).
    */
-  virtual sim::Future<IoResult> SubmitIo(bool is_read, uint64_t lba,
-                                         uint32_t sectors,
-                                         uint8_t* data) = 0;
+  virtual sim::Future<IoResult> SubmitIo(const IoDesc& io) = 0;
 
   /** Human-readable system name for bench output. */
   virtual const char* name() const = 0;
 };
 
-/** FlashService adapter over the ReFlex user-level client library. */
+/** FlashService adapter over a ReFlex tenant session. */
 class ReflexService : public FlashService {
  public:
-  ReflexService(ReflexClient& client, uint32_t tenant_handle,
-                const char* name = "ReFlex")
-      : client_(client), tenant_(tenant_handle), name_(name) {}
+  explicit ReflexService(TenantSession& session,
+                         const char* name = "ReFlex")
+      : session_(session), name_(name) {}
 
-  sim::Future<IoResult> SubmitIo(bool is_read, uint64_t lba,
-                                 uint32_t sectors, uint8_t* data) override {
-    return is_read ? client_.Read(tenant_, lba, sectors, data)
-                   : client_.Write(tenant_, lba, sectors, data);
+  sim::Future<IoResult> SubmitIo(const IoDesc& io) override {
+    return io.is_read() ? session_.Read(io.lba, io.sectors, io.data)
+                        : session_.Write(io.lba, io.sectors, io.data);
   }
 
   const char* name() const override { return name_; }
 
  private:
-  ReflexClient& client_;
-  uint32_t tenant_;
+  TenantSession& session_;
   const char* name_;
 };
 

@@ -7,15 +7,14 @@
 
 namespace reflex::client {
 
-LoadGenerator::LoadGenerator(sim::Simulator& sim, ReflexClient& client,
-                             uint32_t tenant_handle, LoadGenSpec spec)
+LoadGenerator::LoadGenerator(sim::Simulator& sim, TenantSession& session,
+                             LoadGenSpec spec)
     : sim_(sim),
-      client_(client),
-      tenant_(tenant_handle),
+      session_(session),
       spec_(spec),
       rng_(spec.seed, "load_generator"),
       done_promise_(std::make_unique<sim::VoidPromise>(sim)) {
-  const auto& profile = client_.server().device().profile();
+  const auto& profile = session_.client().server().device().profile();
   sectors_ = std::max<uint32_t>(
       1, spec_.request_bytes / profile.sector_bytes);
   uint64_t span = spec_.lba_span_sectors;
@@ -49,7 +48,7 @@ void LoadGenerator::Run(sim::TimeNs warm_end, sim::TimeNs end) {
   if (spec_.queue_depth > 0) {
     for (int i = 0; i < spec_.queue_depth; ++i) {
       ++outstanding_;
-      ClosedLoopWorker(i % client_.num_connections());
+      ClosedLoopWorker(i % session_.client().num_connections());
     }
     return;
   }
@@ -59,7 +58,7 @@ void LoadGenerator::Run(sim::TimeNs warm_end, sim::TimeNs end) {
 
 std::pair<uint64_t, bool> LoadGenerator::PickOp() {
   const bool is_read = rng_.NextBernoulli(spec_.read_fraction);
-  const auto& profile = client_.server().device().profile();
+  const auto& profile = session_.client().server().device().profile();
   const uint64_t page = rng_.NextBounded(max_page_ + 1);
   const uint64_t lba =
       spec_.lba_offset + page * profile.SectorsPerPage();
@@ -97,11 +96,9 @@ sim::Task LoadGenerator::ClosedLoopWorker(int conn_index) {
   while (sim_.Now() < end_) {
     auto [lba, is_read] = PickOp();
     IoResult result =
-        is_read
-            ? co_await client_.Read(tenant_, lba, sectors_, nullptr,
-                                    conn_index)
-            : co_await client_.Write(tenant_, lba, sectors_, nullptr,
-                                     conn_index);
+        is_read ? co_await session_.Read(lba, sectors_, nullptr, conn_index)
+                : co_await session_.Write(lba, sectors_, nullptr,
+                                          conn_index);
     Record(result, is_read);
   }
   --outstanding_;
@@ -113,9 +110,8 @@ sim::Task LoadGenerator::ProbeWorker() {
   while (probe_ops_left_ > 0) {
     --probe_ops_left_;
     auto [lba, is_read] = PickOp();
-    IoResult result =
-        is_read ? co_await client_.Read(tenant_, lba, sectors_)
-                : co_await client_.Write(tenant_, lba, sectors_);
+    IoResult result = is_read ? co_await session_.Read(lba, sectors_)
+                              : co_await session_.Write(lba, sectors_);
     Record(result, is_read);
   }
   --outstanding_;
@@ -135,7 +131,7 @@ void LoadGenerator::ScheduleNextArrival() {
     }
     ++outstanding_;
     IssueOpenLoopOp(next_conn_);
-    next_conn_ = (next_conn_ + 1) % client_.num_connections();
+    next_conn_ = (next_conn_ + 1) % session_.client().num_connections();
     ScheduleNextArrival();
   });
 }
@@ -143,11 +139,8 @@ void LoadGenerator::ScheduleNextArrival() {
 sim::Task LoadGenerator::IssueOpenLoopOp(int conn_index) {
   auto [lba, is_read] = PickOp();
   IoResult result =
-      is_read
-          ? co_await client_.Read(tenant_, lba, sectors_, nullptr,
-                                  conn_index)
-          : co_await client_.Write(tenant_, lba, sectors_, nullptr,
-                                   conn_index);
+      is_read ? co_await session_.Read(lba, sectors_, nullptr, conn_index)
+              : co_await session_.Write(lba, sectors_, nullptr, conn_index);
   Record(result, is_read);
   --outstanding_;
   MaybeFinish();

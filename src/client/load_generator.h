@@ -49,16 +49,16 @@ struct LoadGenSpec {
 };
 
 /**
- * Generates read/write load against a ReFlex tenant through a
- * ReflexClient, mimicking the paper's extended mutilate load
- * generator: many connections generate throughput while latency is
- * recorded per request; statistics are confined to the measurement
- * window [warm_end, end).
+ * Generates read/write load against a ReFlex tenant session,
+ * mimicking the paper's extended mutilate load generator: many
+ * connections generate throughput while latency is recorded per
+ * request; statistics are confined to the measurement window
+ * [warm_end, end).
  */
 class LoadGenerator {
  public:
-  LoadGenerator(sim::Simulator& sim, ReflexClient& client,
-                uint32_t tenant_handle, LoadGenSpec spec);
+  LoadGenerator(sim::Simulator& sim, TenantSession& session,
+                LoadGenSpec spec);
 
   /**
    * Starts generation. In windowed mode (offered_iops or queue_depth
@@ -89,8 +89,7 @@ class LoadGenerator {
   void MaybeFinish();
 
   sim::Simulator& sim_;
-  ReflexClient& client_;
-  uint32_t tenant_;
+  TenantSession& session_;
   LoadGenSpec spec_;
   sim::Rng rng_;
   uint64_t max_page_ = 0;

@@ -7,6 +7,27 @@
 
 namespace reflex::client {
 
+TenantSession::~TenantSession() {
+  if (owns_handle_) client_.server().UnregisterTenant(handle_);
+}
+
+sim::Future<IoResult> TenantSession::Read(uint64_t lba, uint32_t sectors,
+                                          uint8_t* data, int conn_index) {
+  return client_.SubmitIo(core::ReqType::kRead, handle_, lba, sectors,
+                          data, conn_index);
+}
+
+sim::Future<IoResult> TenantSession::Write(uint64_t lba, uint32_t sectors,
+                                           uint8_t* data, int conn_index) {
+  return client_.SubmitIo(core::ReqType::kWrite, handle_, lba, sectors,
+                          data, conn_index);
+}
+
+sim::Future<IoResult> TenantSession::Barrier(int conn_index) {
+  return client_.SubmitIo(core::ReqType::kBarrier, handle_, 0, 0, nullptr,
+                          conn_index);
+}
+
 ReflexClient::ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
                            net::Machine* machine, Options options)
     : sim_(sim),
@@ -16,7 +37,6 @@ ReflexClient::ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
       rng_(options.seed, "reflex_client"),
       sampler_(options.trace_sample_every) {
   REFLEX_CHECK(options_.num_connections >= 1);
-  for (int i = 0; i < options_.num_connections; ++i) OpenConnection();
   if (retries_enabled()) {
     obs::MetricsRegistry& registry = server_.metrics();
     timeouts_metric_ = registry.GetCounter("client_timeouts");
@@ -26,22 +46,56 @@ ReflexClient::ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
 }
 
 int ReflexClient::OpenConnection() {
-  core::ServerConnection* conn = server_.Connect(
-      machine_,
+  core::AcceptResult accepted = server_.Accept(
+      machine_, core::kControlHandle,
       [this](const core::ResponseMsg& resp) { OnResponse(resp); });
-  connections_.push_back(conn);
+  REFLEX_CHECK(accepted.conn != nullptr);
+  connections_.push_back(accepted.conn);
   conn_timeouts_.push_back(0);
   return static_cast<int>(connections_.size()) - 1;
 }
 
-void ReflexClient::BindAll(uint32_t tenant_handle) {
-  for (core::ServerConnection* conn : connections_) {
-    server_.BindConnection(conn, tenant_handle);
+bool ReflexClient::EnsureSessionConnections(uint32_t handle,
+                                            core::ReqStatus* status) {
+  if (status != nullptr) *status = core::ReqStatus::kOk;
+  if (!connections_.empty()) return true;
+  for (int i = 0; i < options_.num_connections; ++i) {
+    core::AcceptResult accepted = server_.Accept(
+        machine_, handle,
+        [this](const core::ResponseMsg& resp) { OnResponse(resp); });
+    if (accepted.conn == nullptr) {
+      if (status != nullptr) *status = accepted.status;
+      return false;
+    }
+    connections_.push_back(accepted.conn);
+    conn_timeouts_.push_back(0);
   }
+  return true;
+}
+
+std::unique_ptr<TenantSession> ReflexClient::OpenSession(
+    const core::SloSpec& slo, core::TenantClass cls,
+    core::ReqStatus* status) {
+  core::Tenant* tenant = server_.RegisterTenant(slo, cls, status);
+  if (tenant == nullptr) return nullptr;
+  if (!EnsureSessionConnections(tenant->handle(), status)) {
+    server_.UnregisterTenant(tenant->handle());
+    return nullptr;
+  }
+  return std::unique_ptr<TenantSession>(
+      new TenantSession(*this, tenant->handle(), /*owns_handle=*/true));
+}
+
+std::unique_ptr<TenantSession> ReflexClient::AttachSession(
+    uint32_t handle, core::ReqStatus* status) {
+  if (!EnsureSessionConnections(handle, status)) return nullptr;
+  return std::unique_ptr<TenantSession>(
+      new TenantSession(*this, handle, /*owns_handle=*/false));
 }
 
 sim::Future<core::ResponseMsg> ReflexClient::Register(
     const core::SloSpec& slo, core::TenantClass cls) {
+  if (connections_.empty()) OpenConnection();
   core::RequestMsg msg;
   msg.type = core::ReqType::kRegister;
   msg.slo = slo;
@@ -58,6 +112,7 @@ sim::Future<core::ResponseMsg> ReflexClient::Register(
 }
 
 sim::Future<core::ResponseMsg> ReflexClient::Unregister(uint32_t handle) {
+  if (connections_.empty()) OpenConnection();
   core::RequestMsg msg;
   msg.type = core::ReqType::kUnregister;
   msg.handle = handle;
@@ -70,26 +125,6 @@ sim::Future<core::ResponseMsg> ReflexClient::Unregister(uint32_t handle) {
       options_.stack.TxCost(core::kRegisterMsgBytes),
       [conn, msg] { conn->Deliver(msg); });
   return future;
-}
-
-sim::Future<IoResult> ReflexClient::Read(uint32_t handle, uint64_t lba,
-                                         uint32_t sectors, uint8_t* data,
-                                         int conn_index) {
-  return SubmitIo(core::ReqType::kRead, handle, lba, sectors, data,
-                  conn_index);
-}
-
-sim::Future<IoResult> ReflexClient::Write(uint32_t handle, uint64_t lba,
-                                          uint32_t sectors, uint8_t* data,
-                                          int conn_index) {
-  return SubmitIo(core::ReqType::kWrite, handle, lba, sectors, data,
-                  conn_index);
-}
-
-sim::Future<IoResult> ReflexClient::Barrier(uint32_t handle,
-                                            int conn_index) {
-  return SubmitIo(core::ReqType::kBarrier, handle, 0, 0, nullptr,
-                  conn_index);
 }
 
 sim::Future<IoResult> ReflexClient::SubmitIo(core::ReqType type,

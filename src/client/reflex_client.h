@@ -16,6 +16,64 @@
 
 namespace reflex::client {
 
+class ReflexClient;
+
+/**
+ * A tenant's I/O endpoint on one ReflexClient: all reads, writes and
+ * barriers are issued through a session, which carries the tenant
+ * handle so callers never thread raw handles through their code.
+ *
+ * Sessions are RAII views over the client's connection pool. The
+ * first session opened on a client with an empty pool opens the
+ * configured number of connections, accepted by the server directly
+ * onto the tenant's dataplane thread (ReflexServer::Accept); later
+ * sessions on the same client share that pool, which is how one
+ * socket can serve many tenants (Figure 6b). A session returned by
+ * ReflexClient::OpenSession() owns its tenant registration and
+ * unregisters it on destruction; AttachSession() leaves lifetime
+ * with whoever registered the tenant.
+ */
+class TenantSession {
+ public:
+  ~TenantSession();
+  TenantSession(const TenantSession&) = delete;
+  TenantSession& operator=(const TenantSession&) = delete;
+
+  /**
+   * Issues a read of `sectors` 512B sectors at `lba`. `data`
+   * (optional) receives the payload. The returned future resolves
+   * after client-side receive processing, so its latency is the full
+   * application-observed round trip. `conn_index` pins the request to
+   * one connection of the pool; -1 round-robins.
+   */
+  sim::Future<IoResult> Read(uint64_t lba, uint32_t sectors,
+                             uint8_t* data = nullptr, int conn_index = -1);
+
+  /** Issues a write; see Read(). */
+  sim::Future<IoResult> Write(uint64_t lba, uint32_t sectors,
+                              uint8_t* data = nullptr, int conn_index = -1);
+
+  /**
+   * Issues an ordering barrier (paper section 4.1 extension): resolves
+   * once every I/O of this tenant issued before it has completed on
+   * the device; I/Os issued after it are not submitted until then.
+   */
+  sim::Future<IoResult> Barrier(int conn_index = -1);
+
+  uint32_t handle() const { return handle_; }
+  ReflexClient& client() { return client_; }
+
+ private:
+  friend class ReflexClient;
+  TenantSession(ReflexClient& client, uint32_t handle, bool owns_handle)
+      : client_(client), handle_(handle), owns_handle_(owns_handle) {}
+
+  ReflexClient& client_;
+  uint32_t handle_;
+  /** True for OpenSession() sessions: destruction unregisters. */
+  bool owns_handle_;
+};
+
 /**
  * The ReFlex user-level client library (paper section 4.2): opens TCP
  * connections to a ReFlex server and issues read/write requests for
@@ -24,6 +82,10 @@ namespace reflex::client {
  * The client's network stack is configurable: StackCosts::IxDataplane()
  * models the paper's "IX client" rows and StackCosts::LinuxEpoll() the
  * "Linux client" rows of Table 2.
+ *
+ * I/O goes through TenantSession objects (OpenSession/AttachSession);
+ * the client owns the connection pool and the retry machinery shared
+ * by every session on it.
  */
 class ReflexClient {
  public:
@@ -60,7 +122,10 @@ class ReflexClient {
 
   struct Options {
     net::StackCosts stack = net::StackCosts::IxDataplane();
-    /** Number of TCP connections to open up front. */
+    /**
+     * Number of TCP connections the first session opens (the pool is
+     * shared by every session on this client).
+     */
     int num_connections = 1;
     uint64_t seed = 1;
     /**
@@ -75,6 +140,25 @@ class ReflexClient {
   ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
                net::Machine* machine, Options options);
 
+  /**
+   * Registers a tenant with the server and returns a session that
+   * owns the registration (destroying it unregisters the tenant).
+   * Returns null if admission control rejects the SLO or the server
+   * refuses the connection; `status` (optional) receives the reason.
+   */
+  std::unique_ptr<TenantSession> OpenSession(
+      const core::SloSpec& slo, core::TenantClass cls,
+      core::ReqStatus* status = nullptr);
+
+  /**
+   * Opens a session over a tenant registered elsewhere (out-of-band
+   * RegisterTenant, or a handle obtained from in-band Register). The
+   * session does not own the registration. Returns null if the server
+   * refuses the connection (unknown tenant, ACL denial).
+   */
+  std::unique_ptr<TenantSession> AttachSession(
+      uint32_t handle, core::ReqStatus* status = nullptr);
+
   /** Registers a tenant in-band; resolves with the assigned handle. */
   sim::Future<core::ResponseMsg> Register(const core::SloSpec& slo,
                                           core::TenantClass cls);
@@ -83,28 +167,11 @@ class ReflexClient {
   sim::Future<core::ResponseMsg> Unregister(uint32_t handle);
 
   /**
-   * Issues a read of `sectors` 512B sectors at `lba` on behalf of
-   * `handle`. `data` (optional) receives the payload. The returned
-   * future resolves after client-side receive processing, so its
-   * latency is the full application-observed round trip.
+   * Opens one more control (tenant-unbound) connection; returns its
+   * index. Control connections round-robin over the server's dataplane
+   * threads until in-band registration binds them; a pool of them can
+   * be shared by many AttachSession() tenants (Figure 6b).
    */
-  sim::Future<IoResult> Read(uint32_t handle, uint64_t lba,
-                             uint32_t sectors, uint8_t* data = nullptr,
-                             int conn_index = -1);
-
-  /** Issues a write; see Read(). */
-  sim::Future<IoResult> Write(uint32_t handle, uint64_t lba,
-                              uint32_t sectors, uint8_t* data = nullptr,
-                              int conn_index = -1);
-
-  /**
-   * Issues an ordering barrier (paper section 4.1 extension): resolves
-   * once every I/O of `handle` issued before it has completed on the
-   * device; I/Os issued after it are not submitted until then.
-   */
-  sim::Future<IoResult> Barrier(uint32_t handle, int conn_index = -1);
-
-  /** Opens one more connection; returns its index. */
   int OpenConnection();
 
   int num_connections() const {
@@ -114,12 +181,10 @@ class ReflexClient {
   core::ReflexServer& server() { return server_; }
   const Options& options() const { return options_; }
 
-  /** Binds all connections to a tenant's dataplane thread. */
-  void BindAll(uint32_t tenant_handle);
-
   const FaultStats& fault_stats() const { return fault_stats_; }
 
  private:
+  friend class TenantSession;
   struct PendingOp {
     sim::Promise<IoResult> promise;
     sim::TimeNs issue_time;
@@ -139,6 +204,11 @@ class ReflexClient {
   bool retries_enabled() const {
     return options_.retry.request_timeout > 0;
   }
+  /**
+   * Opens the session connection pool if it is empty: num_connections
+   * connections accepted directly onto `handle`'s dataplane thread.
+   */
+  bool EnsureSessionConnections(uint32_t handle, core::ReqStatus* status);
   sim::Future<IoResult> SubmitIo(core::ReqType type, uint32_t handle,
                                  uint64_t lba, uint32_t sectors,
                                  uint8_t* data, int conn_index);

@@ -44,16 +44,15 @@ class ServiceStorageAdapter : public StorageBackend {
 
   sim::Future<IoResult> ReadBytes(uint64_t offset, uint32_t bytes,
                                   uint8_t* data) override {
-    return service_.SubmitIo(/*is_read=*/true, offset / core::kSectorBytes,
-                             SectorsFor(offset, bytes), data);
+    return service_.SubmitIo(IoDesc::Read(offset / core::kSectorBytes,
+                                          SectorsFor(offset, bytes), data));
   }
 
   sim::Future<IoResult> WriteBytes(uint64_t offset, uint32_t bytes,
                                    const uint8_t* data) override {
-    return service_.SubmitIo(/*is_read=*/false,
-                             offset / core::kSectorBytes,
-                             SectorsFor(offset, bytes),
-                             const_cast<uint8_t*>(data));
+    return service_.SubmitIo(
+        IoDesc::Write(offset / core::kSectorBytes, SectorsFor(offset, bytes),
+                      const_cast<uint8_t*>(data)));
   }
 
   uint64_t CapacityBytes() const override { return capacity_bytes_; }

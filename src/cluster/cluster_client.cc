@@ -1,0 +1,136 @@
+#include "cluster/cluster_client.h"
+
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace reflex::cluster {
+
+ClusterSession::ClusterSession(
+    ClusterClient& client, ClusterTenant tenant,
+    std::vector<std::unique_ptr<client::TenantSession>> sessions,
+    bool owns_tenant)
+    : client_(client),
+      tenant_(std::move(tenant)),
+      shard_sessions_(std::move(sessions)),
+      shard_latency_(shard_sessions_.size()),
+      owns_tenant_(owns_tenant) {}
+
+ClusterSession::~ClusterSession() {
+  if (owns_tenant_) {
+    // Drop the per-shard sessions first: they do not own the
+    // registrations, so the cluster-wide unregister below is the only
+    // teardown.
+    shard_sessions_.clear();
+    client_.cluster().control_plane().UnregisterTenant(tenant_);
+  }
+}
+
+sim::Future<client::IoResult> ClusterSession::Read(uint64_t lba,
+                                                   uint32_t sectors,
+                                                   uint8_t* data) {
+  return Submit(client::IoOp::kRead, lba, sectors, data);
+}
+
+sim::Future<client::IoResult> ClusterSession::Write(uint64_t lba,
+                                                    uint32_t sectors,
+                                                    uint8_t* data) {
+  return Submit(client::IoOp::kWrite, lba, sectors, data);
+}
+
+sim::Future<client::IoResult> ClusterSession::Submit(client::IoOp op,
+                                                     uint64_t lba,
+                                                     uint32_t sectors,
+                                                     uint8_t* data) {
+  std::vector<ShardExtent> extents =
+      client_.cluster().shard_map().Split(lba, sectors);
+  ++requests_issued_;
+  if (extents.size() > 1) ++requests_split_;
+  sim::Simulator& sim = client_.cluster().sim();
+
+  sim::Promise<client::IoResult> promise(sim);
+  auto future = promise.GetFuture();
+  FanOut(std::move(extents), op, data, sim.Now(), std::move(promise));
+  return future;
+}
+
+sim::Task ClusterSession::FanOut(std::vector<ShardExtent> extents,
+                                 client::IoOp op, uint8_t* data,
+                                 sim::TimeNs issue_time,
+                                 sim::Promise<client::IoResult> promise) {
+  // Issue every extent before awaiting any: the shards work in
+  // parallel and the request completes when the slowest extent does.
+  std::vector<sim::Future<client::IoResult>> futures;
+  futures.reserve(extents.size());
+  for (const ShardExtent& e : extents) {
+    uint8_t* chunk =
+        data == nullptr
+            ? nullptr
+            : data + static_cast<size_t>(e.buffer_offset_sectors) *
+                         core::kSectorBytes;
+    client::TenantSession& s = *shard_sessions_[e.shard_index];
+    futures.push_back(op == client::IoOp::kRead
+                          ? s.Read(e.shard_lba, e.sectors, chunk)
+                          : s.Write(e.shard_lba, e.sectors, chunk));
+  }
+
+  client::IoResult result;
+  result.issue_time = issue_time;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const client::IoResult r = co_await futures[i];
+    shard_latency_[extents[i].shard_index].Record(r.Latency());
+    if (result.ok() && !r.ok()) result.status = r.status;
+  }
+  result.complete_time = client_.cluster().sim().Now();
+  promise.Set(result);
+}
+
+ClusterClient::ClusterClient(FlashCluster& cluster, net::Machine* machine,
+                             Options options)
+    : cluster_(cluster), machine_(machine), options_(options) {
+  for (int i = 0; i < cluster_.num_shards(); ++i) {
+    client::ReflexClient::Options shard_options = options_.client;
+    shard_options.seed =
+        options_.client.seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+    clients_.push_back(std::make_unique<client::ReflexClient>(
+        cluster_.sim(), cluster_.server(i), machine_, shard_options));
+  }
+}
+
+std::unique_ptr<ClusterSession> ClusterClient::OpenSession(
+    const core::SloSpec& slo, core::TenantClass cls,
+    core::ReqStatus* status) {
+  ClusterTenant tenant =
+      cluster_.control_plane().RegisterTenant(slo, cls, status);
+  if (!tenant.valid()) return nullptr;
+  // MakeSession rolls the registration back if any shard refuses the
+  // connection after admission.
+  return MakeSession(std::move(tenant), /*owns_tenant=*/true, status);
+}
+
+std::unique_ptr<ClusterSession> ClusterClient::AttachSession(
+    const ClusterTenant& tenant, core::ReqStatus* status) {
+  if (!tenant.valid()) return nullptr;
+  return MakeSession(tenant, /*owns_tenant=*/false, status);
+}
+
+std::unique_ptr<ClusterSession> ClusterClient::MakeSession(
+    ClusterTenant tenant, bool owns_tenant, core::ReqStatus* status) {
+  REFLEX_CHECK(static_cast<int>(tenant.handles.size()) ==
+               cluster_.num_shards());
+  std::vector<std::unique_ptr<client::TenantSession>> sessions;
+  for (int i = 0; i < cluster_.num_shards(); ++i) {
+    auto s = clients_[i]->AttachSession(tenant.handles[i], status);
+    if (s == nullptr) {
+      if (owns_tenant) {
+        cluster_.control_plane().UnregisterTenant(tenant);
+      }
+      return nullptr;
+    }
+    sessions.push_back(std::move(s));
+  }
+  return std::unique_ptr<ClusterSession>(new ClusterSession(
+      *this, std::move(tenant), std::move(sessions), owns_tenant));
+}
+
+}  // namespace reflex::cluster

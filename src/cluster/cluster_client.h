@@ -1,0 +1,199 @@
+#ifndef REFLEX_CLUSTER_CLUSTER_CLIENT_H_
+#define REFLEX_CLUSTER_CLUSTER_CLIENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "client/flash_service.h"
+#include "client/io_result.h"
+#include "client/reflex_client.h"
+#include "client/storage_backend.h"
+#include "cluster/cluster_control_plane.h"
+#include "cluster/flash_cluster.h"
+#include "sim/histogram.h"
+#include "sim/task.h"
+
+namespace reflex::cluster {
+
+class ClusterClient;
+
+/**
+ * A tenant's I/O endpoint on a sharded cluster: the session owns one
+ * TenantSession per shard and routes each I/O through the cluster's
+ * ShardMap. A request contained in one stripe goes to a single shard;
+ * one that crosses stripe boundaries is split into per-shard extents,
+ * issued in parallel, and completes (scatter-gather) when the slowest
+ * extent does -- the returned IoResult carries the first failing
+ * status, or kOk if every extent succeeded.
+ *
+ * Sessions from ClusterClient::OpenSession() own the cluster-wide
+ * tenant registration and unregister it on destruction (mirroring
+ * client::TenantSession); AttachSession() leaves lifetime with the
+ * caller.
+ */
+class ClusterSession {
+ public:
+  ~ClusterSession();
+  ClusterSession(const ClusterSession&) = delete;
+  ClusterSession& operator=(const ClusterSession&) = delete;
+
+  /**
+   * Reads `sectors` 512B sectors at logical `lba`. `data` (optional)
+   * receives the payload, reassembled byte-exact across shards. The
+   * future resolves when the last shard extent completes.
+   */
+  sim::Future<client::IoResult> Read(uint64_t lba, uint32_t sectors,
+                                     uint8_t* data = nullptr);
+
+  /** Writes; see Read(). */
+  sim::Future<client::IoResult> Write(uint64_t lba, uint32_t sectors,
+                                      uint8_t* data = nullptr);
+
+  const ClusterTenant& tenant() const { return tenant_; }
+  ClusterClient& client() { return client_; }
+  client::TenantSession& shard_session(int shard) {
+    return *shard_sessions_[shard];
+  }
+
+  /** Per-shard end-to-end latency of this session's extents (ns). */
+  const sim::Histogram& shard_latency(int shard) const {
+    return shard_latency_[shard];
+  }
+
+  int64_t requests_issued() const { return requests_issued_; }
+  /** Requests that crossed a stripe boundary and were split. */
+  int64_t requests_split() const { return requests_split_; }
+
+ private:
+  friend class ClusterClient;
+  ClusterSession(ClusterClient& client, ClusterTenant tenant,
+                 std::vector<std::unique_ptr<client::TenantSession>> sessions,
+                 bool owns_tenant);
+
+  sim::Future<client::IoResult> Submit(client::IoOp op, uint64_t lba,
+                                       uint32_t sectors, uint8_t* data);
+  sim::Task FanOut(std::vector<ShardExtent> extents, client::IoOp op,
+                   uint8_t* data, sim::TimeNs issue_time,
+                   sim::Promise<client::IoResult> promise);
+
+  ClusterClient& client_;
+  ClusterTenant tenant_;
+  std::vector<std::unique_ptr<client::TenantSession>> shard_sessions_;
+  std::vector<sim::Histogram> shard_latency_;
+  bool owns_tenant_;
+  int64_t requests_issued_ = 0;
+  int64_t requests_split_ = 0;
+};
+
+/**
+ * Client-side view of a FlashCluster: one ReflexClient connection pool
+ * per shard, all on one client machine. Mirrors the single-server
+ * ReflexClient API -- OpenSession registers a tenant cluster-wide (via
+ * the ClusterControlPlane's all-or-nothing admission) and returns an
+ * owning session; AttachSession opens a session over a tenant
+ * registered elsewhere.
+ */
+class ClusterClient {
+ public:
+  struct Options {
+    /**
+     * Per-shard client shape (stack, connections per shard, retry).
+     * Shard i's client perturbs the seed so shards draw independent
+     * randomness.
+     */
+    client::ReflexClient::Options client;
+  };
+
+  ClusterClient(FlashCluster& cluster, net::Machine* machine,
+                Options options = {});
+
+  /**
+   * Registers `slo` across every shard and returns a session owning
+   * the registration; null (with `status` set) if any shard's
+   * admission control rejects its share.
+   */
+  std::unique_ptr<ClusterSession> OpenSession(
+      const core::SloSpec& slo, core::TenantClass cls,
+      core::ReqStatus* status = nullptr);
+
+  /** Session over an existing cluster-wide registration (not owned). */
+  std::unique_ptr<ClusterSession> AttachSession(
+      const ClusterTenant& tenant, core::ReqStatus* status = nullptr);
+
+  FlashCluster& cluster() { return cluster_; }
+  client::ReflexClient& shard_client(int shard) { return *clients_[shard]; }
+  net::Machine* machine() { return machine_; }
+
+ private:
+  std::unique_ptr<ClusterSession> MakeSession(ClusterTenant tenant,
+                                              bool owns_tenant,
+                                              core::ReqStatus* status);
+
+  FlashCluster& cluster_;
+  net::Machine* machine_;
+  Options options_;
+  std::vector<std::unique_ptr<client::ReflexClient>> clients_;
+};
+
+/** FlashService adapter over a ClusterSession: lets every existing
+ * workload driver (load generators, apps) run against the sharded
+ * cluster unmodified. */
+class ClusterFlashService : public client::FlashService {
+ public:
+  explicit ClusterFlashService(ClusterSession& session,
+                               const char* name = "ReFlex cluster")
+      : session_(session), name_(name) {}
+
+  sim::Future<client::IoResult> SubmitIo(const client::IoDesc& io) override {
+    return io.is_read() ? session_.Read(io.lba, io.sectors, io.data)
+                        : session_.Write(io.lba, io.sectors, io.data);
+  }
+
+  const char* name() const override { return name_; }
+
+ private:
+  ClusterSession& session_;
+  const char* name_;
+};
+
+/** Byte-addressed StorageBackend over a ClusterSession, so the
+ * applications (FIO, graph engine, LSM store) run on the cluster the
+ * same way they run on a single server. */
+class ShardedStorageBackend : public client::StorageBackend {
+ public:
+  explicit ShardedStorageBackend(ClusterSession& session)
+      : session_(session) {}
+
+  sim::Future<client::IoResult> ReadBytes(uint64_t offset, uint32_t bytes,
+                                          uint8_t* data) override {
+    return session_.Read(offset / core::kSectorBytes,
+                         SectorsFor(offset, bytes), data);
+  }
+
+  sim::Future<client::IoResult> WriteBytes(uint64_t offset, uint32_t bytes,
+                                           const uint8_t* data) override {
+    return session_.Write(offset / core::kSectorBytes,
+                          SectorsFor(offset, bytes),
+                          const_cast<uint8_t*>(data));
+  }
+
+  uint64_t CapacityBytes() const override {
+    return session_.client().cluster().capacity_bytes();
+  }
+
+  const char* name() const override { return "ReFlex cluster"; }
+
+ private:
+  static uint32_t SectorsFor(uint64_t offset, uint32_t bytes) {
+    const uint64_t first = offset / core::kSectorBytes;
+    const uint64_t end =
+        (offset + bytes + core::kSectorBytes - 1) / core::kSectorBytes;
+    return static_cast<uint32_t>(end - first);
+  }
+
+  ClusterSession& session_;
+};
+
+}  // namespace reflex::cluster
+
+#endif  // REFLEX_CLUSTER_CLUSTER_CLIENT_H_

@@ -1,0 +1,105 @@
+#include "cluster/cluster_control_plane.h"
+
+#include "cluster/flash_cluster.h"
+#include "core/reflex_server.h"
+#include "sim/logging.h"
+
+namespace reflex::cluster {
+
+ClusterControlPlane::ClusterControlPlane(FlashCluster& cluster)
+    : cluster_(cluster) {}
+
+core::SloSpec ClusterControlPlane::ShardShare(const core::SloSpec& slo,
+                                              int num_shards) {
+  REFLEX_CHECK(num_shards >= 1);
+  core::SloSpec share = slo;
+  const auto n = static_cast<uint64_t>(num_shards);
+  share.iops = (slo.iops + n - 1) / n;
+  return share;
+}
+
+ClusterTenant ClusterControlPlane::RegisterTenant(const core::SloSpec& slo,
+                                                  core::TenantClass cls,
+                                                  core::ReqStatus* status) {
+  ClusterTenant tenant;
+  tenant.cluster_slo = slo;
+  tenant.shard_slo = cls == core::TenantClass::kLatencyCritical
+                         ? ShardShare(slo, cluster_.num_shards())
+                         : slo;
+  tenant.cls = cls;
+  for (int i = 0; i < cluster_.num_shards(); ++i) {
+    core::ReqStatus shard_status = core::ReqStatus::kOk;
+    core::Tenant* t = cluster_.server(i).RegisterTenant(
+        tenant.shard_slo, cls, &shard_status);
+    if (t == nullptr) {
+      // All-or-nothing: roll back the shards already registered.
+      for (int k = 0; k < i; ++k) {
+        cluster_.server(k).UnregisterTenant(tenant.handles[k]);
+      }
+      if (status != nullptr) *status = shard_status;
+      ++tenants_rejected_;
+      return ClusterTenant{};
+    }
+    tenant.handles.push_back(t->handle());
+  }
+  if (status != nullptr) *status = core::ReqStatus::kOk;
+  ++tenants_admitted_;
+  return tenant;
+}
+
+bool ClusterControlPlane::UnregisterTenant(const ClusterTenant& tenant) {
+  if (!tenant.valid()) return false;
+  REFLEX_CHECK(static_cast<int>(tenant.handles.size()) ==
+               cluster_.num_shards());
+  bool all_ok = true;
+  for (int i = 0; i < cluster_.num_shards(); ++i) {
+    all_ok &= cluster_.server(i).UnregisterTenant(tenant.handles[i]);
+  }
+  return all_ok;
+}
+
+obs::MetricsRegistry& ClusterControlPlane::SnapshotMetrics() {
+  metrics_.GetGauge("cluster_shards")
+      ->Set(static_cast<double>(cluster_.num_shards()));
+  metrics_.GetGauge("cluster_tenants_admitted")
+      ->Set(static_cast<double>(tenants_admitted_));
+  metrics_.GetGauge("cluster_tenants_rejected")
+      ->Set(static_cast<double>(tenants_rejected_));
+
+  double rx = 0, tx = 0, errors = 0;
+  double device_reads = 0, device_writes = 0, tokens = 0;
+  for (int i = 0; i < cluster_.num_shards(); ++i) {
+    const auto shard = static_cast<int64_t>(i);
+    const core::DataplaneStats stats = cluster_.server(i).AggregateStats();
+    const flash::FlashDeviceStats& dev = cluster_.device(i).stats();
+    const double shard_tokens =
+        cluster_.server(i).shared().tokens_spent_total;
+    metrics_.GetGauge("shard_requests_rx", obs::Label("shard", shard))
+        ->Set(static_cast<double>(stats.requests_rx));
+    metrics_.GetGauge("shard_responses_tx", obs::Label("shard", shard))
+        ->Set(static_cast<double>(stats.responses_tx));
+    metrics_.GetGauge("shard_error_responses", obs::Label("shard", shard))
+        ->Set(static_cast<double>(stats.error_responses));
+    metrics_.GetGauge("shard_device_reads", obs::Label("shard", shard))
+        ->Set(static_cast<double>(dev.reads_completed));
+    metrics_.GetGauge("shard_device_writes", obs::Label("shard", shard))
+        ->Set(static_cast<double>(dev.writes_completed));
+    metrics_.GetGauge("shard_tokens_spent", obs::Label("shard", shard))
+        ->Set(shard_tokens);
+    rx += static_cast<double>(stats.requests_rx);
+    tx += static_cast<double>(stats.responses_tx);
+    errors += static_cast<double>(stats.error_responses);
+    device_reads += static_cast<double>(dev.reads_completed);
+    device_writes += static_cast<double>(dev.writes_completed);
+    tokens += shard_tokens;
+  }
+  metrics_.GetGauge("cluster_requests_rx")->Set(rx);
+  metrics_.GetGauge("cluster_responses_tx")->Set(tx);
+  metrics_.GetGauge("cluster_error_responses")->Set(errors);
+  metrics_.GetGauge("cluster_device_reads")->Set(device_reads);
+  metrics_.GetGauge("cluster_device_writes")->Set(device_writes);
+  metrics_.GetGauge("cluster_tokens_spent")->Set(tokens);
+  return metrics_;
+}
+
+}  // namespace reflex::cluster

@@ -1,0 +1,78 @@
+#ifndef REFLEX_CLUSTER_CLUSTER_CONTROL_PLANE_H_
+#define REFLEX_CLUSTER_CLUSTER_CONTROL_PLANE_H_
+
+#include <vector>
+
+#include "core/protocol.h"
+#include "core/tenant.h"
+#include "obs/metrics.h"
+
+namespace reflex::cluster {
+
+class FlashCluster;
+
+/**
+ * A cluster-wide tenant: one per-shard tenant registration on every
+ * shard, in shard order. Value type; pass it back to
+ * ClusterControlPlane::UnregisterTenant (or let an owning
+ * ClusterSession do it).
+ */
+struct ClusterTenant {
+  std::vector<uint32_t> handles;
+  core::SloSpec cluster_slo;
+  core::SloSpec shard_slo;
+  core::TenantClass cls = core::TenantClass::kBestEffort;
+
+  bool valid() const { return !handles.empty(); }
+};
+
+/**
+ * Cluster-wide admission control and metrics rollup.
+ *
+ * Admission splits a tenant's cluster SLO into equal per-shard shares
+ * (ceil(iops / N); reads spread uniformly under striping) and admits
+ * the tenant only if every shard's token math accepts its share --
+ * all-or-nothing, with rollback of the shards already registered, so
+ * a rejected tenant leaves no partial reservations behind.
+ */
+class ClusterControlPlane {
+ public:
+  explicit ClusterControlPlane(FlashCluster& cluster);
+
+  /**
+   * Registers `slo` across every shard. On rejection returns an
+   * invalid ClusterTenant, sets `status` (optional) to the refusing
+   * shard's reason, and unregisters any shards already admitted.
+   */
+  ClusterTenant RegisterTenant(const core::SloSpec& slo,
+                               core::TenantClass cls,
+                               core::ReqStatus* status = nullptr);
+
+  /** Unregisters the tenant from every shard. */
+  bool UnregisterTenant(const ClusterTenant& tenant);
+
+  /** Per-shard share of a cluster SLO on an N-shard cluster. */
+  static core::SloSpec ShardShare(const core::SloSpec& slo, int num_shards);
+
+  /**
+   * Aggregates per-shard dataplane, device and token statistics into
+   * cluster rollups (cluster_* totals plus shard_*{shard=i} gauges)
+   * and returns the registry.
+   */
+  obs::MetricsRegistry& SnapshotMetrics();
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  int64_t tenants_admitted() const { return tenants_admitted_; }
+  int64_t tenants_rejected() const { return tenants_rejected_; }
+
+ private:
+  FlashCluster& cluster_;
+  obs::MetricsRegistry metrics_;
+  int64_t tenants_admitted_ = 0;
+  int64_t tenants_rejected_ = 0;
+};
+
+}  // namespace reflex::cluster
+
+#endif  // REFLEX_CLUSTER_CLUSTER_CONTROL_PLANE_H_

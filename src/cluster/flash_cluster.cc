@@ -1,0 +1,37 @@
+#include "cluster/flash_cluster.h"
+
+#include <string>
+
+#include "cluster/cluster_control_plane.h"
+#include "core/protocol.h"
+#include "sim/logging.h"
+
+namespace reflex::cluster {
+
+FlashCluster::FlashCluster(sim::Simulator& sim, net::Network& net,
+                           FlashClusterOptions options)
+    : sim_(sim), options_(options), shard_map_(options.shard_map) {
+  REFLEX_CHECK(options_.num_shards >= 1);
+  REFLEX_CHECK(!options_.calibration.latency_curve.empty());
+  for (int i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->machine = net.AddMachine("shard-" + std::to_string(i));
+    shard->device = std::make_unique<flash::FlashDevice>(
+        sim, options_.profile, options_.seed + static_cast<uint64_t>(i));
+    shard->server = std::make_unique<core::ReflexServer>(
+        sim, net, shard->machine, *shard->device, options_.calibration,
+        options_.server);
+    shard_map_.AddShard(static_cast<uint32_t>(i),
+                        shard->device->profile().capacity_sectors);
+    shards_.push_back(std::move(shard));
+  }
+  control_plane_ = std::make_unique<ClusterControlPlane>(*this);
+}
+
+FlashCluster::~FlashCluster() = default;
+
+uint64_t FlashCluster::capacity_bytes() const {
+  return shard_map_.capacity_sectors() * core::kSectorBytes;
+}
+
+}  // namespace reflex::cluster

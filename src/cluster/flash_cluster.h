@@ -1,0 +1,85 @@
+#ifndef REFLEX_CLUSTER_FLASH_CLUSTER_H_
+#define REFLEX_CLUSTER_FLASH_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "core/reflex_server.h"
+#include "flash/calibration.h"
+#include "flash/flash_device.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace reflex::cluster {
+
+class ClusterControlPlane;
+
+struct FlashClusterOptions {
+  int num_shards = 4;
+
+  /** Device model for every shard (each gets its own seeded instance). */
+  flash::DeviceProfile profile = flash::DeviceProfile::DeviceA();
+
+  /**
+   * Cost-model calibration applied to every shard's scheduler (shards
+   * run identical hardware; calibrate one device and share the result,
+   * as an operator would).
+   */
+  flash::CalibrationResult calibration;
+
+  /** Per-shard server shape (threads, QoS config, transport). */
+  core::ServerOptions server;
+
+  ShardMapOptions shard_map;
+
+  /** Base seed; shard i's device uses seed + i. */
+  uint64_t seed = 42;
+};
+
+/**
+ * A sharded remote-Flash cluster: N independent ReflexServer instances
+ * -- each with its own machine, FlashDevice and control plane -- in
+ * one simulation, plus the ShardMap striping one logical volume across
+ * them. The cluster is deliberately shared-nothing, matching the
+ * paper's deployment model (ReFlex per Flash node, coordination only
+ * at tenant registration time); cross-shard logic lives entirely in
+ * the ClusterControlPlane and the client library.
+ */
+class FlashCluster {
+ public:
+  FlashCluster(sim::Simulator& sim, net::Network& net,
+               FlashClusterOptions options);
+  ~FlashCluster();
+
+  FlashCluster(const FlashCluster&) = delete;
+  FlashCluster& operator=(const FlashCluster&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  core::ReflexServer& server(int shard) { return *shards_[shard]->server; }
+  flash::FlashDevice& device(int shard) { return *shards_[shard]->device; }
+  net::Machine* machine(int shard) { return shards_[shard]->machine; }
+
+  const ShardMap& shard_map() const { return shard_map_; }
+  ClusterControlPlane& control_plane() { return *control_plane_; }
+
+  sim::Simulator& sim() { return sim_; }
+  uint64_t capacity_bytes() const;
+
+ private:
+  struct Shard {
+    net::Machine* machine = nullptr;
+    std::unique_ptr<flash::FlashDevice> device;
+    std::unique_ptr<core::ReflexServer> server;
+  };
+
+  sim::Simulator& sim_;
+  FlashClusterOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardMap shard_map_;
+  std::unique_ptr<ClusterControlPlane> control_plane_;
+};
+
+}  // namespace reflex::cluster
+
+#endif  // REFLEX_CLUSTER_FLASH_CLUSTER_H_

@@ -1,0 +1,107 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace reflex::cluster {
+namespace {
+
+/** splitmix64 finalizer: avalanche mix for rendezvous weights. */
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(ShardMapOptions options) : options_(options) {
+  REFLEX_CHECK(options_.stripe_sectors > 0);
+}
+
+void ShardMap::AddShard(uint32_t shard_id, uint64_t capacity_sectors) {
+  REFLEX_CHECK(capacity_sectors >= options_.stripe_sectors);
+  for (const Shard& s : shards_) {
+    REFLEX_CHECK(s.id != shard_id);
+  }
+  Shard shard{shard_id, capacity_sectors};
+  // Sorted by id: the map is identical for any insertion order.
+  const auto pos = std::upper_bound(
+      shards_.begin(), shards_.end(), shard,
+      [](const Shard& a, const Shard& b) { return a.id < b.id; });
+  shards_.insert(pos, shard);
+}
+
+uint64_t ShardMap::capacity_sectors() const {
+  if (shards_.empty()) return 0;
+  uint64_t min_capacity = shards_[0].capacity_sectors;
+  for (const Shard& s : shards_) {
+    min_capacity = std::min(min_capacity, s.capacity_sectors);
+  }
+  const uint64_t stripes_per_shard = min_capacity / options_.stripe_sectors;
+  if (options_.placement == Placement::kStriped) {
+    return shards_.size() * stripes_per_shard * options_.stripe_sectors;
+  }
+  // Hashed placement addresses shards by logical LBA, so any shard
+  // must be able to back the whole volume.
+  return stripes_per_shard * options_.stripe_sectors;
+}
+
+int ShardMap::ShardIndexForStripe(uint64_t stripe) const {
+  REFLEX_CHECK(!shards_.empty());
+  if (options_.placement == Placement::kStriped) {
+    return static_cast<int>(stripe % shards_.size());
+  }
+  // Rendezvous hashing: the shard with the highest mixed weight wins.
+  int best = 0;
+  uint64_t best_weight = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const uint64_t weight =
+        Mix(Mix(stripe ^ options_.seed) ^ shards_[i].id);
+    if (i == 0 || weight > best_weight ||
+        (weight == best_weight && shards_[i].id < shards_[best].id)) {
+      best = static_cast<int>(i);
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+std::vector<ShardExtent> ShardMap::Split(uint64_t lba,
+                                         uint32_t sectors) const {
+  REFLEX_CHECK(sectors > 0);
+  REFLEX_CHECK(lba + sectors <= capacity_sectors());
+  const uint64_t stripe_sectors = options_.stripe_sectors;
+  const uint64_t num_shards = shards_.size();
+
+  std::vector<ShardExtent> out;
+  uint64_t cur = lba;
+  uint32_t remaining = sectors;
+  uint32_t buffer_offset = 0;
+  while (remaining > 0) {
+    const uint64_t stripe = cur / stripe_sectors;
+    const uint32_t within = static_cast<uint32_t>(cur % stripe_sectors);
+    const uint32_t run = std::min(
+        remaining, static_cast<uint32_t>(stripe_sectors - within));
+    const int index = ShardIndexForStripe(stripe);
+    const uint64_t shard_lba =
+        options_.placement == Placement::kStriped
+            ? (stripe / num_shards) * stripe_sectors + within
+            : cur;
+    if (!out.empty() && out.back().shard_index == index &&
+        out.back().shard_lba + out.back().sectors == shard_lba) {
+      out.back().sectors += run;
+    } else {
+      out.push_back(ShardExtent{index, shards_[index].id, shard_lba, run,
+                                buffer_offset});
+    }
+    cur += run;
+    remaining -= run;
+    buffer_offset += run;
+  }
+  return out;
+}
+
+}  // namespace reflex::cluster

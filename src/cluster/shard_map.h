@@ -1,0 +1,98 @@
+#ifndef REFLEX_CLUSTER_SHARD_MAP_H_
+#define REFLEX_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace reflex::cluster {
+
+/** How logical stripes are placed onto shards. */
+enum class Placement : uint8_t {
+  /** stripe i lives on shard (i mod N); shard LBAs are dense. */
+  kStriped,
+  /**
+   * Rendezvous (highest-random-weight) hashing of the stripe index:
+   * placement is stable when shards are listed in any order, and
+   * adding a shard only moves ~1/N of the stripes. Shard LBAs are the
+   * logical LBAs (thin-provisioned: each shard must be able to back
+   * any logical address it wins).
+   */
+  kHashed,
+};
+
+struct ShardMapOptions {
+  Placement placement = Placement::kStriped;
+
+  /** Stripe unit in 512B sectors (default 64KB). */
+  uint32_t stripe_sectors = 128;
+
+  /** Seed for hashed placement (ignored for striped). */
+  uint64_t seed = 0x5eed;
+};
+
+/**
+ * One shard-local piece of a logical I/O: which shard serves it, the
+ * LBA in that shard's address space, and where its payload sits in the
+ * caller's buffer (so scatter-gather reassembly is byte-exact).
+ */
+struct ShardExtent {
+  int shard_index = 0;
+  uint32_t shard_id = 0;
+  uint64_t shard_lba = 0;
+  uint32_t sectors = 0;
+  /** Offset of this extent's payload in the logical I/O's buffer. */
+  uint32_t buffer_offset_sectors = 0;
+};
+
+/**
+ * Deterministic placement of a logical volume across N shards at
+ * stripe granularity. Pure routing math -- no I/O, no simulation
+ * state -- so clients and the control plane can share one instance
+ * and tests can exercise it exhaustively.
+ *
+ * Shards are kept sorted by id: the map computed from any insertion
+ * order is identical, which is what makes independently-constructed
+ * clients agree on placement.
+ */
+class ShardMap {
+ public:
+  explicit ShardMap(ShardMapOptions options = ShardMapOptions());
+
+  /** Adds a shard (ids must be unique; any insertion order). */
+  void AddShard(uint32_t shard_id, uint64_t capacity_sectors);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  uint32_t shard_id(int index) const { return shards_[index].id; }
+  const ShardMapOptions& options() const { return options_; }
+
+  /**
+   * Logical volume capacity. Striped: every shard contributes the
+   * same whole number of stripes (bounded by the smallest shard).
+   * Hashed: identity addressing means every shard must be able to
+   * back any logical LBA, so the smallest shard bounds the volume.
+   */
+  uint64_t capacity_sectors() const;
+
+  /** Shard index serving logical stripe `stripe`. */
+  int ShardIndexForStripe(uint64_t stripe) const;
+
+  /**
+   * Splits [lba, lba+sectors) into per-shard extents, in logical-LBA
+   * order, merging adjacent runs that land contiguously on the same
+   * shard. A single-stripe I/O yields exactly one extent.
+   */
+  std::vector<ShardExtent> Split(uint64_t lba, uint32_t sectors) const;
+
+ private:
+  struct Shard {
+    uint32_t id;
+    uint64_t capacity_sectors;
+  };
+
+  ShardMapOptions options_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace reflex::cluster
+
+#endif  // REFLEX_CLUSTER_SHARD_MAP_H_

@@ -43,7 +43,7 @@ DataplaneThread* ReflexServer::AddThreadInternal() {
   // queue pairs) stay in threads_. Scaling back up must restart the
   // first stopped thread rather than append a new one -- otherwise
   // active_threads_ stops matching the live index range and the
-  // round-robin in Connect / PickThreadForTenant routes connections
+  // round-robin in Accept / PickThreadForTenant routes connections
   // to a shut-down thread.
   if (active_threads_ < static_cast<int>(threads_.size())) {
     DataplaneThread* thread = threads_[active_threads_].get();
@@ -101,34 +101,39 @@ Tenant* ReflexServer::FindTenant(uint32_t handle) {
   return it == tenants_.end() ? nullptr : it->second.get();
 }
 
-ServerConnection* ReflexServer::Connect(
-    net::Machine* client,
+AcceptResult ReflexServer::Accept(
+    net::Machine* client, uint32_t tenant_handle,
     std::function<void(const ResponseMsg&)> on_response) {
   REFLEX_CHECK(client != nullptr);
+  AcceptResult result;
+  DataplaneThread* thread = nullptr;
+  if (tenant_handle == kControlHandle) {
+    // Control connections stay tenant-unbound on a round-robin thread
+    // until in-band registration binds them.
+    thread =
+        threads_[next_conn_thread_ % static_cast<size_t>(active_threads_)]
+            .get();
+    ++next_conn_thread_;
+  } else {
+    Tenant* tenant = FindTenant(tenant_handle);
+    if (tenant == nullptr || !tenant->active()) {
+      result.status = ReqStatus::kNoSuchTenant;
+      return result;
+    }
+    if (!acl_.CheckConnect(client->name(), tenant_handle)) {
+      result.status = ReqStatus::kAccessDenied;
+      return result;
+    }
+    thread = threads_[tenant->thread_index()].get();
+  }
   auto tcp = std::make_unique<net::TcpConnection>(net_, client, machine_,
                                                   options_.transport);
-  // New connections start on a round-robin thread; registration or
-  // BindConnection moves them to their tenant's thread.
-  DataplaneThread* thread =
-      threads_[next_conn_thread_ % static_cast<size_t>(active_threads_)]
-          .get();
-  ++next_conn_thread_;
   auto conn = std::unique_ptr<ServerConnection>(
       new ServerConnection(std::move(tcp), thread, client->name()));
   conn->on_response = std::move(on_response);
   connections_.push_back(std::move(conn));
-  return connections_.back().get();
-}
-
-void ReflexServer::BindConnection(ServerConnection* conn,
-                                  uint32_t tenant_handle) {
-  Tenant* tenant = FindTenant(tenant_handle);
-  REFLEX_CHECK(tenant != nullptr && tenant->active());
-  if (!acl_.CheckConnect(conn->client_name(), tenant_handle)) {
-    REFLEX_FATAL("connection from %s to tenant %u denied by ACL",
-                 conn->client_name().c_str(), tenant_handle);
-  }
-  conn->thread_ = threads_[tenant->thread_index()].get();
+  result.conn = connections_.back().get();
+  return result;
 }
 
 ResponseMsg ReflexServer::HandleRegisterMsg(ServerConnection* conn,

@@ -68,6 +68,19 @@ struct ServerOptions {
   double error_shed_fraction = 0.05;
 };
 
+/** Tenant handle reserved for control (tenant-unbound) connections. */
+inline constexpr uint32_t kControlHandle = 0;
+
+/**
+ * Result of ReflexServer::Accept(): the bound connection on success,
+ * or a typed refusal (unknown/inactive tenant, ACL denial) with
+ * `conn` null.
+ */
+struct AcceptResult {
+  ServerConnection* conn = nullptr;
+  ReqStatus status = ReqStatus::kOk;
+};
+
 /**
  * The ReFlex remote-Flash server: dataplane threads with exclusive
  * NVMe queue pairs, the QoS scheduler, access control, and the local
@@ -75,10 +88,11 @@ struct ServerOptions {
  * one Flash device.
  *
  * Two usage styles:
- *  - in-band: clients connect and send kRegister/kRead/kWrite protocol
- *    messages (what real ReFlex clients do);
+ *  - in-band: clients open control connections (Accept with
+ *    kControlHandle) and send kRegister/kRead/kWrite protocol messages
+ *    (what real ReFlex clients do);
  *  - out-of-band: benches pre-register tenants through RegisterTenant()
- *    and bind connections with BindConnection().
+ *    and accept connections bound to the tenant's dataplane thread.
  */
 class ReflexServer {
  public:
@@ -99,16 +113,19 @@ class ReflexServer {
 
   // --- Connections ---
   /**
-   * Opens a connection from `client`. `on_response` fires when a
-   * response message has fully arrived at the client NIC (the client
-   * library adds its stack costs on top).
+   * Accepts a connection from `client` on behalf of `tenant_handle`,
+   * validating that the tenant exists, is active and that the ACL
+   * permits the client; the connection lands directly on the tenant's
+   * dataplane thread. kControlHandle accepts a tenant-unbound control
+   * connection on a round-robin thread instead (no validation beyond
+   * the machine; registration rights are checked in-band at kRegister
+   * time). `on_response` fires when a response message has fully
+   * arrived at the client NIC (the client library adds its stack
+   * costs on top). Refusals are typed in the result, never silent
+   * unbound connections.
    */
-  ServerConnection* Connect(net::Machine* client,
-                            std::function<void(const ResponseMsg&)>
-                                on_response);
-
-  /** Binds a connection to a tenant's dataplane thread. */
-  void BindConnection(ServerConnection* conn, uint32_t tenant_handle);
+  AcceptResult Accept(net::Machine* client, uint32_t tenant_handle,
+                      std::function<void(const ResponseMsg&)> on_response);
 
   int NumConnections() const { return static_cast<int>(connections_.size()); }
 

@@ -27,7 +27,7 @@ sim::Histogram ProbeReads(Harness& h, FlashService& service, int samples) {
   sim::Rng rng(7, "probe");
   for (int i = 0; i < samples; ++i) {
     const uint64_t lba = rng.NextBounded(1000000) * 8;
-    auto f = service.SubmitIo(true, lba, 8, nullptr);
+    auto f = service.SubmitIo(client::IoDesc::Read(lba, 8));
     EXPECT_TRUE(h.RunUntilReady([&] { return f.Ready(); }));
     hist.Record(f.Get().Latency());
   }
@@ -39,7 +39,7 @@ sim::Histogram ProbeWrites(Harness& h, FlashService& service, int samples) {
   sim::Rng rng(8, "probe_w");
   for (int i = 0; i < samples; ++i) {
     const uint64_t lba = rng.NextBounded(1000000) * 8;
-    auto f = service.SubmitIo(false, lba, 8, nullptr);
+    auto f = service.SubmitIo(client::IoDesc::Write(lba, 8));
     EXPECT_TRUE(h.RunUntilReady([&] { return f.Ready(); }));
     hist.Record(f.Get().Latency());
   }
@@ -93,8 +93,8 @@ TEST(BaselineTest, Table2OrderingHolds) {
   client::ReflexClient::Options copts;
   copts.stack = net::StackCosts::IxDataplane();
   client::ReflexClient rclient(h.sim, h.server, h.client_machine, copts);
-  rclient.BindAll(tenant->handle());
-  client::ReflexService reflex(rclient, tenant->handle());
+  auto session = rclient.AttachSession(tenant->handle());
+  client::ReflexService reflex(*session);
   KernelStorageServer libaio(
       h.sim, h.net, h.client_machine, h.server_machine, h.device,
       BaselineCosts::Libaio(net::StackCosts::IxDataplane()), 2, "libaio");
@@ -119,7 +119,7 @@ sim::Task SaturateService(sim::Simulator& sim, FlashService& service,
   sim::Rng rng(salt, "saturate");
   while (sim.Now() < end) {
     const uint64_t lba = rng.NextBounded(1000000) * 8;
-    auto f = co_await service.SubmitIo(true, lba, 2, nullptr);  // 1KB
+    auto f = co_await service.SubmitIo(client::IoDesc::Read(lba, 2));  // 1KB
     (void)f;
     ++*completed;
   }

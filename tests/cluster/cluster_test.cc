@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_client.h"
+#include "cluster/cluster_control_plane.h"
+#include "cluster/flash_cluster.h"
+#include "testing/harness.h"
+
+namespace reflex {
+namespace {
+
+using client::IoResult;
+using cluster::ClusterClient;
+using cluster::ClusterControlPlane;
+using cluster::ClusterSession;
+using cluster::ClusterTenant;
+using cluster::FlashCluster;
+using cluster::FlashClusterOptions;
+using cluster::Placement;
+using core::ReqStatus;
+using core::SloSpec;
+using core::TenantClass;
+using sim::Micros;
+using sim::Millis;
+
+/** A FlashCluster plus one client machine, ready for I/O. */
+struct ClusterHarness {
+  explicit ClusterHarness(int num_shards = 2, uint32_t stripe_sectors = 8)
+      : net(sim),
+        cluster(sim, net, MakeOptions(num_shards, stripe_sectors)),
+        client_machine(net.AddMachine("client-0")),
+        client(cluster, client_machine) {}
+
+  static FlashClusterOptions MakeOptions(int num_shards,
+                                         uint32_t stripe_sectors) {
+    FlashClusterOptions options;
+    options.num_shards = num_shards;
+    options.calibration = testing::SyntheticCalibrationA();
+    options.shard_map.stripe_sectors = stripe_sectors;
+    return options;
+  }
+
+  template <typename ReadyFn>
+  bool RunUntilReady(const ReadyFn& ready,
+                     sim::TimeNs deadline = sim::Seconds(30)) {
+    while (!ready() && sim.Now() < deadline) {
+      sim.RunUntil(sim.Now() + sim::Millis(1));
+    }
+    return ready();
+  }
+
+  bool Await(const sim::Future<IoResult>& io) {
+    return RunUntilReady([&io] { return io.Ready(); });
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  FlashCluster cluster;
+  net::Machine* client_machine;
+  ClusterClient client;
+};
+
+SloSpec LcSlo(uint32_t iops, double read_fraction = 1.0,
+              sim::TimeNs latency = Micros(500)) {
+  SloSpec slo;
+  slo.iops = iops;
+  slo.read_fraction = read_fraction;
+  slo.latency = latency;
+  return slo;
+}
+
+TEST(ClusterTest, CrossShardWriteReadRoundTripIsByteExact) {
+  ClusterHarness h(/*num_shards=*/2, /*stripe_sectors=*/8);
+  auto session = h.client.OpenSession(SloSpec{}, TenantClass::kBestEffort);
+  ASSERT_NE(session, nullptr);
+
+  // 24 sectors starting mid-stripe: spans four stripes, alternating
+  // between the two shards, with partial head and tail extents.
+  const uint32_t kSectors = 24;
+  const uint64_t kLba = 4;
+  std::vector<uint8_t> out(kSectors * core::kSectorBytes);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<uint8_t>((i * 131 + 7) & 0xff);
+  }
+
+  auto write = session->Write(kLba, kSectors, out.data());
+  ASSERT_TRUE(h.Await(write));
+  ASSERT_TRUE(write.Get().ok());
+
+  std::vector<uint8_t> in(out.size(), 0);
+  auto read = session->Read(kLba, kSectors, in.data());
+  ASSERT_TRUE(h.Await(read));
+  ASSERT_TRUE(read.Get().ok());
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), out.size()), 0)
+      << "scatter-gather reassembly must be byte-exact";
+
+  // The I/O crossed stripe boundaries, so it was split; both shards
+  // saw extents and recorded latencies.
+  EXPECT_EQ(session->requests_issued(), 2);
+  EXPECT_EQ(session->requests_split(), 2);
+  EXPECT_GT(session->shard_latency(0).Count(), 0);
+  EXPECT_GT(session->shard_latency(1).Count(), 0);
+}
+
+TEST(ClusterTest, UnalignedOffsetsRoundTripAcrossManyShapes) {
+  ClusterHarness h(/*num_shards=*/3, /*stripe_sectors=*/8);
+  auto session = h.client.OpenSession(SloSpec{}, TenantClass::kBestEffort);
+  ASSERT_NE(session, nullptr);
+
+  struct Shape {
+    uint64_t lba;
+    uint32_t sectors;
+  };
+  // One-stripe, exact-boundary, head/tail-partial and >2-shard spans.
+  const Shape shapes[] = {{0, 8},  {8, 8},   {3, 2},  {6, 4},
+                          {5, 19}, {16, 24}, {1, 47}, {70, 9}};
+  uint8_t salt = 1;
+  for (const Shape& s : shapes) {
+    std::vector<uint8_t> out(s.sectors * core::kSectorBytes);
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<uint8_t>((i + salt) * 37 & 0xff);
+    }
+    auto write = session->Write(s.lba, s.sectors, out.data());
+    ASSERT_TRUE(h.Await(write));
+    ASSERT_TRUE(write.Get().ok());
+
+    std::vector<uint8_t> in(out.size(), 0);
+    auto read = session->Read(s.lba, s.sectors, in.data());
+    ASSERT_TRUE(h.Await(read));
+    ASSERT_TRUE(read.Get().ok());
+    ASSERT_EQ(std::memcmp(in.data(), out.data(), out.size()), 0)
+        << "lba=" << s.lba << " sectors=" << s.sectors;
+    ++salt;
+  }
+}
+
+TEST(ClusterTest, ShardShareSplitsIopsWithCeiling) {
+  SloSpec slo = LcSlo(100001, 0.8, Millis(1));
+  SloSpec share = ClusterControlPlane::ShardShare(slo, 4);
+  EXPECT_EQ(share.iops, 25001u);  // ceil(100001 / 4)
+  EXPECT_DOUBLE_EQ(share.read_fraction, 0.8);
+  EXPECT_EQ(share.latency, Millis(1));
+}
+
+TEST(ClusterTest, AdmissionIsAllOrNothingWithRollback) {
+  ClusterHarness h(/*num_shards=*/2);
+  ClusterControlPlane& cp = h.cluster.control_plane();
+
+  // Pre-load shard 1 only, so a cluster-wide registration passes shard
+  // 0 and then fails on shard 1 -- exercising the rollback path.
+  core::Tenant* preload =
+      h.cluster.server(1).RegisterTenant(LcSlo(200000),
+                                         TenantClass::kLatencyCritical);
+  ASSERT_NE(preload, nullptr);
+
+  // 600K cluster IOPS -> 300K per shard: fits shard 0 (~423K token/s
+  // cap at 500us), exceeds shard 1 (300K + 200K preloaded).
+  ReqStatus status = ReqStatus::kOk;
+  ClusterTenant rejected =
+      cp.RegisterTenant(LcSlo(600000), TenantClass::kLatencyCritical,
+                        &status);
+  EXPECT_FALSE(rejected.valid());
+  EXPECT_EQ(status, ReqStatus::kOutOfResources);
+  EXPECT_EQ(cp.tenants_rejected(), 1);
+
+  // Remove the preload; the same registration must now succeed on both
+  // shards -- which it can only do if the rejection left no partial
+  // reservation behind on shard 0.
+  ASSERT_TRUE(h.cluster.server(1).UnregisterTenant(preload->handle()));
+  ClusterTenant admitted =
+      cp.RegisterTenant(LcSlo(600000), TenantClass::kLatencyCritical,
+                        &status);
+  ASSERT_TRUE(admitted.valid());
+  EXPECT_EQ(status, ReqStatus::kOk);
+  EXPECT_EQ(cp.tenants_admitted(), 1);
+  EXPECT_EQ(static_cast<int>(admitted.handles.size()),
+            h.cluster.num_shards());
+  EXPECT_TRUE(cp.UnregisterTenant(admitted));
+}
+
+TEST(ClusterTest, OwningSessionUnregistersOnDestruction) {
+  ClusterHarness h(/*num_shards=*/2);
+  // Fills most of each shard's 500us cap; two such tenants never
+  // coexist, so re-opening only works if destruction unregistered.
+  const SloSpec big = LcSlo(600000);
+  for (int round = 0; round < 2; ++round) {
+    auto session =
+        h.client.OpenSession(big, TenantClass::kLatencyCritical);
+    ASSERT_NE(session, nullptr) << "round " << round;
+  }
+  EXPECT_EQ(h.cluster.control_plane().tenants_admitted(), 2);
+}
+
+TEST(ClusterTest, MetricsRollupSumsShardGauges) {
+  ClusterHarness h(/*num_shards=*/2, /*stripe_sectors=*/8);
+  auto session = h.client.OpenSession(SloSpec{}, TenantClass::kBestEffort);
+  ASSERT_NE(session, nullptr);
+
+  for (int i = 0; i < 8; ++i) {
+    auto io = session->Read(i * 6, 12);  // always crosses a boundary
+    ASSERT_TRUE(h.Await(io));
+    ASSERT_TRUE(io.Get().ok());
+  }
+
+  obs::MetricsRegistry& m = h.cluster.control_plane().SnapshotMetrics();
+  const double total = m.GetGauge("cluster_requests_rx")->value();
+  const double shard0 =
+      m.GetGauge("shard_requests_rx", obs::Label("shard", int64_t{0}))
+          ->value();
+  const double shard1 =
+      m.GetGauge("shard_requests_rx", obs::Label("shard", int64_t{1}))
+          ->value();
+  EXPECT_GT(shard0, 0.0);
+  EXPECT_GT(shard1, 0.0);
+  EXPECT_DOUBLE_EQ(total, shard0 + shard1);
+  EXPECT_DOUBLE_EQ(m.GetGauge("cluster_shards")->value(), 2.0);
+  EXPECT_GT(m.GetGauge("cluster_device_reads")->value(), 0.0);
+}
+
+TEST(ClusterTest, ClusterRunsAreDeterministic) {
+  auto run = [] {
+    ClusterHarness h(/*num_shards=*/2, /*stripe_sectors=*/8);
+    auto session =
+        h.client.OpenSession(SloSpec{}, TenantClass::kBestEffort);
+    std::vector<sim::TimeNs> completions;
+    for (int i = 0; i < 16; ++i) {
+      auto io = i % 2 == 0 ? session->Write(i * 5, 11)
+                           : session->Read(i * 5, 11);
+      EXPECT_TRUE(h.Await(io));
+      completions.push_back(io.Get().complete_time);
+    }
+    return completions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace reflex

@@ -1,0 +1,204 @@
+#include "cluster/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace reflex {
+namespace {
+
+using cluster::Placement;
+using cluster::ShardExtent;
+using cluster::ShardMap;
+using cluster::ShardMapOptions;
+
+ShardMap MakeMap(int num_shards, Placement placement,
+                 uint32_t stripe_sectors = 8,
+                 uint64_t capacity_sectors = 1 << 20) {
+  ShardMapOptions options;
+  options.placement = placement;
+  options.stripe_sectors = stripe_sectors;
+  ShardMap map(options);
+  for (int i = 0; i < num_shards; ++i) {
+    map.AddShard(static_cast<uint32_t>(i), capacity_sectors);
+  }
+  return map;
+}
+
+TEST(ShardMapTest, StripedRoutingIsRoundRobinWithDenseShardLbas) {
+  ShardMap map = MakeMap(4, Placement::kStriped, /*stripe_sectors=*/8);
+  // Stripe s lives on shard s % 4 at dense shard LBA (s / 4) * 8.
+  for (uint64_t stripe = 0; stripe < 64; ++stripe) {
+    EXPECT_EQ(map.ShardIndexForStripe(stripe),
+              static_cast<int>(stripe % 4));
+    auto extents = map.Split(stripe * 8, 8);
+    ASSERT_EQ(extents.size(), 1u);
+    EXPECT_EQ(extents[0].shard_index, static_cast<int>(stripe % 4));
+    EXPECT_EQ(extents[0].shard_lba, (stripe / 4) * 8);
+    EXPECT_EQ(extents[0].sectors, 8u);
+    EXPECT_EQ(extents[0].buffer_offset_sectors, 0u);
+  }
+}
+
+TEST(ShardMapTest, BoundaryCrossingIoSplitsWithExactBufferOffsets) {
+  ShardMap map = MakeMap(4, Placement::kStriped, /*stripe_sectors=*/8);
+  // [4, 20): tail of stripe 0 (shard 0), all of stripe 1 (shard 1),
+  // head of stripe 2 (shard 2).
+  auto extents = map.Split(4, 16);
+  ASSERT_EQ(extents.size(), 3u);
+
+  EXPECT_EQ(extents[0].shard_index, 0);
+  EXPECT_EQ(extents[0].shard_lba, 4u);
+  EXPECT_EQ(extents[0].sectors, 4u);
+  EXPECT_EQ(extents[0].buffer_offset_sectors, 0u);
+
+  EXPECT_EQ(extents[1].shard_index, 1);
+  EXPECT_EQ(extents[1].shard_lba, 0u);
+  EXPECT_EQ(extents[1].sectors, 8u);
+  EXPECT_EQ(extents[1].buffer_offset_sectors, 4u);
+
+  EXPECT_EQ(extents[2].shard_index, 2);
+  EXPECT_EQ(extents[2].shard_lba, 0u);
+  EXPECT_EQ(extents[2].sectors, 4u);
+  EXPECT_EQ(extents[2].buffer_offset_sectors, 12u);
+}
+
+TEST(ShardMapTest, SingleShardMergesEverythingIntoOneExtent) {
+  ShardMap map = MakeMap(1, Placement::kStriped, /*stripe_sectors=*/8);
+  // Every stripe lands on shard 0 contiguously, so the per-stripe runs
+  // merge back into a single extent.
+  auto extents = map.Split(3, 1000);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].shard_lba, 3u);
+  EXPECT_EQ(extents[0].sectors, 1000u);
+}
+
+TEST(ShardMapTest, CapacityFollowsPlacement) {
+  // Striped: 4 shards x 100 whole stripes of 8 sectors each; the
+  // 7-sector remainder of each shard is unusable.
+  ShardMap striped = MakeMap(4, Placement::kStriped, 8, 807);
+  EXPECT_EQ(striped.capacity_sectors(), 4u * 100u * 8u);
+  // Hashed: identity addressing, so the volume is one shard's worth.
+  ShardMap hashed = MakeMap(4, Placement::kHashed, 8, 807);
+  EXPECT_EQ(hashed.capacity_sectors(), 100u * 8u);
+}
+
+TEST(ShardMapTest, RoutingStableUnderShardAddOrder) {
+  for (Placement placement : {Placement::kStriped, Placement::kHashed}) {
+    ShardMapOptions options;
+    options.placement = placement;
+    options.stripe_sectors = 8;
+    ShardMap forward(options);
+    ShardMap shuffled(options);
+    for (uint32_t id : {0u, 1u, 2u, 3u, 4u}) forward.AddShard(id, 1 << 20);
+    for (uint32_t id : {3u, 0u, 4u, 2u, 1u}) shuffled.AddShard(id, 1 << 20);
+
+    sim::Rng rng(7, "add_order");
+    for (int trial = 0; trial < 500; ++trial) {
+      const uint64_t lba = static_cast<uint64_t>(rng.NextBounded(100000));
+      const uint32_t sectors =
+          static_cast<uint32_t>(rng.NextInRange(1, 200));
+      const auto a = forward.Split(lba, sectors);
+      const auto b = shuffled.Split(lba, sectors);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].shard_id, b[i].shard_id);
+        EXPECT_EQ(a[i].shard_lba, b[i].shard_lba);
+        EXPECT_EQ(a[i].sectors, b[i].sectors);
+        EXPECT_EQ(a[i].buffer_offset_sectors, b[i].buffer_offset_sectors);
+      }
+    }
+  }
+}
+
+TEST(ShardMapTest, HashedPlacementSpreadsStripesRoughlyEvenly) {
+  ShardMap map = MakeMap(4, Placement::kHashed);
+  std::map<int, int> counts;
+  const int kStripes = 4096;
+  for (uint64_t s = 0; s < kStripes; ++s) {
+    counts[map.ShardIndexForStripe(s)]++;
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [shard, count] : counts) {
+    // Expected 25%; a rendezvous hash should not be off by 2x.
+    EXPECT_GT(count, kStripes / 8) << "shard " << shard;
+    EXPECT_LT(count, kStripes / 2) << "shard " << shard;
+  }
+}
+
+TEST(ShardMapTest, HashedPlacementMovesFewStripesOnShardAdd) {
+  ShardMapOptions options;
+  options.placement = Placement::kHashed;
+  ShardMap before(options);
+  ShardMap after(options);
+  for (uint32_t id = 0; id < 4; ++id) {
+    before.AddShard(id, 1 << 20);
+    after.AddShard(id, 1 << 20);
+  }
+  after.AddShard(4, 1 << 20);
+
+  const int kStripes = 4096;
+  int moved = 0;
+  for (uint64_t s = 0; s < kStripes; ++s) {
+    const uint32_t id_before = before.shard_id(before.ShardIndexForStripe(s));
+    const uint32_t id_after = after.shard_id(after.ShardIndexForStripe(s));
+    if (id_before != id_after) {
+      ++moved;
+      // Rendezvous only ever moves a stripe onto the new shard.
+      EXPECT_EQ(id_after, 4u);
+    }
+  }
+  // Ideal is 1/5 of stripes; allow generous slack but far below the
+  // ~3/4 a mod-N remap would cause.
+  EXPECT_GT(moved, kStripes / 10);
+  EXPECT_LT(moved, kStripes * 2 / 5);
+}
+
+/**
+ * Property: for random (lba, sectors), the extents exactly tile the
+ * logical range -- in order, no gaps or overlaps -- and every sector's
+ * shard/LBA agrees with independent per-sector routing math.
+ */
+TEST(ShardMapTest, PropertySplitTilesLogicalRangeExactly) {
+  sim::Rng rng(99, "split_property");
+  for (Placement placement : {Placement::kStriped, Placement::kHashed}) {
+    ShardMap map = MakeMap(5, placement, /*stripe_sectors=*/16);
+    for (int trial = 0; trial < 2000; ++trial) {
+      const uint64_t lba = rng.NextBounded(1 << 18);
+      const uint32_t sectors =
+          static_cast<uint32_t>(rng.NextInRange(1, 300));
+      const auto extents = map.Split(lba, sectors);
+
+      uint64_t logical = lba;
+      uint32_t buffer = 0;
+      for (const ShardExtent& e : extents) {
+        ASSERT_GT(e.sectors, 0u);
+        ASSERT_EQ(e.buffer_offset_sectors, buffer);
+        // Check each sector of the extent against per-stripe routing.
+        for (uint32_t k = 0; k < e.sectors; ++k) {
+          const uint64_t cur = logical + k;
+          const uint64_t stripe = cur / 16;
+          const uint32_t within = static_cast<uint32_t>(cur % 16);
+          ASSERT_EQ(map.ShardIndexForStripe(stripe), e.shard_index);
+          const uint64_t want_lba =
+              placement == Placement::kStriped
+                  ? (stripe / 5) * 16 + within
+                  : cur;
+          ASSERT_EQ(e.shard_lba + k, want_lba);
+        }
+        logical += e.sectors;
+        buffer += e.sectors;
+      }
+      ASSERT_EQ(logical, lba + sectors);
+      ASSERT_EQ(buffer, sectors);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reflex

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "client/reflex_client.h"
@@ -26,17 +27,17 @@ class BarrierTest : public ::testing::Test {
   BarrierTest()
       : tenant_(harness_.LcTenant(100000, 0.9)),
         client_(harness_.sim, harness_.server, harness_.client_machine,
-                ReflexClient::Options{}) {
-    client_.BindAll(tenant_->handle());
-  }
+                ReflexClient::Options{}),
+        session_(client_.AttachSession(tenant_->handle())) {}
 
   Harness harness_;
   core::Tenant* tenant_;
   ReflexClient client_;
+  std::unique_ptr<client::TenantSession> session_;
 };
 
 TEST_F(BarrierTest, BarrierWithNothingInFlightCompletesQuickly) {
-  auto b = client_.Barrier(tenant_->handle());
+  auto b = session_->Barrier();
   ASSERT_TRUE(harness_.RunUntilReady([&] { return b.Ready(); }));
   EXPECT_TRUE(b.Get().ok());
   // Just network + dataplane round trip; nothing to wait for.
@@ -47,9 +48,9 @@ TEST_F(BarrierTest, BarrierWaitsForPrecedingReads) {
   // Launch a burst of reads (each ~100us), then a barrier right away.
   std::vector<sim::Future<IoResult>> reads;
   for (int i = 0; i < 16; ++i) {
-    reads.push_back(client_.Read(tenant_->handle(), 8ULL * 1000 * i, 8));
+    reads.push_back(session_->Read(8ULL * 1000 * i, 8));
   }
-  auto barrier = client_.Barrier(tenant_->handle());
+  auto barrier = session_->Barrier();
   ASSERT_TRUE(harness_.RunUntilReady([&] { return barrier.Ready(); }));
   EXPECT_TRUE(barrier.Get().ok());
   // Every read resolved, and none completed after the barrier did
@@ -65,9 +66,9 @@ TEST_F(BarrierTest, BarrierWaitsForPrecedingReads) {
 
 TEST_F(BarrierTest, IoAfterBarrierIsHeldBack) {
   // One slow read, a barrier, then another read issued immediately.
-  auto first = client_.Read(tenant_->handle(), 0, 8);
-  auto barrier = client_.Barrier(tenant_->handle());
-  auto second = client_.Read(tenant_->handle(), 8000, 8);
+  auto first = session_->Read(0, 8);
+  auto barrier = session_->Barrier();
+  auto second = session_->Read(8000, 8);
   ASSERT_TRUE(harness_.RunUntilReady([&] { return second.Ready(); }));
   ASSERT_TRUE(first.Ready() && barrier.Ready());
   // Ordering: first completes, then the barrier, then the second read
@@ -85,15 +86,15 @@ TEST_F(BarrierTest, BarriersDoNotBlockOtherTenants) {
   copts.seed = 9;
   ReflexClient other_client(harness_.sim, harness_.server,
                             harness_.client_machine, copts);
-  other_client.BindAll(other->handle());
+  auto other_session = other_client.AttachSession(other->handle());
 
   // Tenant 1 sets up a long barrier chain.
-  auto r1 = client_.Read(tenant_->handle(), 0, 8);
-  auto b1 = client_.Barrier(tenant_->handle());
-  auto r2 = client_.Read(tenant_->handle(), 8000, 8);
+  auto r1 = session_->Read(0, 8);
+  auto b1 = session_->Barrier();
+  auto r2 = session_->Read(8000, 8);
 
   // The other tenant's read proceeds immediately regardless.
-  auto independent = other_client.Read(other->handle(), 16000, 8);
+  auto independent = other_session->Read(16000, 8);
   ASSERT_TRUE(harness_.RunUntilReady([&] { return independent.Ready(); }));
   EXPECT_LT(independent.Get().Latency(), Micros(130));
   ASSERT_TRUE(harness_.RunUntilReady([&] { return r2.Ready(); }));
@@ -105,8 +106,8 @@ TEST_F(BarrierTest, BarriersDoNotBlockOtherTenants) {
 TEST_F(BarrierTest, ChainedBarriersPreserveTotalOrder) {
   std::vector<sim::Future<IoResult>> results;
   for (int i = 0; i < 5; ++i) {
-    results.push_back(client_.Read(tenant_->handle(), 8ULL * 977 * i, 8));
-    results.push_back(client_.Barrier(tenant_->handle()));
+    results.push_back(session_->Read(8ULL * 977 * i, 8));
+    results.push_back(session_->Barrier());
   }
   ASSERT_TRUE(
       harness_.RunUntilReady([&] { return results.back().Ready(); }));
@@ -121,7 +122,7 @@ TEST_F(BarrierTest, ChainedBarriersPreserveTotalOrder) {
 
 TEST_F(BarrierTest, BarrierCostsNoTokens) {
   const double spent_before = tenant_->tokens_spent;
-  auto b = client_.Barrier(tenant_->handle());
+  auto b = session_->Barrier();
   ASSERT_TRUE(harness_.RunUntilReady([&] { return b.Ready(); }));
   EXPECT_DOUBLE_EQ(tenant_->tokens_spent, spent_before)
       << "barriers consume ordering, not device bandwidth";

@@ -151,19 +151,19 @@ TEST(ControlPlaneTest, ServerStillServesAfterRescaling) {
   Harness h(options);
   core::Tenant* tenant = h.LcTenant();
   client::ReflexClient client(h.sim, h.server, h.client_machine, {});
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
-  auto io1 = client.Read(tenant->handle(), 0, 8);
+  auto io1 = session->Read(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io1.Ready(); }));
   EXPECT_TRUE(io1.Get().ok());
 
   ASSERT_TRUE(h.server.control_plane().ScaleTo(3));
-  auto io2 = client.Read(tenant->handle(), 800, 8);
+  auto io2 = session->Read(800, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io2.Ready(); }));
   EXPECT_TRUE(io2.Get().ok());
 
   ASSERT_TRUE(h.server.control_plane().ScaleTo(1));
-  auto io3 = client.Read(tenant->handle(), 1600, 8);
+  auto io3 = session->Read(1600, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io3.Ready(); }));
   EXPECT_TRUE(io3.Get().ok());
 }
@@ -173,11 +173,11 @@ TEST(ControlPlaneTest, PersistentBurstersGetFlagged) {
   // A tenant with a tiny reservation driven far above it.
   core::Tenant* tenant = h.LcTenant(1000, 1.0, Millis(2));
   client::ReflexClient client(h.sim, h.server, h.client_machine, {});
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
   client::LoadGenSpec spec;
   spec.offered_iops = 50000;  // 50x the SLO
   spec.read_fraction = 1.0;
-  client::LoadGenerator load(h.sim, client, tenant->handle(), spec);
+  client::LoadGenerator load(h.sim, *session, spec);
   load.Run(0, Millis(300));
   h.RunUntilDone(load.Done(), sim::Seconds(60));
 
@@ -214,9 +214,9 @@ TEST(ControlPlaneTest, ShrinkThenGrowRestartsStoppedThreads) {
   client::ReflexClient::Options copts;
   copts.num_connections = 3;
   client::ReflexClient client(h.sim, h.server, h.client_machine, copts);
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
   for (int c = 0; c < 3; ++c) {
-    auto io = client.Read(tenant->handle(), c * 800, 8, nullptr, c);
+    auto io = session->Read(c * 800, 8, nullptr, c);
     ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
     EXPECT_TRUE(io.Get().ok()) << "connection " << c;
   }
@@ -256,14 +256,14 @@ TEST(ControlPlaneTest, MonitorStartsFromFreshUtilizationBaselines) {
   client::ReflexClient::Options copts;
   copts.num_connections = 8;
   client::ReflexClient client(h.sim, h.server, h.client_machine, copts);
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
   // Saturate the single thread for 100ms with the monitor off, then
   // let the load drain completely.
   client::LoadGenSpec spec;
   spec.queue_depth = 256;
   spec.request_bytes = 1024;
-  client::LoadGenerator load(h.sim, client, tenant->handle(), spec);
+  client::LoadGenerator load(h.sim, *session, spec);
   load.Run(Millis(10), Millis(100));
   ASSERT_TRUE(h.RunUntilDone(load.Done(), sim::Seconds(60)));
   ASSERT_EQ(h.server.num_active_threads(), 1);
@@ -291,11 +291,11 @@ TEST(ControlPlaneTest, AutoScaleMonitorAddsThreads) {
   client::ReflexClient::Options copts;
   copts.num_connections = 8;
   client::ReflexClient client(h.sim, h.server, h.client_machine, copts);
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
   client::LoadGenSpec spec;
   spec.queue_depth = 256;  // saturate the single core
   spec.request_bytes = 1024;
-  client::LoadGenerator load(h.sim, client, tenant->handle(), spec);
+  client::LoadGenerator load(h.sim, *session, spec);
   load.Run(Millis(10), Millis(120));
   h.RunUntilDone(load.Done(), sim::Seconds(60));
   EXPECT_GT(h.server.num_active_threads(), 1)

@@ -49,6 +49,7 @@ RunResult RunOnce(int threads, int tenants, double read_fraction,
   Harness h(options, flash::DeviceProfile::DeviceA(), seed);
 
   std::vector<std::unique_ptr<ReflexClient>> clients;
+  std::vector<std::unique_ptr<client::TenantSession>> sessions;
   std::vector<std::unique_ptr<LoadGenerator>> generators;
   std::vector<core::Tenant*> tenant_ptrs;
   for (int i = 0; i < tenants; ++i) {
@@ -59,14 +60,14 @@ RunResult RunOnce(int threads, int tenants, double read_fraction,
     copts.seed = seed + i;
     clients.push_back(std::make_unique<ReflexClient>(
         h.sim, h.server, h.client_machine, copts));
-    clients.back()->BindAll(t->handle());
+    sessions.push_back(clients.back()->AttachSession(t->handle()));
     LoadGenSpec spec;
     spec.read_fraction = read_fraction;
     spec.queue_depth = 4;
     spec.stop_after_ops = 300;
     spec.seed = seed * 31 + i;
     generators.push_back(std::make_unique<LoadGenerator>(
-        h.sim, *clients.back(), t->handle(), spec));
+        h.sim, *sessions.back(), spec));
   }
   for (auto& g : generators) g->Run(0, 0);
   for (auto& g : generators) {

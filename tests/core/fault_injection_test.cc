@@ -36,8 +36,8 @@ TEST(FaultInjectionTest, IdlePlanLeavesTimingBitIdentical) {
     }
     core::Tenant* tenant = h.LcTenant();
     client::ReflexClient client(h.sim, h.server, h.client_machine, {});
-    client.BindAll(tenant->handle());
-    auto io = client.Read(tenant->handle(), 0, 8);
+    auto session = client.AttachSession(tenant->handle());
+    auto io = session->Read(0, 8);
     ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
     ASSERT_TRUE(io.Get().ok());
     if (run == 0) {
@@ -56,9 +56,9 @@ TEST(FaultInjectionTest, FlashReadErrorSurfacesAsDeviceError) {
   plan.ScheduleWindow(FaultKind::kFlashReadError, Micros(1), Millis(10));
   core::Tenant* tenant = h.LcTenant();
   client::ReflexClient client(h.sim, h.server, h.client_machine, {});
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
-  auto io = client.Read(tenant->handle(), 0, 8);
+  auto io = session->Read(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
   EXPECT_EQ(io.Get().status, ReqStatus::kDeviceError);
   EXPECT_GE(h.device.stats().read_errors, 1);
@@ -73,9 +73,9 @@ TEST(FaultInjectionTest, FlashWriteErrorSurfacesAsDeviceError) {
   plan.ScheduleWindow(FaultKind::kFlashWriteError, Micros(1), Millis(10));
   core::Tenant* tenant = h.LcTenant();
   client::ReflexClient client(h.sim, h.server, h.client_machine, {});
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
-  auto io = client.Write(tenant->handle(), 0, 8);
+  auto io = session->Write(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
   EXPECT_EQ(io.Get().status, ReqStatus::kDeviceError);
   EXPECT_GE(h.device.stats().write_errors, 1);
@@ -88,22 +88,22 @@ TEST(FaultInjectionTest, BrownoutSlowsReadsWhileActive) {
   h.device.SetFaultPlan(&plan);
   core::Tenant* tenant = h.LcTenant();
   client::ReflexClient client(h.sim, h.server, h.client_machine, {});
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
-  auto before = client.Read(tenant->handle(), 0, 8);
+  auto before = session->Read(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return before.Ready(); }));
   ASSERT_TRUE(before.Get().ok());
 
   plan.ScheduleWindow(FaultKind::kFlashBrownout, Millis(5), Millis(20));
   h.RunUntilReady([&] { return h.sim.Now() >= Millis(6); });
-  auto during = client.Read(tenant->handle(), 800, 8);
+  auto during = session->Read(800, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return during.Ready(); }));
   ASSERT_TRUE(during.Get().ok());
   EXPECT_GT(during.Get().Latency(), before.Get().Latency())
       << "browned-out device serves reads slower";
 
   h.RunUntilReady([&] { return h.sim.Now() >= Millis(30); });
-  auto after = client.Read(tenant->handle(), 1600, 8);
+  auto after = session->Read(1600, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return after.Ready(); }));
   ASSERT_TRUE(after.Get().ok());
   EXPECT_LT(after.Get().Latency(), during.Get().Latency())
@@ -140,10 +140,10 @@ TEST(FaultInjectionTest, ServerForcedErrorsAreCountedPerTenant) {
   plan.ScheduleWindow(FaultKind::kServerDeviceError, Micros(1), Millis(50));
   core::Tenant* tenant = h.LcTenant();
   client::ReflexClient client(h.sim, h.server, h.client_machine, {});
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
   for (int i = 0; i < 4; ++i) {
-    auto io = client.Read(tenant->handle(), i * 800, 8);
+    auto io = session->Read(i * 800, 8);
     ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
     EXPECT_EQ(io.Get().status, ReqStatus::kDeviceError);
   }
@@ -179,9 +179,9 @@ TEST(FaultInjectionTest, ClientRetriesReadThroughServerErrorWindow) {
   core::Tenant* tenant = h.LcTenant();
   client::ReflexClient client(h.sim, h.server, h.client_machine,
                               RetryingClientOptions());
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
-  auto io = client.Read(tenant->handle(), 0, 8);
+  auto io = session->Read(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
   EXPECT_TRUE(io.Get().ok()) << "read retried to success";
   EXPECT_GE(client.fault_stats().retries, 1);
@@ -197,9 +197,9 @@ TEST(FaultInjectionTest, WriteTimesOutInsteadOfRetrying) {
   core::Tenant* tenant = h.LcTenant();
   client::ReflexClient client(h.sim, h.server, h.client_machine,
                               RetryingClientOptions());
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
-  auto io = client.Write(tenant->handle(), 0, 8);
+  auto io = session->Write(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
   EXPECT_EQ(io.Get().status, ReqStatus::kTimedOut)
       << "writes are not idempotent and must not be retransmitted";
@@ -221,11 +221,11 @@ TEST(FaultInjectionTest, ConnectionResetTriggersReconnectAndRecovery) {
   core::Tenant* tenant = h.LcTenant();
   client::ReflexClient client(h.sim, h.server, h.client_machine,
                               RetryingClientOptions());
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
   // Step into the window so the first transmission hits the reset.
   h.sim.RunUntil(Micros(2));
-  auto io = client.Read(tenant->handle(), 0, 8);
+  auto io = session->Read(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
   EXPECT_TRUE(io.Get().ok()) << "read recovered after reconnect";
   EXPECT_EQ(h.net.connection_resets(), 1);
@@ -243,11 +243,11 @@ TEST(FaultInjectionTest, ReadSurvivesPacketLoss) {
   core::Tenant* tenant = h.LcTenant();
   client::ReflexClient client(h.sim, h.server, h.client_machine,
                               RetryingClientOptions());
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
   int ok = 0;
   for (int i = 0; i < 20; ++i) {
-    auto io = client.Read(tenant->handle(), i * 800, 8);
+    auto io = session->Read(i * 800, 8);
     ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
     if (io.Get().ok()) ++ok;
   }

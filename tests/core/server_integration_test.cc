@@ -39,14 +39,14 @@ TEST(ServerIntegrationTest, UnloadedReadLatencyMatchesTable2) {
   Harness h;
   core::Tenant* tenant = h.LcTenant();
   ReflexClient client(h.sim, h.server, h.client_machine, IxClient());
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
   LoadGenSpec spec;
   spec.read_fraction = 1.0;
   spec.queue_depth = 1;
   spec.stop_after_ops = 400;
   spec.warmup_ops = 50;
-  LoadGenerator gen(h.sim, client, tenant->handle(), spec);
+  LoadGenerator gen(h.sim, *session, spec);
   gen.Run(0, 0);
   ASSERT_TRUE(h.RunUntilDone(gen.Done()));
 
@@ -66,14 +66,14 @@ TEST(ServerIntegrationTest, UnloadedWriteLatencyMatchesTable2) {
   // reservation must exceed that or the scheduler paces the probe.
   core::Tenant* tenant = h.LcTenant(45000, 0.0);
   ReflexClient client(h.sim, h.server, h.client_machine, IxClient());
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
   LoadGenSpec spec;
   spec.read_fraction = 0.0;
   spec.queue_depth = 1;
   spec.stop_after_ops = 400;
   spec.warmup_ops = 50;
-  LoadGenerator gen(h.sim, client, tenant->handle(), spec);
+  LoadGenerator gen(h.sim, *session, spec);
   gen.Run(0, 0);
   ASSERT_TRUE(h.RunUntilDone(gen.Done()));
 
@@ -89,13 +89,13 @@ TEST(ServerIntegrationTest, LinuxClientAddsLatency) {
 
   auto measure = [&](ReflexClient::Options options) {
     ReflexClient client(h.sim, h.server, h.client_machine, options);
-    client.BindAll(tenant->handle());
+    auto session = client.AttachSession(tenant->handle());
     LoadGenSpec spec;
     spec.queue_depth = 1;
     spec.stop_after_ops = 300;
     spec.warmup_ops = 30;
     spec.seed = 123;
-    LoadGenerator gen(h.sim, client, tenant->handle(), spec);
+    LoadGenerator gen(h.sim, *session, spec);
     gen.Run(0, 0);
     EXPECT_TRUE(h.RunUntilDone(gen.Done(), h.sim.Now() + sim::Seconds(30)));
     return gen.read_latency().Mean() / 1e3;
@@ -122,7 +122,9 @@ TEST(ServerIntegrationTest, InbandRegistrationAndIo) {
   const uint32_t handle = reg.Get().handle;
   EXPECT_NE(handle, 0u);
 
-  auto io = client.Read(handle, 0, 8);
+  auto session = client.AttachSession(handle);
+  ASSERT_NE(session, nullptr);
+  auto io = session->Read(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
   EXPECT_TRUE(io.Get().ok());
 
@@ -131,7 +133,7 @@ TEST(ServerIntegrationTest, InbandRegistrationAndIo) {
   EXPECT_EQ(unreg.Get().status, ReqStatus::kOk);
 
   // I/O for an unregistered tenant now fails.
-  auto io2 = client.Read(handle, 0, 8);
+  auto io2 = session->Read(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io2.Ready(); }));
   EXPECT_EQ(io2.Get().status, ReqStatus::kNoSuchTenant);
 }
@@ -176,17 +178,18 @@ TEST(ServerIntegrationTest, StrictAclDeniesIo) {
                              /*write=*/false);
   h.server.acl().AllowClient("client-0", tenant->handle());
   ReflexClient client(h.sim, h.server, h.client_machine, IxClient());
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
+  ASSERT_NE(session, nullptr);
 
-  auto read_in = client.Read(tenant->handle(), 0, 8);
+  auto read_in = session->Read(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return read_in.Ready(); }));
   EXPECT_TRUE(read_in.Get().ok());
 
-  auto write_denied = client.Write(tenant->handle(), 0, 8);
+  auto write_denied = session->Write(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return write_denied.Ready(); }));
   EXPECT_EQ(write_denied.Get().status, ReqStatus::kAccessDenied);
 
-  auto read_outside = client.Read(tenant->handle(), 1 << 21, 8);
+  auto read_outside = session->Read(1 << 21, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return read_outside.Ready(); }));
   EXPECT_EQ(read_outside.Get().status, ReqStatus::kAccessDenied);
 }
@@ -195,9 +198,8 @@ TEST(ServerIntegrationTest, InvalidRangeRejected) {
   Harness h;
   core::Tenant* tenant = h.LcTenant();
   ReflexClient client(h.sim, h.server, h.client_machine, IxClient());
-  client.BindAll(tenant->handle());
-  auto io = client.Read(tenant->handle(),
-                        h.device.profile().capacity_sectors, 8);
+  auto session = client.AttachSession(tenant->handle());
+  auto io = session->Read(h.device.profile().capacity_sectors, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
   EXPECT_EQ(io.Get().status, ReqStatus::kInvalidRange);
 }
@@ -206,18 +208,18 @@ TEST(ServerIntegrationTest, DataRoundTripThroughServer) {
   Harness h;
   core::Tenant* tenant = h.LcTenant();
   ReflexClient client(h.sim, h.server, h.client_machine, IxClient());
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
   std::vector<uint8_t> out(4096);
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = static_cast<uint8_t>(i * 7);
   }
-  auto w = client.Write(tenant->handle(), 2048, 8, out.data());
+  auto w = session->Write(2048, 8, out.data());
   ASSERT_TRUE(h.RunUntilReady([&] { return w.Ready(); }));
   ASSERT_TRUE(w.Get().ok());
 
   std::vector<uint8_t> in(4096, 0);
-  auto r = client.Read(tenant->handle(), 2048, 8, in.data());
+  auto r = session->Read(2048, 8, in.data());
   ASSERT_TRUE(h.RunUntilReady([&] { return r.Ready(); }));
   ASSERT_TRUE(r.Get().ok());
   EXPECT_EQ(std::memcmp(in.data(), out.data(), 4096), 0);
@@ -227,14 +229,14 @@ TEST(ServerIntegrationTest, SingleCoreThroughputNear850K) {
   Harness h;
   core::Tenant* tenant = h.LcTenant(400000, 1.0, Millis(2));
   ReflexClient client(h.sim, h.server, h.client_machine, IxClient(16));
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
 
   LoadGenSpec spec;
   spec.read_fraction = 1.0;
   spec.request_bytes = 1024;  // 1KB as in section 5.3
   spec.queue_depth = 512;
   spec.seed = 5;
-  LoadGenerator gen(h.sim, client, tenant->handle(), spec);
+  LoadGenerator gen(h.sim, *session, spec);
   gen.Run(Millis(50), Millis(250));
   ASSERT_TRUE(h.RunUntilDone(gen.Done()));
 
@@ -259,12 +261,12 @@ TEST(ServerIntegrationTest, DeterministicEndToEnd) {
     Harness h;
     core::Tenant* tenant = h.LcTenant();
     ReflexClient client(h.sim, h.server, h.client_machine, IxClient());
-    client.BindAll(tenant->handle());
+    auto session = client.AttachSession(tenant->handle());
     LoadGenSpec spec;
     spec.read_fraction = 0.8;
     spec.queue_depth = 4;
     spec.stop_after_ops = 200;
-    LoadGenerator gen(h.sim, client, tenant->handle(), spec);
+    LoadGenerator gen(h.sim, *session, spec);
     gen.Run(0, 0);
     h.RunUntilDone(gen.Done());
     return std::make_tuple(gen.read_latency().Mean(),
@@ -282,12 +284,12 @@ TEST(ServerIntegrationTest, UdpTransportImprovesThroughput) {
     Harness h(options);
     core::Tenant* tenant = h.BeTenant();
     ReflexClient client(h.sim, h.server, h.client_machine, IxClient(16));
-    client.BindAll(tenant->handle());
+    auto session = client.AttachSession(tenant->handle());
     LoadGenSpec spec;
     spec.request_bytes = 1024;
     spec.queue_depth = 512;
     spec.seed = 5;
-    LoadGenerator gen(h.sim, client, tenant->handle(), spec);
+    LoadGenerator gen(h.sim, *session, spec);
     gen.Run(Millis(40), Millis(160));
     h.RunUntilDone(gen.Done());
     return gen.AchievedIops();
@@ -302,13 +304,13 @@ TEST(ServerIntegrationTest, TenantCountersTrackCompletions) {
   Harness h;
   core::Tenant* tenant = h.LcTenant();
   ReflexClient client(h.sim, h.server, h.client_machine, IxClient());
-  client.BindAll(tenant->handle());
+  auto session = client.AttachSession(tenant->handle());
   LoadGenSpec spec;
   spec.read_fraction = 0.5;
   spec.queue_depth = 2;
   spec.stop_after_ops = 100;
   spec.seed = 777;
-  LoadGenerator gen(h.sim, client, tenant->handle(), spec);
+  LoadGenerator gen(h.sim, *session, spec);
   gen.Run(0, 0);
   ASSERT_TRUE(h.RunUntilDone(gen.Done()));
   EXPECT_EQ(tenant->completed_reads + tenant->completed_writes, 100);
