@@ -7,7 +7,7 @@
 //
 // Faults are injected through sim::FaultPlan (deterministic, seeded);
 // the client runs with its RetryPolicy enabled, so reads ride through
-// transient errors, writes fail fast with kTimedOut, and reset
+// transient errors, writes fail fast with kUnknownOutcome, and reset
 // connections are reopened after consecutive timeouts.
 //
 // Expected: each scenario's p95 is inside the 1ms SLO before the fault

@@ -129,7 +129,8 @@ sim::Task BlockDevice::DoChunk(int ctx_index, bool is_read, uint64_t lba,
   while (!r.ok() && requeues_left > 0 &&
          (r.status == core::ReqStatus::kDeviceError ||
           r.status == core::ReqStatus::kOutOfResources ||
-          r.status == core::ReqStatus::kTimedOut)) {
+          r.status == core::ReqStatus::kTimedOut ||
+          r.status == core::ReqStatus::kUnknownOutcome)) {
     --requeues_left;
     ++requeues_;
     co_await sim::Delay(sim_, options_.requeue_delay);

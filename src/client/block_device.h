@@ -53,9 +53,12 @@ class BlockDevice : public StorageBackend {
 
     /**
      * blk-mq error handling: requeue a chunk that failed with a
-     * transient status (kDeviceError / kOutOfResources / kTimedOut)
-     * up to this many times before completing the request with the
-     * error. 0 (default) disables requeueing.
+     * transient status (kDeviceError / kOutOfResources / kTimedOut /
+     * kUnknownOutcome) up to this many times before completing the
+     * request with the error. Re-issuing a kUnknownOutcome write is
+     * the block layer's call to make, not the client library's: blk-mq
+     * owns request ordering, and replaying identical sector contents
+     * is idempotent at this layer. 0 (default) disables requeueing.
      */
     int max_requeues = 0;
     sim::TimeNs requeue_delay = sim::Micros(100);

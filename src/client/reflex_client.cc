@@ -211,10 +211,15 @@ void ReflexClient::OnTimeout(uint64_t cookie, int attempt) {
     return;
   }
   // Writes and barriers are not retransmitted: the request may have
-  // executed and only the response been lost. Surface the uncertainty.
+  // executed and only the response been lost. Surface the uncertainty
+  // as kUnknownOutcome rather than a definite failure (or fabricated
+  // success); reads that exhausted their retries definitely produced
+  // no application-visible effect and fail with kTimedOut.
   PendingOp failed = std::move(it->second);
   pending_.erase(it);
-  FailPending(std::move(failed), core::ReqStatus::kTimedOut);
+  FailPending(std::move(failed), idempotent
+                                     ? core::ReqStatus::kTimedOut
+                                     : core::ReqStatus::kUnknownOutcome);
 }
 
 void ReflexClient::Retransmit(uint64_t cookie, sim::TimeNs delay) {

@@ -95,8 +95,9 @@ class ReflexClient {
    * panics on unexpected responses, which is the right mode for the
    * fault-free benches. With a timeout set, reads (idempotent) are
    * retransmitted with capped exponential backoff; writes and
-   * barriers fail back to the caller with kTimedOut, since the
-   * library cannot know whether they executed.
+   * barriers fail back to the caller with kUnknownOutcome, since the
+   * library cannot know whether they executed and must neither
+   * retransmit (risking a double-apply) nor report definite failure.
    */
   struct RetryPolicy {
     /** 0 disables timeouts and all retry machinery. */

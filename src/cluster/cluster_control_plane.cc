@@ -44,6 +44,7 @@ ClusterTenant ClusterControlPlane::RegisterTenant(const core::SloSpec& slo,
   }
   if (status != nullptr) *status = core::ReqStatus::kOk;
   ++tenants_admitted_;
+  active_tenants_.push_back(tenant);
   return tenant;
 }
 
@@ -54,6 +55,13 @@ bool ClusterControlPlane::UnregisterTenant(const ClusterTenant& tenant) {
   bool all_ok = true;
   for (int i = 0; i < cluster_.num_shards(); ++i) {
     all_ok &= cluster_.server(i).UnregisterTenant(tenant.handles[i]);
+  }
+  for (auto it = active_tenants_.begin(); it != active_tenants_.end();
+       ++it) {
+    if (it->handles == tenant.handles) {
+      active_tenants_.erase(it);
+      break;
+    }
   }
   return all_ok;
 }

@@ -66,11 +66,22 @@ class ClusterControlPlane {
   int64_t tenants_admitted() const { return tenants_admitted_; }
   int64_t tenants_rejected() const { return tenants_rejected_; }
 
+  /**
+   * Currently-registered cluster tenants (admitted and not yet
+   * unregistered). The simtest invariant probes enumerate these to
+   * check that every tenant's per-shard shares sum to at least its
+   * cluster grant with only ceil-rounding slack.
+   */
+  const std::vector<ClusterTenant>& active_tenants() const {
+    return active_tenants_;
+  }
+
  private:
   FlashCluster& cluster_;
   obs::MetricsRegistry metrics_;
   int64_t tenants_admitted_ = 0;
   int64_t tenants_rejected_ = 0;
+  std::vector<ClusterTenant> active_tenants_;
 };
 
 }  // namespace reflex::cluster

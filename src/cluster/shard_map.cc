@@ -71,7 +71,9 @@ int ShardMap::ShardIndexForStripe(uint64_t stripe) const {
 
 std::vector<ShardExtent> ShardMap::Split(uint64_t lba,
                                          uint32_t sectors) const {
-  REFLEX_CHECK(sectors > 0);
+  // A zero-sector request touches no shard: it splits into no extents
+  // (and so completes trivially) rather than tripping an assertion.
+  if (sectors == 0) return {};
   REFLEX_CHECK(lba + sectors <= capacity_sectors());
   const uint64_t stripe_sectors = options_.stripe_sectors;
   const uint64_t num_shards = shards_.size();

@@ -79,7 +79,8 @@ class ShardMap {
   /**
    * Splits [lba, lba+sectors) into per-shard extents, in logical-LBA
    * order, merging adjacent runs that land contiguously on the same
-   * shard. A single-stripe I/O yields exactly one extent.
+   * shard. A single-stripe I/O yields exactly one extent; a
+   * zero-sector request yields no extents.
    */
   std::vector<ShardExtent> Split(uint64_t lba, uint32_t sectors) const;
 

@@ -48,9 +48,20 @@ enum class ReqStatus : uint8_t {
   kDeviceError = 5,
   /**
    * Synthesized locally by the client when no response arrived within
-   * its request timeout (never carried on the wire).
+   * its request timeout (never carried on the wire). Reads have no
+   * side effects, so a timed-out read definitely did not take effect
+   * from the application's point of view.
    */
   kTimedOut = 6,
+  /**
+   * Synthesized locally by the client for a write or barrier whose
+   * response never arrived (never carried on the wire). Unlike
+   * kTimedOut, the request MAY have executed on the server -- the
+   * library cannot know, must not retransmit (double-apply), and must
+   * not fabricate success. Callers decide: re-read to discover the
+   * outcome, or re-issue if their update is idempotent.
+   */
+  kUnknownOutcome = 7,
 };
 
 /** Logical sector size used by the ReFlex block protocol. */

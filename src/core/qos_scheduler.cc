@@ -26,6 +26,10 @@ void QosScheduler::RemoveTenant(Tenant* tenant) {
     v.erase(it);
     return true;
   };
+  // A retiring tenant takes its balance with it; record the amount so
+  // the token-conservation ledger still closes.
+  shared_.tokens_retired_total += tenant->tokens_;
+  tenant->tokens_ = 0.0;
   if (!erase_from(lc_tenants_)) {
     auto it = std::find(be_tenants_.begin(), be_tenants_.end(), tenant);
     REFLEX_CHECK(it != be_tenants_.end());
@@ -135,6 +139,7 @@ int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
     Tenant& t = *tp;
     const double gen = t.token_rate_ * dt;
     t.tokens_ += gen;
+    shared_.tokens_generated_total += gen;
     if (metrics_.enabled()) metrics_.tokens_generated->Add(gen);
     t.grant_history_[t.grant_cursor_] = gen;
     t.grant_cursor_ = (t.grant_cursor_ + 1) % 3;
@@ -162,6 +167,7 @@ int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
           (t.tokens_ - pos_limit) * config_.donate_fraction;
       shared_.global_bucket.Donate(spill);
       t.tokens_ -= spill;
+      shared_.tokens_donated_total += spill;
       if (metrics_.enabled()) metrics_.tokens_donated->Add(spill);
     }
   }
@@ -172,11 +178,13 @@ int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
     Tenant& t = *be_tenants_[(be_cursor_ + k) % n];
     const double gen = t.token_rate_ * dt;
     t.tokens_ += gen;
+    shared_.tokens_generated_total += gen;
     if (metrics_.enabled()) metrics_.tokens_generated->Add(gen);
     const double deficit = t.queued_cost_ - t.tokens_;
     if (deficit > 0.0) {
       const double claimed = shared_.global_bucket.TryClaim(deficit);
       t.tokens_ += claimed;
+      shared_.tokens_claimed_total += claimed;
       if (metrics_.enabled()) metrics_.tokens_claimed->Add(claimed);
     }
     while (!t.queue_.empty() && t.tokens_ >= t.queue_.front().cost &&
@@ -187,6 +195,7 @@ int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
     if (t.tokens_ > 0.0 && t.queue_.empty()) {
       // DRR-style: idle BE tenants may not hoard tokens.
       shared_.global_bucket.Donate(t.tokens_);
+      shared_.tokens_donated_total += t.tokens_;
       if (metrics_.enabled()) metrics_.tokens_donated->Add(t.tokens_);
       t.tokens_ = 0.0;
     }
@@ -212,7 +221,7 @@ void QosScheduler::MarkRoundComplete() {
   const int marked =
       shared_.threads_marked.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (marked >= shared_.num_threads) {
-    shared_.global_bucket.Reset();
+    shared_.tokens_discarded_total += shared_.global_bucket.Reset();
     shared_.threads_marked.store(0, std::memory_order_release);
     shared_.reset_epoch.fetch_add(1, std::memory_order_acq_rel);
   }

@@ -44,6 +44,27 @@ struct SchedulerShared {
 
   /** Cumulative tokens spent across all threads (Figure 6a metric). */
   double tokens_spent_total = 0.0;
+
+  /**
+   * Conservation ledger (simtest invariant probes). Every token enters
+   * the system through generation and leaves through a spend, a bucket
+   * reset, or a tenant retiring with a non-zero balance; transfers
+   * (donate/claim) move tokens between tenant balances and the global
+   * bucket without creating or destroying any. The invariant
+   *
+   *   generated == spent + discarded + retired
+   *               + sum(active tenant balances) + bucket balance
+   *
+   * holds to within fixed-point rounding and is checked by
+   * simtest::CheckServerInvariants after every harness run.
+   */
+  double tokens_generated_total = 0.0;
+  double tokens_donated_total = 0.0;
+  double tokens_claimed_total = 0.0;
+  /** Tokens thrown away by the periodic global-bucket reset. */
+  double tokens_discarded_total = 0.0;
+  /** Balances (positive or negative) of unregistered tenants. */
+  double tokens_retired_total = 0.0;
 };
 
 /**

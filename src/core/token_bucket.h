@@ -48,8 +48,15 @@ class GlobalTokenBucket {
     }
   }
 
-  /** Empties the bucket (the periodic anti-hoarding reset). */
-  void Reset() { micro_tokens_.store(0, std::memory_order_relaxed); }
+  /**
+   * Empties the bucket (the periodic anti-hoarding reset) and returns
+   * the number of tokens discarded, so callers can keep conservation
+   * accounting (tokens leave the system only through an explicit
+   * spend, a reset, or a tenant retiring).
+   */
+  double Reset() {
+    return FromMicro(micro_tokens_.exchange(0, std::memory_order_relaxed));
+  }
 
   double Tokens() const {
     return FromMicro(micro_tokens_.load(std::memory_order_relaxed));

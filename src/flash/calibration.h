@@ -56,6 +56,14 @@ struct CalibrationResult {
   sim::TimeNs LatencyAtTokenRate(double token_rate) const;
 };
 
+/**
+ * The calibration of device A as the full calibrator recovers it,
+ * returned as a constant. Tests and the simtest harness use it to skip
+ * the (slow, seed-sensitive) calibration phase while still exercising
+ * the real cost model and admission math.
+ */
+CalibrationResult CannedCalibrationA();
+
 /** Knobs for the calibration run. */
 struct CalibrationConfig {
   /** Read ratios used for the mixed-load cost fit. */

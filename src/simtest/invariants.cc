@@ -1,0 +1,132 @@
+#include "simtest/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "cluster/cluster_control_plane.h"
+
+namespace reflex::simtest {
+namespace {
+
+void Add(std::vector<InvariantViolation>& out, const std::string& name,
+         const std::ostringstream& detail) {
+  out.push_back(InvariantViolation{name, detail.str()});
+}
+
+}  // namespace
+
+std::vector<InvariantViolation> CheckServerInvariants(
+    core::ReflexServer& server) {
+  std::vector<InvariantViolation> out;
+  const core::SchedulerShared& shared = server.shared();
+
+  if (server.options().qos.enforce) {
+    double active_balances = 0.0;
+    for (const core::Tenant* t : server.tenants()) {
+      if (t->active()) active_balances += t->tokens();
+    }
+    const double bucket = shared.global_bucket.Tokens();
+    const double accounted = shared.tokens_spent_total +
+                             shared.tokens_discarded_total +
+                             shared.tokens_retired_total + active_balances +
+                             bucket;
+    // Fixed-point micro-token rounding plus double summation noise.
+    const double tol =
+        1.0 + 1e-9 * std::abs(shared.tokens_generated_total);
+    if (std::abs(shared.tokens_generated_total - accounted) > tol) {
+      std::ostringstream detail;
+      detail << "generated=" << shared.tokens_generated_total
+             << " != spent=" << shared.tokens_spent_total
+             << " + discarded=" << shared.tokens_discarded_total
+             << " + retired=" << shared.tokens_retired_total
+             << " + balances=" << active_balances << " + bucket=" << bucket
+             << " (delta="
+             << shared.tokens_generated_total - accounted << ")";
+      Add(out, "token_conservation", detail);
+    }
+
+    const double bucket_accounted = shared.tokens_claimed_total +
+                                    shared.tokens_discarded_total + bucket;
+    if (std::abs(shared.tokens_donated_total - bucket_accounted) > tol) {
+      std::ostringstream detail;
+      detail << "donated=" << shared.tokens_donated_total
+             << " != claimed=" << shared.tokens_claimed_total
+             << " + discarded=" << shared.tokens_discarded_total
+             << " + bucket=" << bucket;
+      Add(out, "bucket_flow", detail);
+    }
+  }
+
+  // Admission: active LC reservations fit the calibrated rate at the
+  // strictest LC SLO (mirrors ControlPlane::RecomputeRates).
+  sim::TimeNs strictest = 0;
+  double lc_rate_sum = 0.0;
+  for (const core::Tenant* t : server.tenants()) {
+    if (!t->active() || !t->IsLatencyCritical()) continue;
+    if (strictest == 0 || t->slo().latency < strictest) {
+      strictest = t->slo().latency;
+    }
+    lc_rate_sum += server.cost_model().TokenRateForSlo(t->slo());
+  }
+  if (strictest > 0) {
+    const double cap = server.calibration().MaxTokenRateForSlo(strictest);
+    if (lc_rate_sum > cap * (1.0 + 1e-9)) {
+      std::ostringstream detail;
+      detail << "sum of LC reservations " << lc_rate_sum
+             << " tokens/s exceeds calibrated capacity " << cap
+             << " at strictest SLO " << strictest / 1000 << "us";
+      Add(out, "admitted_capacity", detail);
+    }
+  }
+  return out;
+}
+
+std::vector<InvariantViolation> CheckClusterInvariants(
+    cluster::FlashCluster& cluster) {
+  std::vector<InvariantViolation> out;
+  for (int i = 0; i < cluster.num_shards(); ++i) {
+    for (InvariantViolation& v : CheckServerInvariants(cluster.server(i))) {
+      v.name = "shard" + std::to_string(i) + "." + v.name;
+      out.push_back(std::move(v));
+    }
+  }
+
+  const auto& tenants = cluster.control_plane().active_tenants();
+  const uint64_t n = static_cast<uint64_t>(cluster.num_shards());
+  for (size_t k = 0; k < tenants.size(); ++k) {
+    const cluster::ClusterTenant& t = tenants[k];
+    if (t.handles.size() != n) {
+      std::ostringstream detail;
+      detail << "cluster tenant " << k << " holds " << t.handles.size()
+             << " shard handles on a " << n << "-shard cluster";
+      Add(out, "shard_handles", detail);
+      continue;
+    }
+    if (t.cls == core::TenantClass::kLatencyCritical) {
+      const uint64_t granted = t.shard_slo.iops * n;
+      if (granted < t.cluster_slo.iops ||
+          granted >= t.cluster_slo.iops + n) {
+        std::ostringstream detail;
+        detail << "cluster tenant " << k << ": shard shares sum to "
+               << granted << " IOPS for a cluster grant of "
+               << t.cluster_slo.iops << " (ceil slack < " << n
+               << " allowed)";
+        Add(out, "share_sum", detail);
+      }
+    }
+    for (uint64_t s = 0; s < n; ++s) {
+      core::Tenant* shard_tenant =
+          cluster.server(static_cast<int>(s)).FindTenant(t.handles[s]);
+      if (shard_tenant == nullptr || !shard_tenant->active() ||
+          shard_tenant->cls() != t.cls) {
+        std::ostringstream detail;
+        detail << "cluster tenant " << k << " handle " << t.handles[s]
+               << " is missing/inactive/misclassed on shard " << s;
+        Add(out, "shard_registration", detail);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace reflex::simtest

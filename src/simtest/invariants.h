@@ -1,0 +1,46 @@
+#ifndef REFLEX_SIMTEST_INVARIANTS_H_
+#define REFLEX_SIMTEST_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/flash_cluster.h"
+#include "core/reflex_server.h"
+
+namespace reflex::simtest {
+
+/** One violated structural invariant, with the numbers that broke it. */
+struct InvariantViolation {
+  std::string name;
+  std::string detail;
+};
+
+/**
+ * Checks one server's QoS-scheduler invariants:
+ *
+ *  - token conservation: tokens_generated == tokens_spent +
+ *    tokens_discarded + tokens_retired + sum(active tenant balances) +
+ *    global bucket balance, within fixed-point rounding. Skipped when
+ *    the scheduler runs in pass-through mode (enforce == false), which
+ *    deliberately spends without generating.
+ *  - bucket flow: tokens_donated == tokens_claimed + tokens_discarded
+ *    + bucket balance (the bucket's only inflow is donation).
+ *  - admission: the sum of active LC token reservations does not
+ *    exceed the calibrated device rate at the strictest LC SLO.
+ */
+std::vector<InvariantViolation> CheckServerInvariants(
+    core::ReflexServer& server);
+
+/**
+ * Checks cluster-wide invariants: every shard's server invariants,
+ * plus, for each active cluster tenant, that its per-shard shares sum
+ * back to at least the cluster grant with only ceil-rounding slack
+ * (share * N in [grant, grant + N)) and that every shard holds an
+ * active registration for it.
+ */
+std::vector<InvariantViolation> CheckClusterInvariants(
+    cluster::FlashCluster& cluster);
+
+}  // namespace reflex::simtest
+
+#endif  // REFLEX_SIMTEST_INVARIANTS_H_

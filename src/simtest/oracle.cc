@@ -1,0 +1,173 @@
+#include "simtest/oracle.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace reflex::simtest {
+namespace {
+
+struct StampRecord {
+  uint64_t version;
+  uint64_t lba;
+};
+
+constexpr uint32_t kRecordsPerSector =
+    core::kSectorBytes / sizeof(StampRecord);
+
+}  // namespace
+
+void ConsistencyOracle::StampPayload(uint8_t* data, uint64_t version,
+                                     uint64_t lba, uint32_t sectors) {
+  for (uint32_t s = 0; s < sectors; ++s) {
+    StampRecord record{version, lba + s};
+    uint8_t* sector = data + static_cast<size_t>(s) * core::kSectorBytes;
+    for (uint32_t r = 0; r < kRecordsPerSector; ++r) {
+      std::memcpy(sector + r * sizeof(StampRecord), &record,
+                  sizeof(StampRecord));
+    }
+  }
+}
+
+uint64_t ConsistencyOracle::ReadStamp(const uint8_t* data) {
+  uint64_t version = 0;
+  std::memcpy(&version, data, sizeof(version));
+  return version;
+}
+
+uint64_t ConsistencyOracle::BeginWrite(int tenant, uint64_t lba,
+                                       uint32_t sectors, sim::TimeNs now) {
+  const uint64_t seq = ++next_seq_[tenant];
+  const uint64_t version =
+      (static_cast<uint64_t>(tenant + 1) << 48) | seq;
+  pending_[version] = PendingWrite{lba, sectors, now};
+  ++writes_tracked_;
+  return version;
+}
+
+void ConsistencyOracle::EndWrite(uint64_t version,
+                                 const client::IoResult& result) {
+  auto it = pending_.find(version);
+  if (it == pending_.end()) return;
+  const PendingWrite w = it->second;
+  pending_.erase(it);
+  for (uint32_t s = 0; s < w.sectors; ++s) {
+    SectorState& state = sectors_[w.lba + s];
+    if (result.ok()) {
+      // Completions of one sector are serialized (per-tenant QD1 over
+      // disjoint ranges), so appending keeps commits time-ordered.
+      state.commits.push_back(
+          Commit{version, w.issue, result.complete_time});
+    } else {
+      // Failed or unknown-outcome: the request may still be queued
+      // server-side and can apply at ANY later time, even after later
+      // successful writes. Acceptable forever.
+      state.zombies.push_back(version);
+    }
+  }
+}
+
+bool ConsistencyOracle::Acceptable(const SectorState* state, uint64_t lba,
+                                   uint64_t version, sim::TimeNs issue,
+                                   sim::TimeNs done,
+                                   uint64_t* newest_committed) const {
+  *newest_committed = kUnwritten;
+  // In-flight write covering this sector, overlapping the window.
+  if (version != kUnwritten) {
+    auto pending = pending_.find(version);
+    if (pending != pending_.end() && pending->second.issue <= done &&
+        lba >= pending->second.lba &&
+        lba < pending->second.lba + pending->second.sectors) {
+      return true;
+    }
+  }
+  if (state == nullptr) return version == kUnwritten;
+
+  // Last commit definitely applied before the read was issued.
+  int last_before = -1;
+  for (size_t i = 0; i < state->commits.size(); ++i) {
+    if (state->commits[i].done <= issue) {
+      last_before = static_cast<int>(i);
+    }
+  }
+  if (last_before >= 0) {
+    *newest_committed = state->commits.back().version;
+  }
+  if (last_before < 0 && version == kUnwritten) return true;
+  for (size_t i = last_before < 0 ? 0 : static_cast<size_t>(last_before);
+       i < state->commits.size(); ++i) {
+    // Commits after last_before are acceptable if their write could
+    // have applied by the end of the read window.
+    if (state->commits[i].version == version &&
+        (static_cast<int>(i) == last_before ||
+         state->commits[i].issue <= done)) {
+      return true;
+    }
+  }
+  for (uint64_t zombie : state->zombies) {
+    if (zombie == version) return true;
+  }
+  return false;
+}
+
+void ConsistencyOracle::EndRead(uint64_t lba, uint32_t sectors,
+                                const uint8_t* data,
+                                const client::IoResult& result) {
+  if (!result.ok()) return;  // failed reads carry no payload contract
+  ++reads_checked_;
+  for (uint32_t s = 0; s < sectors; ++s) {
+    const uint64_t sector_lba = lba + s;
+    const uint8_t* sector =
+        data + static_cast<size_t>(s) * core::kSectorBytes;
+    StampRecord record{};
+    std::memcpy(&record, sector, sizeof(record));
+
+    if (record.version != kUnwritten && record.lba != sector_lba) {
+      DataViolation v;
+      v.kind = "misdirected";
+      v.time = result.complete_time;
+      v.lba = sector_lba;
+      v.observed = record.version;
+      std::ostringstream detail;
+      detail << "sector " << sector_lba << " holds data stamped for lba "
+             << record.lba;
+      v.detail = detail.str();
+      violations_.push_back(v);
+      continue;
+    }
+
+    auto it = sectors_.find(sector_lba);
+    const SectorState* state = it == sectors_.end() ? nullptr : &it->second;
+    uint64_t newest = kUnwritten;
+    if (Acceptable(state, sector_lba, record.version, result.issue_time,
+                   result.complete_time, &newest)) {
+      continue;
+    }
+
+    DataViolation v;
+    v.time = result.complete_time;
+    v.lba = sector_lba;
+    v.observed = record.version;
+    v.expected = newest;
+    bool known = false;
+    if (state != nullptr) {
+      for (const Commit& c : state->commits) {
+        known |= c.version == record.version;
+      }
+    }
+    if (record.version == kUnwritten || known) {
+      v.kind = "stale_read";
+      std::ostringstream detail;
+      detail << "read window [" << result.issue_time << ", "
+             << result.complete_time << "] ns returned version "
+             << record.version << " but " << newest
+             << " had committed (lost update or torn write)";
+      v.detail = detail.str();
+    } else {
+      v.kind = "unknown_version";
+      v.detail = "payload stamped with a version this oracle never issued";
+    }
+    violations_.push_back(v);
+  }
+}
+
+}  // namespace reflex::simtest

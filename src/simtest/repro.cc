@@ -1,0 +1,102 @@
+#include "simtest/repro.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/export.h"
+
+namespace reflex::simtest {
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/**
+ * Finds `"key": <value>` at any depth and returns the raw value text
+ * up to the next ',', '}' or newline. Empty string when absent.
+ */
+std::string FindField(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return "";
+  size_t start = pos + needle.size();
+  while (start < json.size() && json[start] == ' ') ++start;
+  size_t end = start;
+  while (end < json.size() && json[end] != ',' && json[end] != '}' &&
+         json[end] != '\n') {
+    ++end;
+  }
+  std::string value = json.substr(start, end - start);
+  // Strip surrounding quotes for string values.
+  if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+    value = value.substr(1, value.size() - 2);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string ReproToJson(const ScenarioSpec& spec, const RunReport& report,
+                        Mutation mutation, int64_t max_ops) {
+  std::ostringstream out;
+  out << "{\n";
+  // The replay key comes first: simtest_repro only reads these three.
+  out << "\"seed\": " << spec.seed << ",\n";
+  out << "\"max_ops\": " << max_ops << ",\n";
+  out << "\"mutation\": \"" << MutationName(mutation) << "\",\n";
+  out << "\"completed\": " << (report.completed ? "true" : "false")
+      << ",\n";
+  out << "\"ops_executed\": " << report.ops_executed << ",\n";
+  out << "\"reads_checked\": " << report.reads_checked << ",\n";
+  out << "\"writes_tracked\": " << report.writes_tracked << ",\n";
+  out << "\"scenario\": " << ScenarioToJson(spec) << ",\n";
+
+  out << "\"data_violations\": [\n";
+  for (size_t i = 0; i < report.data_violations.size(); ++i) {
+    const DataViolation& v = report.data_violations[i];
+    out << "  {\"kind\": \"" << v.kind << "\", \"time_ns\": " << v.time
+        << ", \"lba\": " << v.lba << ", \"observed\": " << v.observed
+        << ", \"expected\": " << v.expected << ", \"detail\": \""
+        << Escape(v.detail) << "\"}"
+        << (i + 1 < report.data_violations.size() ? "," : "") << "\n";
+  }
+  out << "],\n";
+  out << "\"invariant_violations\": [\n";
+  for (size_t i = 0; i < report.invariant_violations.size(); ++i) {
+    const InvariantViolation& v = report.invariant_violations[i];
+    out << "  {\"name\": \"" << v.name << "\", \"detail\": \""
+        << Escape(v.detail) << "\"}"
+        << (i + 1 < report.invariant_violations.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  out << "}\n";
+  return out.str();
+}
+
+bool ParseRepro(const std::string& json, ReproSpec* out) {
+  const std::string seed = FindField(json, "seed");
+  if (seed.empty()) return false;
+  out->seed = std::strtoull(seed.c_str(), nullptr, 10);
+  const std::string max_ops = FindField(json, "max_ops");
+  out->max_ops =
+      max_ops.empty() ? -1 : std::strtoll(max_ops.c_str(), nullptr, 10);
+  out->mutation = MutationFromName(FindField(json, "mutation"));
+  return true;
+}
+
+bool WriteRepro(const std::string& path, const std::string& content) {
+  return obs::WriteFile(path, content);
+}
+
+}  // namespace reflex::simtest

@@ -1,0 +1,43 @@
+#ifndef REFLEX_SIMTEST_REPRO_H_
+#define REFLEX_SIMTEST_REPRO_H_
+
+#include <string>
+
+#include "simtest/runner.h"
+#include "simtest/scenario.h"
+
+namespace reflex::simtest {
+
+/**
+ * Everything needed to replay a failure deterministically. The
+ * scenario regenerates from the seed; max_ops is the shrunken op
+ * budget; the mutation (if any) re-plants the same bug.
+ */
+struct ReproSpec {
+  uint64_t seed = 0;
+  int64_t max_ops = -1;
+  Mutation mutation = Mutation::kNone;
+};
+
+/**
+ * Serializes a failing run as a self-contained JSON artifact: the
+ * replay key (seed, max_ops, mutation), the expanded topology + fault
+ * schedule for human eyes, and the first violating operation.
+ */
+std::string ReproToJson(const ScenarioSpec& spec, const RunReport& report,
+                        Mutation mutation, int64_t max_ops);
+
+/**
+ * Extracts the replay key back out of a repro artifact. A minimal
+ * field scanner (looks for "seed", "max_ops", "mutation" at the top
+ * level), not a general JSON parser -- the artifact is always written
+ * by ReproToJson. Returns false if `seed` is missing.
+ */
+bool ParseRepro(const std::string& json, ReproSpec* out);
+
+/** Writes `content` to `path`; returns false on I/O error. */
+bool WriteRepro(const std::string& path, const std::string& content);
+
+}  // namespace reflex::simtest
+
+#endif  // REFLEX_SIMTEST_REPRO_H_

@@ -1,0 +1,256 @@
+#include "simtest/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_client.h"
+#include "cluster/cluster_control_plane.h"
+#include "cluster/flash_cluster.h"
+#include "flash/calibration.h"
+#include "net/network.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace reflex::simtest {
+namespace {
+
+using client::IoResult;
+
+constexpr sim::TimeNs kDeadline = sim::Seconds(30);
+constexpr sim::TimeNs kPollStep = sim::Micros(50);
+
+/**
+ * One tenant's closed-loop driver: exactly one outstanding op, fresh
+ * payload buffer per op. Buffers are never freed or reused during the
+ * run: request payloads travel through the simulated stack by
+ * pointer, and a timed-out ("unknown outcome") write may still read
+ * its payload when it finally applies -- recycling the memory would
+ * turn such zombies into payload corruption the oracle would
+ * (rightly!) flag.
+ */
+struct TenantDriver {
+  const TenantSpec* spec = nullptr;
+  std::unique_ptr<cluster::ClusterSession> session;
+  sim::Rng rng;
+  int64_t issued = 0;
+  int64_t resolved = 0;
+
+  // In-flight op state.
+  bool busy = false;
+  bool is_read = false;
+  uint64_t version = 0;
+  uint64_t lba = 0;
+  uint32_t sectors = 0;
+  uint8_t* buffer = nullptr;
+  sim::Future<IoResult> future;
+  /** Manual fan-out path (kSkipOneSubWrite): per-extent futures. */
+  std::vector<sim::Future<IoResult>> extent_futures;
+
+  TenantDriver(const TenantSpec* s, uint64_t seed, int index)
+      : spec(s), rng(seed, "simtest.tenant." + std::to_string(index)) {}
+};
+
+}  // namespace
+
+const char* MutationName(Mutation m) {
+  switch (m) {
+    case Mutation::kNone:
+      return "none";
+    case Mutation::kSkipOneSubWrite:
+      return "skip_one_sub_write";
+    case Mutation::kForgeTokens:
+      return "forge_tokens";
+  }
+  return "none";
+}
+
+Mutation MutationFromName(const std::string& name) {
+  if (name == "skip_one_sub_write") return Mutation::kSkipOneSubWrite;
+  if (name == "forge_tokens") return Mutation::kForgeTokens;
+  return Mutation::kNone;
+}
+
+RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
+                      int64_t max_ops) {
+  ScenarioSpec spec = spec_in;
+  if (mutation == Mutation::kForgeTokens) spec.enforce_qos = true;
+
+  sim::Simulator sim;
+  net::Network net(sim);
+
+  cluster::FlashClusterOptions options;
+  options.num_shards = spec.num_shards;
+  options.calibration = flash::CannedCalibrationA();
+  options.server.qos.enforce = spec.enforce_qos;
+  options.shard_map.placement = spec.rendezvous
+                                    ? cluster::Placement::kHashed
+                                    : cluster::Placement::kStriped;
+  options.shard_map.stripe_sectors = spec.stripe_sectors;
+  options.seed = spec.seed;
+  cluster::FlashCluster cluster(sim, net, options);
+
+  sim::FaultPlan plan(sim, spec.seed ^ 0xFA5EEDULL);
+  net.SetFaultPlan(&plan);
+  for (int i = 0; i < cluster.num_shards(); ++i) {
+    cluster.device(i).SetFaultPlan(&plan);
+    cluster.server(i).SetFaultPlan(&plan);
+  }
+  for (const FaultProbSpec& p : spec.probabilities) {
+    plan.SetProbability(p.kind, p.probability);
+  }
+  for (const FaultWindowSpec& w : spec.windows) {
+    plan.ScheduleWindow(w.kind, w.start, w.duration);
+  }
+
+  net::Machine* client_machine = net.AddMachine("simtest-client");
+  cluster::ClusterClient::Options copts;
+  copts.client.retry.request_timeout = sim::Millis(2);
+  copts.client.retry.max_retries = 5;
+  copts.client.retry.backoff_base = sim::Micros(100);
+  copts.client.retry.reconnect_after_timeouts = 2;
+  cluster::ClusterClient client(cluster, client_machine, copts);
+
+  std::vector<std::unique_ptr<TenantDriver>> drivers;
+  for (size_t i = 0; i < spec.tenants.size(); ++i) {
+    const TenantSpec& t = spec.tenants[i];
+    auto driver =
+        std::make_unique<TenantDriver>(&t, spec.seed, static_cast<int>(i));
+    if (t.latency_critical) {
+      core::SloSpec slo;
+      slo.iops = t.slo_iops;
+      slo.read_fraction = t.slo_read_fraction;
+      slo.latency = t.slo_latency;
+      driver->session =
+          client.OpenSession(slo, core::TenantClass::kLatencyCritical);
+    }
+    if (driver->session == nullptr) {
+      // Inadmissible LC SLO (or BE by construction): run best-effort.
+      // Deterministic: admission depends only on the spec.
+      driver->session = client.OpenSession(core::SloSpec{},
+                                           core::TenantClass::kBestEffort);
+    }
+    drivers.push_back(std::move(driver));
+  }
+
+  ConsistencyOracle oracle;
+  std::vector<std::unique_ptr<std::vector<uint8_t>>> buffers;
+  const int64_t budget =
+      max_ops >= 0 ? std::min(max_ops, spec.TotalOps()) : spec.TotalOps();
+  int64_t total_issued = 0;
+  bool skip_mutation_pending = mutation == Mutation::kSkipOneSubWrite;
+  bool tokens_forged = false;
+
+  auto issue_for = [&](int index) {
+    TenantDriver& d = *drivers[index];
+    const TenantSpec& t = *d.spec;
+    d.is_read = d.rng.NextBernoulli(t.read_fraction);
+    d.sectors =
+        1 + static_cast<uint32_t>(d.rng.NextBounded(t.max_io_sectors));
+    d.lba = t.lba_base + d.rng.NextBounded(t.lba_span - d.sectors + 1);
+    buffers.push_back(std::make_unique<std::vector<uint8_t>>(
+        static_cast<size_t>(d.sectors) * core::kSectorBytes, 0));
+    d.buffer = buffers.back()->data();
+    d.extent_futures.clear();
+    d.busy = true;
+    ++d.issued;
+    ++total_issued;
+
+    if (d.is_read) {
+      d.future = d.session->Read(d.lba, d.sectors, d.buffer);
+      return;
+    }
+    d.version = oracle.BeginWrite(index, d.lba, d.sectors, sim.Now());
+    ConsistencyOracle::StampPayload(d.buffer, d.version, d.lba, d.sectors);
+    if (skip_mutation_pending) {
+      std::vector<cluster::ShardExtent> extents =
+          cluster.shard_map().Split(d.lba, d.sectors);
+      if (extents.size() >= 2) {
+        // Planted bug: issue every extent except the last, then
+        // report the write as fully successful.
+        skip_mutation_pending = false;
+        extents.pop_back();
+        for (const cluster::ShardExtent& e : extents) {
+          d.extent_futures.push_back(
+              d.session->shard_session(e.shard_index)
+                  .Write(e.shard_lba, e.sectors,
+                         d.buffer +
+                             static_cast<size_t>(e.buffer_offset_sectors) *
+                                 core::kSectorBytes));
+        }
+        return;
+      }
+    }
+    d.future = d.session->Write(d.lba, d.sectors, d.buffer);
+  };
+
+  auto complete_op = [&](TenantDriver& d, const IoResult& result) {
+    d.busy = false;
+    ++d.resolved;
+    if (d.is_read) {
+      // Validate against a window extended to "now": a retransmitted
+      // duplicate of this read may legally refresh the payload buffer
+      // between the future resolving and this poll observing it.
+      IoResult observed = result;
+      observed.complete_time = std::max(observed.complete_time, sim.Now());
+      oracle.EndRead(d.lba, d.sectors, d.buffer, observed);
+    } else {
+      oracle.EndWrite(d.version, result);
+    }
+  };
+
+  while (sim.Now() < kDeadline) {
+    bool idle = true;
+    for (size_t i = 0; i < drivers.size(); ++i) {
+      TenantDriver& d = *drivers[i];
+      if (d.busy) {
+        if (!d.extent_futures.empty()) {
+          bool all_ready = true;
+          for (const auto& f : d.extent_futures) all_ready &= f.Ready();
+          if (all_ready) {
+            IoResult combined;
+            combined.issue_time = d.extent_futures.front().Get().issue_time;
+            for (const auto& f : d.extent_futures) {
+              const IoResult& r = f.Get();
+              combined.issue_time =
+                  std::min(combined.issue_time, r.issue_time);
+              combined.complete_time =
+                  std::max(combined.complete_time, r.complete_time);
+              if (combined.ok() && !r.ok()) combined.status = r.status;
+            }
+            complete_op(d, combined);
+          }
+        } else if (d.future.Ready()) {
+          complete_op(d, d.future.Get());
+        }
+      }
+      if (!d.busy && d.issued < d.spec->ops && total_issued < budget) {
+        issue_for(static_cast<int>(i));
+      }
+      if (d.busy) idle = false;
+    }
+    if (mutation == Mutation::kForgeTokens && !tokens_forged &&
+        total_issued * 2 >= budget) {
+      // Planted bug: tokens appear out of thin air, bypassing the
+      // generation ledger.
+      tokens_forged = true;
+      cluster.server(0).shared().global_bucket.Donate(50.0);
+    }
+    if (idle && total_issued >= budget) break;
+    sim.RunUntil(sim.Now() + kPollStep);
+  }
+
+  RunReport report;
+  report.completed = total_issued >= budget;
+  for (const auto& d : drivers) {
+    report.ops_executed += d->resolved;
+    if (d->busy) report.completed = false;
+  }
+  report.reads_checked = oracle.reads_checked();
+  report.writes_tracked = oracle.writes_tracked();
+  report.data_violations = oracle.violations();
+  report.invariant_violations = CheckClusterInvariants(cluster);
+  return report;
+}
+
+}  // namespace reflex::simtest

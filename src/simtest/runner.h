@@ -1,0 +1,72 @@
+#ifndef REFLEX_SIMTEST_RUNNER_H_
+#define REFLEX_SIMTEST_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simtest/invariants.h"
+#include "simtest/oracle.h"
+#include "simtest/scenario.h"
+
+namespace reflex::simtest {
+
+/**
+ * Deliberate bug injections, used to demonstrate that the oracle and
+ * the invariant probes actually catch the failure classes they claim
+ * to (a harness that never fires is worse than none).
+ */
+enum class Mutation {
+  kNone = 0,
+  /**
+   * The first cross-shard write is fanned out by hand with its last
+   * extent silently skipped, then reported as fully successful -- a
+   * torn write the oracle must flag as a stale read of the skipped
+   * sectors.
+   */
+  kSkipOneSubWrite,
+  /**
+   * Midway through the run, 50 tokens are donated into shard 0's
+   * global bucket without being generated -- the conservation ledger
+   * must no longer close. Forces enforce_qos on.
+   */
+  kForgeTokens,
+};
+
+const char* MutationName(Mutation m);
+Mutation MutationFromName(const std::string& name);
+
+/** Outcome of one scenario run. */
+struct RunReport {
+  /** Every issued op's future resolved before the sim deadline. */
+  bool completed = false;
+  int64_t ops_executed = 0;
+  int64_t reads_checked = 0;
+  int64_t writes_tracked = 0;
+  std::vector<DataViolation> data_violations;
+  std::vector<InvariantViolation> invariant_violations;
+
+  bool ok() const {
+    return completed && data_violations.empty() &&
+           invariant_violations.empty();
+  }
+};
+
+/**
+ * Builds the cluster + fault plan + client fleet described by `spec`,
+ * drives every tenant's workload (one outstanding op per tenant,
+ * oracle-checked), then runs the invariant probes over every shard and
+ * the cluster control plane.
+ *
+ * `max_ops` >= 0 caps the total number of ops issued across all
+ * tenants, in deterministic issue order -- the shrinking knob: a
+ * violation that reproduces at a smaller cap is the same bug with a
+ * shorter trace. -1 means the spec's full budget.
+ */
+RunReport RunScenario(const ScenarioSpec& spec,
+                      Mutation mutation = Mutation::kNone,
+                      int64_t max_ops = -1);
+
+}  // namespace reflex::simtest
+
+#endif  // REFLEX_SIMTEST_RUNNER_H_

@@ -1,0 +1,88 @@
+#ifndef REFLEX_SIMTEST_SCENARIO_H_
+#define REFLEX_SIMTEST_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fault.h"
+#include "sim/time.h"
+
+namespace reflex::simtest {
+
+/**
+ * One fuzzed tenant: class, SLO (LC only), workload mix and a private
+ * LBA range. Ranges are disjoint across tenants so the consistency
+ * oracle never has to reason about cross-tenant write conflicts --
+ * any write observed outside the writer's range is itself a bug.
+ */
+struct TenantSpec {
+  bool latency_critical = false;
+
+  // SLO, used only when latency_critical.
+  uint32_t slo_iops = 0;
+  double slo_read_fraction = 1.0;
+  sim::TimeNs slo_latency = 0;
+
+  // Workload shape.
+  double read_fraction = 0.5;
+  uint32_t max_io_sectors = 8;
+  int64_t ops = 100;
+
+  // Private LBA window [lba_base, lba_base + lba_span).
+  uint64_t lba_base = 0;
+  uint64_t lba_span = 0;
+};
+
+/** Steady-state fault probability, active for the whole run. */
+struct FaultProbSpec {
+  sim::FaultKind kind = sim::FaultKind::kNetDrop;
+  double probability = 0.0;
+};
+
+/** A scheduled fault window [start, start + duration). */
+struct FaultWindowSpec {
+  sim::FaultKind kind = sim::FaultKind::kNetDrop;
+  sim::TimeNs start = 0;
+  sim::TimeNs duration = 0;
+};
+
+/**
+ * A complete stress scenario, derived deterministically from one
+ * 64-bit seed: cluster topology (shard count, placement, stripe
+ * width), QoS mode, tenant mix and fault schedule. Replaying a failure
+ * needs only {seed, op budget} -- everything else regenerates.
+ */
+struct ScenarioSpec {
+  uint64_t seed = 0;
+
+  // Topology.
+  int num_shards = 1;
+  bool rendezvous = false;  // striped when false
+  uint32_t stripe_sectors = 8;
+
+  bool enforce_qos = true;
+
+  std::vector<TenantSpec> tenants;
+  std::vector<FaultProbSpec> probabilities;
+  std::vector<FaultWindowSpec> windows;
+
+  int64_t TotalOps() const {
+    int64_t total = 0;
+    for (const TenantSpec& t : tenants) total += t.ops;
+    return total;
+  }
+};
+
+/**
+ * Expands `seed` into a scenario. Pure function of the seed: the same
+ * seed always yields the same spec, on any host.
+ */
+ScenarioSpec GenerateScenario(uint64_t seed);
+
+/** Serializes a spec for the repro artifact (human-readable JSON). */
+std::string ScenarioToJson(const ScenarioSpec& spec);
+
+}  // namespace reflex::simtest
+
+#endif  // REFLEX_SIMTEST_SCENARIO_H_

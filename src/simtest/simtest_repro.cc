@@ -1,0 +1,113 @@
+// Deterministic replay of a simtest failure.
+//
+//   simtest_repro <repro.json>
+//   simtest_repro --seed S [--max-ops M] [--mutation NAME]
+//
+// Regenerates the scenario from the seed, re-runs it under the same
+// mutation and op budget, and prints the verdict. Exit status: 0 when
+// the run is clean (failure did NOT reproduce), 1 when it reproduced,
+// 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "simtest/repro.h"
+#include "simtest/runner.h"
+#include "simtest/scenario.h"
+
+namespace {
+
+using namespace reflex;  // NOLINT(build/namespaces)
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  simtest::ReproSpec repro;
+  bool have_seed = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      repro.seed = std::strtoull(value(), nullptr, 10);
+      have_seed = true;
+    } else if (arg == "--max-ops") {
+      repro.max_ops = std::strtoll(value(), nullptr, 10);
+    } else if (arg == "--mutation") {
+      repro.mutation = simtest::MutationFromName(value());
+    } else if (!arg.empty() && arg[0] != '-') {
+      std::string json;
+      if (!ReadFile(arg, &json)) {
+        std::fprintf(stderr, "cannot read %s\n", arg.c_str());
+        return 2;
+      }
+      if (!simtest::ParseRepro(json, &repro)) {
+        std::fprintf(stderr, "%s is not a simtest repro artifact\n",
+                     arg.c_str());
+        return 2;
+      }
+      have_seed = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: simtest_repro <repro.json> | --seed S "
+                   "[--max-ops M] [--mutation NAME]\n");
+      return 2;
+    }
+  }
+  if (!have_seed) {
+    std::fprintf(stderr,
+                 "usage: simtest_repro <repro.json> | --seed S "
+                 "[--max-ops M] [--mutation NAME]\n");
+    return 2;
+  }
+
+  const simtest::ScenarioSpec spec = simtest::GenerateScenario(repro.seed);
+  std::printf("replaying seed=%llu max_ops=%lld mutation=%s\n",
+              static_cast<unsigned long long>(repro.seed),
+              static_cast<long long>(repro.max_ops),
+              simtest::MutationName(repro.mutation));
+  const simtest::RunReport report =
+      simtest::RunScenario(spec, repro.mutation, repro.max_ops);
+
+  std::printf("ops=%lld reads_checked=%lld writes_tracked=%lld\n",
+              static_cast<long long>(report.ops_executed),
+              static_cast<long long>(report.reads_checked),
+              static_cast<long long>(report.writes_tracked));
+  if (report.ok()) {
+    std::printf("clean: failure did not reproduce\n");
+    return 0;
+  }
+  if (!report.completed) {
+    std::printf("violation: run stalled (unresolved ops at deadline)\n");
+  }
+  for (const auto& v : report.data_violations) {
+    std::printf("violation: data %s lba=%llu observed=%llu expected=%llu %s\n",
+                v.kind.c_str(), static_cast<unsigned long long>(v.lba),
+                static_cast<unsigned long long>(v.observed),
+                static_cast<unsigned long long>(v.expected),
+                v.detail.c_str());
+  }
+  for (const auto& v : report.invariant_violations) {
+    std::printf("violation: invariant %s %s\n", v.name.c_str(),
+                v.detail.c_str());
+  }
+  return 1;
+}

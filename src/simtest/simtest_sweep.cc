@@ -1,0 +1,143 @@
+// Seed-sweep driver: expands and runs N seeded stress scenarios; on
+// the first failure, shrinks the op budget by bisection and writes a
+// deterministic repro artifact (replayable with simtest_repro).
+//
+//   simtest_sweep [--seeds N] [--start S] [--mutation NAME]
+//                 [--max-ops M] [--out PATH]
+//
+// Exit status: 0 when every seed passed, 1 on a (shrunken, persisted)
+// failure, 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "simtest/repro.h"
+#include "simtest/runner.h"
+#include "simtest/scenario.h"
+
+namespace {
+
+using namespace reflex;  // NOLINT(build/namespaces)
+
+simtest::RunReport Run(uint64_t seed, simtest::Mutation mutation,
+                       int64_t max_ops) {
+  return simtest::RunScenario(simtest::GenerateScenario(seed), mutation,
+                              max_ops);
+}
+
+/**
+ * Bisects for the smallest op budget that still fails. Failure is not
+ * guaranteed monotone in the budget (dropping ops can change every
+ * later draw), so the result is re-validated and the original budget
+ * is kept when shrinking went astray.
+ */
+int64_t Shrink(uint64_t seed, simtest::Mutation mutation, int64_t failing) {
+  int64_t lo = 1;
+  int64_t hi = failing;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (!Run(seed, mutation, mid).ok()) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return Run(seed, mutation, lo).ok() ? failing : lo;
+}
+
+void PrintViolations(const simtest::RunReport& report) {
+  if (!report.completed) {
+    std::fprintf(stderr, "  stall: not every issued op resolved\n");
+  }
+  for (const auto& v : report.data_violations) {
+    std::fprintf(stderr, "  data: %s lba=%llu %s\n", v.kind.c_str(),
+                 static_cast<unsigned long long>(v.lba), v.detail.c_str());
+  }
+  for (const auto& v : report.invariant_violations) {
+    std::fprintf(stderr, "  invariant: %s %s\n", v.name.c_str(),
+                 v.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t seeds = 10;
+  uint64_t start = 1;
+  int64_t max_ops = -1;
+  simtest::Mutation mutation = simtest::Mutation::kNone;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = std::strtoll(value(), nullptr, 10);
+    } else if (arg == "--start") {
+      start = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--max-ops") {
+      max_ops = std::strtoll(value(), nullptr, 10);
+    } else if (arg == "--mutation") {
+      mutation = simtest::MutationFromName(value());
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: simtest_sweep [--seeds N] [--start S] "
+                   "[--mutation NAME] [--max-ops M] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  for (int64_t i = 0; i < seeds; ++i) {
+    const uint64_t seed = start + static_cast<uint64_t>(i);
+    const simtest::ScenarioSpec spec = simtest::GenerateScenario(seed);
+    const int64_t budget = max_ops >= 0 ? max_ops : spec.TotalOps();
+    simtest::RunReport report =
+        simtest::RunScenario(spec, mutation, budget);
+    if (report.ok()) {
+      std::printf("seed %llu: ok (%lld ops, %lld reads checked)\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<long long>(report.ops_executed),
+                  static_cast<long long>(report.reads_checked));
+      continue;
+    }
+
+    std::fprintf(stderr, "seed %llu: FAILED at %lld ops\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<long long>(budget));
+    PrintViolations(report);
+
+    const int64_t shrunk = Shrink(seed, mutation, budget);
+    if (shrunk < budget) {
+      report = simtest::RunScenario(spec, mutation, shrunk);
+      std::fprintf(stderr, "  shrunk to %lld ops\n",
+                   static_cast<long long>(shrunk));
+    }
+
+    const std::string path =
+        out_path.empty()
+            ? "simtest_repro_" + std::to_string(seed) + ".json"
+            : out_path;
+    const std::string json =
+        simtest::ReproToJson(spec, report, mutation, shrunk);
+    if (!simtest::WriteRepro(path, json)) {
+      std::fprintf(stderr, "  (could not write %s)\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "  repro written to %s -- replay with:\n"
+                           "    simtest_repro %s\n",
+                   path.c_str(), path.c_str());
+    }
+    return 1;
+  }
+  std::printf("%lld seeds passed\n", static_cast<long long>(seeds));
+  return 0;
+}

@@ -7,70 +7,21 @@
 #include "cluster/cluster_client.h"
 #include "cluster/cluster_control_plane.h"
 #include "cluster/flash_cluster.h"
-#include "testing/harness.h"
+#include "testing/cluster_harness.h"
+#include "testing/histogram_assert.h"
 
 namespace reflex {
 namespace {
 
-using client::IoResult;
-using cluster::ClusterClient;
 using cluster::ClusterControlPlane;
-using cluster::ClusterSession;
 using cluster::ClusterTenant;
-using cluster::FlashCluster;
-using cluster::FlashClusterOptions;
-using cluster::Placement;
 using core::ReqStatus;
 using core::SloSpec;
 using core::TenantClass;
 using sim::Micros;
 using sim::Millis;
-
-/** A FlashCluster plus one client machine, ready for I/O. */
-struct ClusterHarness {
-  explicit ClusterHarness(int num_shards = 2, uint32_t stripe_sectors = 8)
-      : net(sim),
-        cluster(sim, net, MakeOptions(num_shards, stripe_sectors)),
-        client_machine(net.AddMachine("client-0")),
-        client(cluster, client_machine) {}
-
-  static FlashClusterOptions MakeOptions(int num_shards,
-                                         uint32_t stripe_sectors) {
-    FlashClusterOptions options;
-    options.num_shards = num_shards;
-    options.calibration = testing::SyntheticCalibrationA();
-    options.shard_map.stripe_sectors = stripe_sectors;
-    return options;
-  }
-
-  template <typename ReadyFn>
-  bool RunUntilReady(const ReadyFn& ready,
-                     sim::TimeNs deadline = sim::Seconds(30)) {
-    while (!ready() && sim.Now() < deadline) {
-      sim.RunUntil(sim.Now() + sim::Millis(1));
-    }
-    return ready();
-  }
-
-  bool Await(const sim::Future<IoResult>& io) {
-    return RunUntilReady([&io] { return io.Ready(); });
-  }
-
-  sim::Simulator sim;
-  net::Network net;
-  FlashCluster cluster;
-  net::Machine* client_machine;
-  ClusterClient client;
-};
-
-SloSpec LcSlo(uint32_t iops, double read_fraction = 1.0,
-              sim::TimeNs latency = Micros(500)) {
-  SloSpec slo;
-  slo.iops = iops;
-  slo.read_fraction = read_fraction;
-  slo.latency = latency;
-  return slo;
-}
+using testing::ClusterHarness;
+using testing::LcSlo;
 
 TEST(ClusterTest, CrossShardWriteReadRoundTripIsByteExact) {
   ClusterHarness h(/*num_shards=*/2, /*stripe_sectors=*/8);
@@ -101,8 +52,8 @@ TEST(ClusterTest, CrossShardWriteReadRoundTripIsByteExact) {
   // saw extents and recorded latencies.
   EXPECT_EQ(session->requests_issued(), 2);
   EXPECT_EQ(session->requests_split(), 2);
-  EXPECT_GT(session->shard_latency(0).Count(), 0);
-  EXPECT_GT(session->shard_latency(1).Count(), 0);
+  EXPECT_TRUE(testing::HasSamples(session->shard_latency(0)));
+  EXPECT_TRUE(testing::HasSamples(session->shard_latency(1)));
 }
 
 TEST(ClusterTest, UnalignedOffsetsRoundTripAcrossManyShapes) {

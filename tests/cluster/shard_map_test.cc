@@ -159,6 +159,83 @@ TEST(ShardMapTest, HashedPlacementMovesFewStripesOnShardAdd) {
   EXPECT_LT(moved, kStripes * 2 / 5);
 }
 
+TEST(ShardMapTest, IoEndingExactlyOnLastSectorIsServed) {
+  // 4 shards x (1<<20) sectors, stripe 8 => volume of 1<<22 sectors.
+  ShardMap map = MakeMap(4, Placement::kStriped, /*stripe_sectors=*/8);
+  const uint64_t capacity = map.capacity_sectors();
+  ASSERT_EQ(capacity, uint64_t{1} << 22);
+
+  // The final stripe, and the single last sector, route like any other.
+  auto last_stripe = map.Split(capacity - 8, 8);
+  ASSERT_EQ(last_stripe.size(), 1u);
+  EXPECT_EQ(last_stripe[0].sectors, 8u);
+
+  auto last_sector = map.Split(capacity - 1, 1);
+  ASSERT_EQ(last_sector.size(), 1u);
+  EXPECT_EQ(last_sector[0].sectors, 1u);
+  EXPECT_EQ(last_sector[0].shard_index,
+            map.ShardIndexForStripe(capacity / 8 - 1));
+
+  // A request crossing a boundary but ending exactly at capacity.
+  auto tail = map.Split(capacity - 12, 12);
+  uint32_t total = 0;
+  for (const ShardExtent& e : tail) total += e.sectors;
+  EXPECT_EQ(total, 12u);
+}
+
+TEST(ShardMapTest, ZeroSectorRequestYieldsNoExtents) {
+  for (Placement placement : {Placement::kStriped, Placement::kHashed}) {
+    ShardMap map = MakeMap(4, placement, /*stripe_sectors=*/8);
+    EXPECT_TRUE(map.Split(0, 0).empty());
+    EXPECT_TRUE(map.Split(17, 0).empty());
+    // Even at the very end of the volume: lba + 0 == capacity is not
+    // out of range.
+    EXPECT_TRUE(map.Split(map.capacity_sectors(), 0).empty());
+  }
+}
+
+TEST(ShardMapTest, SingleRequestCanSpanEveryShard) {
+  const int kShards = 4;
+  ShardMap map = MakeMap(kShards, Placement::kStriped,
+                         /*stripe_sectors=*/8);
+  // [0, 32) covers stripes 0..3, one on each of the 4 shards.
+  auto extents = map.Split(0, 32);
+  ASSERT_EQ(extents.size(), 4u);
+  std::vector<bool> seen(kShards, false);
+  for (int i = 0; i < kShards; ++i) {
+    EXPECT_EQ(extents[i].shard_index, i);
+    EXPECT_EQ(extents[i].sectors, 8u);
+    EXPECT_EQ(extents[i].buffer_offset_sectors,
+              static_cast<uint32_t>(i) * 8u);
+    seen[extents[i].shard_index] = true;
+  }
+  for (int i = 0; i < kShards; ++i) EXPECT_TRUE(seen[i]);
+}
+
+TEST(ShardMapTest, MergeNeverReordersExtents) {
+  // Hashed placement can land consecutive stripes on one shard (which
+  // merges) or ping-pong between shards; either way the extents must
+  // stay in logical order with monotonically increasing buffer
+  // offsets -- reassembly depends on it.
+  sim::Rng rng(123, "merge_order");
+  for (int shards : {1, 2, 5}) {
+    ShardMap map = MakeMap(shards, Placement::kHashed,
+                           /*stripe_sectors=*/4);
+    for (int trial = 0; trial < 500; ++trial) {
+      const uint64_t lba = rng.NextBounded(1 << 16);
+      const uint32_t sectors =
+          static_cast<uint32_t>(rng.NextInRange(1, 64));
+      uint32_t next_offset = 0;
+      for (const ShardExtent& e : map.Split(lba, sectors)) {
+        ASSERT_EQ(e.buffer_offset_sectors, next_offset)
+            << "extents out of order or overlapping";
+        next_offset += e.sectors;
+      }
+      ASSERT_EQ(next_offset, sectors);
+    }
+  }
+}
+
 /**
  * Property: for random (lba, sectors), the extents exactly tile the
  * logical range -- in order, no gaps or overlaps -- and every sector's

@@ -13,16 +13,15 @@
 #include "client/load_generator.h"
 #include "client/reflex_client.h"
 #include "testing/harness.h"
+#include "testing/load_fixture.h"
 
 namespace reflex {
 namespace {
 
-using client::LoadGenSpec;
-using client::LoadGenerator;
-using client::ReflexClient;
 using core::TenantClass;
 using sim::Millis;
 using testing::Harness;
+using testing::SeededLoad;
 
 // (server threads, tenants, read fraction, seed)
 using Shape = std::tuple<int, int, double, uint64_t>;
@@ -48,43 +47,21 @@ RunResult RunOnce(int threads, int tenants, double read_fraction,
   options.num_threads = threads;
   Harness h(options, flash::DeviceProfile::DeviceA(), seed);
 
-  std::vector<std::unique_ptr<ReflexClient>> clients;
-  std::vector<std::unique_ptr<client::TenantSession>> sessions;
-  std::vector<std::unique_ptr<LoadGenerator>> generators;
-  std::vector<core::Tenant*> tenant_ptrs;
-  for (int i = 0; i < tenants; ++i) {
-    core::Tenant* t = h.BeTenant();
-    tenant_ptrs.push_back(t);
-    ReflexClient::Options copts;
-    copts.num_connections = 2;
-    copts.seed = seed + i;
-    clients.push_back(std::make_unique<ReflexClient>(
-        h.sim, h.server, h.client_machine, copts));
-    sessions.push_back(clients.back()->AttachSession(t->handle()));
-    LoadGenSpec spec;
-    spec.read_fraction = read_fraction;
-    spec.queue_depth = 4;
-    spec.stop_after_ops = 300;
-    spec.seed = seed * 31 + i;
-    generators.push_back(std::make_unique<LoadGenerator>(
-        h.sim, *sessions.back(), spec));
-  }
-  for (auto& g : generators) g->Run(0, 0);
-  for (auto& g : generators) {
-    EXPECT_TRUE(h.RunUntilDone(g->Done(), sim::Seconds(120)));
-  }
-  // Drain any in-flight responses.
-  h.sim.RunUntil(h.sim.Now() + Millis(10));
+  SeededLoad::Spec spec;
+  spec.tenants = tenants;
+  spec.read_fraction = read_fraction;
+  spec.seed = seed;
+  SeededLoad load(h, spec);
+  load.Start();
+  EXPECT_TRUE(load.AwaitAll());
 
   RunResult result;
-  for (auto& g : generators) {
-    result.client_ops += g->ops_in_window();
-    result.client_errors += g->errors();
-  }
+  result.client_ops = load.TotalOps();
+  result.client_errors = load.TotalErrors();
   const core::DataplaneStats stats = h.server.AggregateStats();
   result.server_rx = stats.requests_rx;
   result.server_tx = stats.responses_tx;
-  for (core::Tenant* t : tenant_ptrs) {
+  for (core::Tenant* t : load.tenants) {
     result.tenant_submitted += t->submitted_reads + t->submitted_writes;
     result.tenant_completed += t->completed_reads + t->completed_writes;
   }

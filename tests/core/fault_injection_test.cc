@@ -13,15 +13,7 @@ using sim::FaultPlan;
 using sim::Micros;
 using sim::Millis;
 using testing::Harness;
-
-client::ReflexClient::Options RetryingClientOptions() {
-  client::ReflexClient::Options copts;
-  copts.retry.request_timeout = Millis(1);
-  copts.retry.max_retries = 5;
-  copts.retry.backoff_base = Micros(100);
-  copts.retry.reconnect_after_timeouts = 2;
-  return copts;
-}
+using testing::RetryingClientOptions;
 
 TEST(FaultInjectionTest, IdlePlanLeavesTimingBitIdentical) {
   sim::TimeNs baseline = 0;
@@ -188,7 +180,7 @@ TEST(FaultInjectionTest, ClientRetriesReadThroughServerErrorWindow) {
   EXPECT_EQ(client.fault_stats().failures, 0);
 }
 
-TEST(FaultInjectionTest, WriteTimesOutInsteadOfRetrying) {
+TEST(FaultInjectionTest, WriteTimeoutSurfacesUnknownOutcome) {
   Harness h;
   FaultPlan plan(h.sim, 5);
   h.net.SetFaultPlan(&plan);
@@ -201,8 +193,9 @@ TEST(FaultInjectionTest, WriteTimesOutInsteadOfRetrying) {
 
   auto io = session->Write(0, 8);
   ASSERT_TRUE(h.RunUntilReady([&] { return io.Ready(); }));
-  EXPECT_EQ(io.Get().status, ReqStatus::kTimedOut)
-      << "writes are not idempotent and must not be retransmitted";
+  EXPECT_EQ(io.Get().status, ReqStatus::kUnknownOutcome)
+      << "writes are not idempotent and must not be retransmitted; the "
+         "library cannot know whether the write executed";
   EXPECT_EQ(client.fault_stats().timeouts, 1);
   EXPECT_EQ(client.fault_stats().retries, 0);
   EXPECT_EQ(client.fault_stats().failures, 1);

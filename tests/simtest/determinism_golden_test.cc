@@ -1,0 +1,122 @@
+// Determinism golden test: the Figure-5 style QoS scenario (2 LC + 2 BE
+// tenants sharing one enforcing server) run twice in-process must
+// produce bit-identical metrics and latency-histogram exports. Any
+// drift here means a hidden source of nondeterminism crept into the
+// stack -- which would silently invalidate every simtest repro
+// artifact.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/load_generator.h"
+#include "client/reflex_client.h"
+#include "obs/export.h"
+#include "sim/histogram.h"
+#include "testing/harness.h"
+
+namespace reflex {
+namespace {
+
+using testing::Harness;
+
+void AppendHistogram(std::ostringstream& out, const char* name,
+                     const sim::Histogram& h) {
+  char mean[64];
+  std::snprintf(mean, sizeof(mean), "%.17g", h.Mean());
+  out << name << ": count=" << h.Count() << " min=" << h.Min()
+      << " max=" << h.Max() << " mean=" << mean
+      << " p50=" << h.Percentile(0.50) << " p95=" << h.Percentile(0.95)
+      << " p99=" << h.Percentile(0.99) << "\n";
+}
+
+/** One miniature fig5 run; returns the full serialized observable state. */
+std::string RunQosScenarioOnce() {
+  core::ServerOptions options;
+  options.num_threads = 1;
+  options.qos.enforce = true;
+  Harness h(options);
+
+  struct Setup {
+    const char* name;
+    core::TenantClass cls;
+    core::SloSpec slo;
+    double offered_iops;  // 0 => closed loop
+    double read_fraction;
+  };
+  std::vector<Setup> setups = {
+      {"A", core::TenantClass::kLatencyCritical,
+       {40000, 1.0, sim::Micros(500), 0.95, 4096}, 30000, 1.0},
+      {"B", core::TenantClass::kLatencyCritical,
+       {20000, 0.8, sim::Micros(500), 0.95, 4096}, 15000, 0.8},
+      {"C", core::TenantClass::kBestEffort, {}, 0, 0.95},
+      {"D", core::TenantClass::kBestEffort, {}, 0, 0.25},
+  };
+
+  std::vector<std::unique_ptr<client::ReflexClient>> clients;
+  std::vector<std::unique_ptr<client::TenantSession>> sessions;
+  std::vector<std::unique_ptr<client::LoadGenerator>> generators;
+  int idx = 0;
+  for (const Setup& s : setups) {
+    core::Tenant* tenant = h.server.RegisterTenant(s.slo, s.cls);
+    if (tenant == nullptr) ADD_FAILURE() << s.name << " inadmissible";
+    client::ReflexClient::Options copts;
+    copts.num_connections = 4;
+    copts.seed = 500 + idx;
+    clients.push_back(std::make_unique<client::ReflexClient>(
+        h.sim, h.server, h.client_machine, copts));
+    sessions.push_back(clients.back()->AttachSession(tenant->handle()));
+
+    client::LoadGenSpec spec;
+    spec.read_fraction = s.read_fraction;
+    spec.request_bytes = 4096;
+    if (s.offered_iops > 0) {
+      spec.offered_iops = s.offered_iops;
+      spec.poisson_arrivals = false;
+    } else {
+      spec.queue_depth = 8;
+    }
+    spec.seed = 900 + idx;
+    generators.push_back(std::make_unique<client::LoadGenerator>(
+        h.sim, *sessions.back(), spec));
+    ++idx;
+  }
+
+  const sim::TimeNs warm = sim::Millis(10);
+  const sim::TimeNs end = sim::Millis(60);
+  for (auto& g : generators) g->Run(warm, end);
+  for (auto& g : generators) {
+    EXPECT_TRUE(h.RunUntilDone(g->Done(), sim::Seconds(60)));
+  }
+
+  std::ostringstream out;
+  for (size_t i = 0; i < generators.size(); ++i) {
+    EXPECT_GT(generators[i]->AchievedIops(), 0.0)
+        << setups[i].name << " did no work";
+    char iops[64];
+    std::snprintf(iops, sizeof(iops), "%.17g",
+                  generators[i]->AchievedIops());
+    out << setups[i].name << " iops=" << iops << "\n";
+    AppendHistogram(out, "read_latency", generators[i]->read_latency());
+    AppendHistogram(out, "write_latency", generators[i]->write_latency());
+  }
+  out << obs::RegistryToJson(h.server.SnapshotMetrics());
+  out << obs::RegistryToCsv(h.server.SnapshotMetrics());
+  return out.str();
+}
+
+TEST(DeterminismGoldenTest, Fig5QosScenarioIsBitIdenticalAcrossRuns) {
+  const std::string first = RunQosScenarioOnce();
+  const std::string second = RunQosScenarioOnce();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second)
+      << "two in-process runs of the same scenario diverged: the "
+         "simulation has a hidden source of nondeterminism";
+}
+
+}  // namespace
+}  // namespace reflex

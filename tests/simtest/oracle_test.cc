@@ -1,0 +1,186 @@
+#include "simtest/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace reflex {
+namespace {
+
+using client::IoResult;
+using core::ReqStatus;
+using simtest::ConsistencyOracle;
+
+IoResult Result(ReqStatus status, sim::TimeNs issue, sim::TimeNs done) {
+  IoResult r;
+  r.status = status;
+  r.issue_time = issue;
+  r.complete_time = done;
+  return r;
+}
+
+IoResult Ok(sim::TimeNs issue, sim::TimeNs done) {
+  return Result(ReqStatus::kOk, issue, done);
+}
+
+/** A payload buffer stamped as a write of `version` at `lba` would be. */
+std::vector<uint8_t> Stamped(uint64_t version, uint64_t lba,
+                             uint32_t sectors) {
+  std::vector<uint8_t> data(
+      static_cast<size_t>(sectors) * core::kSectorBytes, 0);
+  if (version != ConsistencyOracle::kUnwritten) {
+    ConsistencyOracle::StampPayload(data.data(), version, lba, sectors);
+  }
+  return data;
+}
+
+TEST(OracleTest, StampRoundTrips) {
+  std::vector<uint8_t> data = Stamped(0x1234, 77, 2);
+  EXPECT_EQ(ConsistencyOracle::ReadStamp(data.data()), 0x1234u);
+  EXPECT_EQ(
+      ConsistencyOracle::ReadStamp(data.data() + core::kSectorBytes),
+      0x1234u);
+}
+
+TEST(OracleTest, VersionsAreUniqueAcrossTenantsAndOps) {
+  ConsistencyOracle oracle;
+  const uint64_t a1 = oracle.BeginWrite(0, 0, 1, 10);
+  const uint64_t a2 = oracle.BeginWrite(0, 0, 1, 20);
+  const uint64_t b1 = oracle.BeginWrite(1, 0, 1, 10);
+  EXPECT_NE(a1, a2);
+  EXPECT_NE(a1, b1);
+  EXPECT_NE(a2, b1);
+}
+
+TEST(OracleTest, CommittedVersionIsAcceptable) {
+  ConsistencyOracle oracle;
+  const uint64_t v = oracle.BeginWrite(0, 100, 4, 10);
+  oracle.EndWrite(v, Ok(10, 20));
+
+  std::vector<uint8_t> data = Stamped(v, 100, 4);
+  oracle.EndRead(100, 4, data.data(), Ok(30, 40));
+  EXPECT_TRUE(oracle.ok()) << oracle.violations().front().detail;
+  EXPECT_EQ(oracle.reads_checked(), 1);
+}
+
+TEST(OracleTest, SupersededVersionIsStaleRead) {
+  ConsistencyOracle oracle;
+  const uint64_t v1 = oracle.BeginWrite(0, 100, 1, 10);
+  oracle.EndWrite(v1, Ok(10, 20));
+  const uint64_t v2 = oracle.BeginWrite(0, 100, 1, 30);
+  oracle.EndWrite(v2, Ok(30, 40));
+
+  // Read issued strictly after v2 committed must not see v1.
+  std::vector<uint8_t> data = Stamped(v1, 100, 1);
+  oracle.EndRead(100, 1, data.data(), Ok(50, 60));
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].kind, "stale_read");
+  EXPECT_EQ(oracle.violations()[0].observed, v1);
+  EXPECT_EQ(oracle.violations()[0].expected, v2);
+}
+
+TEST(OracleTest, RacingReadMaySeeEitherVersion) {
+  ConsistencyOracle oracle;
+  const uint64_t v1 = oracle.BeginWrite(0, 100, 1, 10);
+  oracle.EndWrite(v1, Ok(10, 20));
+  const uint64_t v2 = oracle.BeginWrite(0, 100, 1, 30);
+  oracle.EndWrite(v2, Ok(30, 50));
+
+  // Window [35, 45] overlaps v2's execution: both versions are legal.
+  std::vector<uint8_t> old_data = Stamped(v1, 100, 1);
+  oracle.EndRead(100, 1, old_data.data(), Ok(35, 45));
+  std::vector<uint8_t> new_data = Stamped(v2, 100, 1);
+  oracle.EndRead(100, 1, new_data.data(), Ok(35, 45));
+  EXPECT_TRUE(oracle.ok());
+}
+
+TEST(OracleTest, ZombieWriteAcceptableEvenAfterLaterCommit) {
+  ConsistencyOracle oracle;
+  const uint64_t v1 = oracle.BeginWrite(0, 100, 1, 10);
+  oracle.EndWrite(v1, Result(ReqStatus::kUnknownOutcome, 10, 20));
+  const uint64_t v2 = oracle.BeginWrite(0, 100, 1, 30);
+  oracle.EndWrite(v2, Ok(30, 40));
+
+  // The unknown-outcome write may sit queued server-side and apply
+  // long after v2: seeing it far in the future is not a violation.
+  std::vector<uint8_t> data = Stamped(v1, 100, 1);
+  oracle.EndRead(100, 1, data.data(), Ok(1000, 1010));
+  EXPECT_TRUE(oracle.ok());
+}
+
+TEST(OracleTest, UnwrittenAcceptableOnlyBeforeFirstCommit) {
+  ConsistencyOracle oracle;
+  std::vector<uint8_t> zeros = Stamped(ConsistencyOracle::kUnwritten, 0, 1);
+
+  oracle.EndRead(100, 1, zeros.data(), Ok(1, 5));
+  EXPECT_TRUE(oracle.ok()) << "never-written sectors read as zeros";
+
+  const uint64_t v = oracle.BeginWrite(0, 100, 1, 10);
+  oracle.EndWrite(v, Ok(10, 20));
+  oracle.EndRead(100, 1, zeros.data(), Ok(30, 40));
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].kind, "stale_read")
+      << "zeros after a definite commit are a lost update";
+}
+
+TEST(OracleTest, InFlightWriteIsAcceptable) {
+  ConsistencyOracle oracle;
+  const uint64_t v = oracle.BeginWrite(0, 100, 1, 10);
+  // No EndWrite: still pending. A read overlapping it may see it.
+  std::vector<uint8_t> data = Stamped(v, 100, 1);
+  oracle.EndRead(100, 1, data.data(), Ok(15, 25));
+  EXPECT_TRUE(oracle.ok());
+}
+
+TEST(OracleTest, MisdirectedPayloadFlagged) {
+  ConsistencyOracle oracle;
+  const uint64_t v = oracle.BeginWrite(0, 100, 1, 10);
+  oracle.EndWrite(v, Ok(10, 20));
+
+  // Payload stamped for lba 100 comes back from a read of lba 200.
+  std::vector<uint8_t> data = Stamped(v, 100, 1);
+  oracle.EndRead(200, 1, data.data(), Ok(30, 40));
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].kind, "misdirected");
+  EXPECT_EQ(oracle.violations()[0].lba, 200u);
+}
+
+TEST(OracleTest, FabricatedVersionFlagged) {
+  ConsistencyOracle oracle;
+  const uint64_t bogus = (uint64_t{9} << 48) | 1234;
+  std::vector<uint8_t> data = Stamped(bogus, 100, 1);
+  oracle.EndRead(100, 1, data.data(), Ok(10, 20));
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].kind, "unknown_version");
+}
+
+TEST(OracleTest, FailedReadsCarryNoPayloadContract) {
+  ConsistencyOracle oracle;
+  const uint64_t bogus = (uint64_t{9} << 48) | 1234;
+  std::vector<uint8_t> data = Stamped(bogus, 100, 1);
+  oracle.EndRead(100, 1, data.data(),
+                 Result(ReqStatus::kDeviceError, 10, 20));
+  EXPECT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle.reads_checked(), 0);
+}
+
+TEST(OracleTest, TornMultiSectorWriteFlagsExactlyMissingSectors) {
+  ConsistencyOracle oracle;
+  const uint64_t v = oracle.BeginWrite(0, 100, 4, 10);
+  oracle.EndWrite(v, Ok(10, 20));
+
+  // Sectors 0..2 carry v, sector 3 still reads as unwritten: the torn
+  // tail of a cross-shard write that reported success.
+  std::vector<uint8_t> data = Stamped(v, 100, 4);
+  std::fill(data.begin() + 3 * core::kSectorBytes, data.end(), 0);
+  oracle.EndRead(100, 4, data.data(), Ok(30, 40));
+  ASSERT_EQ(oracle.violations().size(), 1u);
+  EXPECT_EQ(oracle.violations()[0].kind, "stale_read");
+  EXPECT_EQ(oracle.violations()[0].lba, 103u);
+  EXPECT_EQ(oracle.violations()[0].expected, v);
+}
+
+}  // namespace
+}  // namespace reflex

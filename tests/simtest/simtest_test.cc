@@ -1,0 +1,128 @@
+// End-to-end checks of the stress harness itself: clean seeds stay
+// clean, scenario expansion is a pure function of the seed, planted
+// mutations are caught, and the repro artifact round-trips.
+
+#include <gtest/gtest.h>
+
+#include "simtest/repro.h"
+#include "simtest/runner.h"
+#include "simtest/scenario.h"
+
+namespace reflex {
+namespace {
+
+using simtest::GenerateScenario;
+using simtest::Mutation;
+using simtest::RunReport;
+using simtest::RunScenario;
+using simtest::ScenarioSpec;
+
+TEST(SimtestTest, ScenarioExpansionIsPureFunctionOfSeed) {
+  const ScenarioSpec a = GenerateScenario(7);
+  const ScenarioSpec b = GenerateScenario(7);
+  EXPECT_EQ(simtest::ScenarioToJson(a), simtest::ScenarioToJson(b));
+  EXPECT_NE(simtest::ScenarioToJson(a),
+            simtest::ScenarioToJson(GenerateScenario(8)));
+  EXPECT_GE(a.num_shards, 1);
+  EXPECT_LE(a.num_shards, 4);
+  EXPECT_FALSE(a.tenants.empty());
+  for (const simtest::TenantSpec& t : a.tenants) {
+    EXPECT_GT(t.lba_span, 0u);
+    EXPECT_GT(t.ops, 0);
+  }
+}
+
+TEST(SimtestTest, CleanSeedsRunWithoutViolations) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const RunReport report = RunScenario(GenerateScenario(seed));
+    EXPECT_TRUE(report.completed) << "seed " << seed << " stalled";
+    EXPECT_TRUE(report.data_violations.empty())
+        << "seed " << seed << ": "
+        << report.data_violations.front().detail;
+    EXPECT_TRUE(report.invariant_violations.empty())
+        << "seed " << seed << ": "
+        << report.invariant_violations.front().detail;
+    EXPECT_GT(report.reads_checked, 0) << "seed " << seed;
+    EXPECT_GT(report.writes_tracked, 0) << "seed " << seed;
+  }
+}
+
+TEST(SimtestTest, SkippedSubWriteMutationIsCaughtAsTornWrite) {
+  // Seed 2 expands to a multi-shard topology where a cross-shard write
+  // occurs; skipping one of its sub-I/Os while reporting success must
+  // surface as a stale read of the skipped sectors.
+  const RunReport report =
+      RunScenario(GenerateScenario(2), Mutation::kSkipOneSubWrite);
+  ASSERT_FALSE(report.ok());
+  ASSERT_FALSE(report.data_violations.empty());
+  EXPECT_EQ(report.data_violations.front().kind, "stale_read");
+}
+
+TEST(SimtestTest, ForgedTokensMutationBreaksConservationLedger) {
+  const RunReport report =
+      RunScenario(GenerateScenario(1), Mutation::kForgeTokens);
+  ASSERT_FALSE(report.ok());
+  bool conservation = false;
+  for (const auto& v : report.invariant_violations) {
+    conservation |=
+        v.name.find("token_conservation") != std::string::npos;
+  }
+  EXPECT_TRUE(conservation)
+      << "forged tokens must break the conservation ledger";
+}
+
+TEST(SimtestTest, MutatedRunReplaysDeterministically) {
+  const ScenarioSpec spec = GenerateScenario(2);
+  const RunReport a = RunScenario(spec, Mutation::kSkipOneSubWrite);
+  const RunReport b = RunScenario(spec, Mutation::kSkipOneSubWrite);
+  EXPECT_EQ(a.ops_executed, b.ops_executed);
+  EXPECT_EQ(a.reads_checked, b.reads_checked);
+  ASSERT_EQ(a.data_violations.size(), b.data_violations.size());
+  for (size_t i = 0; i < a.data_violations.size(); ++i) {
+    EXPECT_EQ(a.data_violations[i].detail, b.data_violations[i].detail);
+    EXPECT_EQ(a.data_violations[i].time, b.data_violations[i].time);
+  }
+}
+
+TEST(SimtestTest, OpBudgetCapsDeterministically) {
+  const ScenarioSpec spec = GenerateScenario(3);
+  const RunReport capped = RunScenario(spec, Mutation::kNone, 10);
+  EXPECT_TRUE(capped.completed);
+  EXPECT_EQ(capped.ops_executed, 10);
+}
+
+TEST(SimtestTest, ReproArtifactRoundTrips) {
+  const ScenarioSpec spec = GenerateScenario(2);
+  const RunReport report =
+      RunScenario(spec, Mutation::kSkipOneSubWrite, 38);
+  const std::string json = simtest::ReproToJson(
+      spec, report, Mutation::kSkipOneSubWrite, 38);
+
+  simtest::ReproSpec repro;
+  ASSERT_TRUE(simtest::ParseRepro(json, &repro));
+  EXPECT_EQ(repro.seed, 2u);
+  EXPECT_EQ(repro.max_ops, 38);
+  EXPECT_EQ(repro.mutation, Mutation::kSkipOneSubWrite);
+
+  // The replay key reproduces the failure.
+  const RunReport replay =
+      RunScenario(GenerateScenario(repro.seed), repro.mutation,
+                  repro.max_ops);
+  EXPECT_FALSE(replay.ok());
+  ASSERT_EQ(replay.data_violations.size(), report.data_violations.size());
+  for (size_t i = 0; i < replay.data_violations.size(); ++i) {
+    EXPECT_EQ(replay.data_violations[i].detail,
+              report.data_violations[i].detail);
+  }
+}
+
+TEST(SimtestTest, MutationNamesRoundTrip) {
+  for (Mutation m : {Mutation::kNone, Mutation::kSkipOneSubWrite,
+                     Mutation::kForgeTokens}) {
+    EXPECT_EQ(simtest::MutationFromName(simtest::MutationName(m)), m);
+  }
+  EXPECT_EQ(simtest::MutationFromName("garbage"), Mutation::kNone);
+}
+
+}  // namespace
+}  // namespace reflex

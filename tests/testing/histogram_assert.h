@@ -1,0 +1,55 @@
+#ifndef REFLEX_TESTS_TESTING_HISTOGRAM_ASSERT_H_
+#define REFLEX_TESTS_TESTING_HISTOGRAM_ASSERT_H_
+
+#include <gtest/gtest.h>
+
+#include "sim/histogram.h"
+#include "sim/time.h"
+
+namespace reflex::testing {
+
+/**
+ * gtest predicates over sim::Histogram, reporting the histogram's
+ * one-line summary on failure so a violated latency bound shows the
+ * whole distribution, not just the offending percentile.
+ *
+ * Use with EXPECT_TRUE: EXPECT_TRUE(PercentileAtMost(h, 0.95, bound)).
+ */
+inline ::testing::AssertionResult PercentileAtMost(const sim::Histogram& h,
+                                                   double q,
+                                                   int64_t bound) {
+  if (h.Count() == 0) {
+    return ::testing::AssertionFailure() << "histogram is empty";
+  }
+  const int64_t value = h.Percentile(q);
+  if (value <= bound) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "p" << q * 100.0 << " = " << value << " exceeds bound "
+         << bound << " (" << h.SummaryUs() << ")";
+}
+
+inline ::testing::AssertionResult PercentileAtLeast(const sim::Histogram& h,
+                                                    double q,
+                                                    int64_t bound) {
+  if (h.Count() == 0) {
+    return ::testing::AssertionFailure() << "histogram is empty";
+  }
+  const int64_t value = h.Percentile(q);
+  if (value >= bound) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "p" << q * 100.0 << " = " << value << " below bound " << bound
+         << " (" << h.SummaryUs() << ")";
+}
+
+/** At least `min_count` samples were recorded. */
+inline ::testing::AssertionResult HasSamples(const sim::Histogram& h,
+                                             int64_t min_count = 1) {
+  if (h.Count() >= min_count) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "histogram has " << h.Count() << " samples, want >= "
+         << min_count;
+}
+
+}  // namespace reflex::testing
+
+#endif  // REFLEX_TESTS_TESTING_HISTOGRAM_ASSERT_H_
