@@ -110,6 +110,8 @@ sim::Task GraphEngine::WccTask(sim::Promise<AlgoStats> promise) {
     co_await barrier.Done();
   }
 
+  // detlint: allow(unordered-container) only the distinct count is read;
+  // iteration order is never observed.
   std::unordered_set<uint32_t> distinct(labels_.begin(), labels_.end());
   stats.result_value = distinct.size();
   stats.exec_time = sim_.Now() - start;

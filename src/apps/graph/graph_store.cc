@@ -36,7 +36,7 @@ void FillCsr(const std::vector<Edge>& edges, uint32_t n, bool reverse,
               (n + 1) * sizeof(uint64_t));
 }
 
-sim::Task WriteImageTask(sim::Simulator& sim,
+sim::Task WriteImageTask(sim::Simulator& /*sim*/,
                          client::StorageBackend& backend,
                          std::vector<uint8_t> image, uint64_t base_offset,
                          GraphMeta meta, sim::Promise<GraphMeta> promise) {
@@ -53,7 +53,7 @@ sim::Task WriteImageTask(sim::Simulator& sim,
   promise.Set(meta);
 }
 
-sim::Task LoadIndexTask(sim::Simulator& sim,
+sim::Task LoadIndexTask(sim::Simulator& /*sim*/,
                         client::StorageBackend& backend, uint64_t offset,
                         uint32_t num_vertices,
                         sim::Promise<std::vector<uint64_t>> promise) {

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <array>
 #include <list>
+#include <map>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "client/storage_backend.h"
@@ -99,20 +99,18 @@ class PageCache {
   std::array<uint64_t, 8> recent_misses_{};
   size_t recent_cursor_ = 0;
   /** Pages fetched by readahead; a hit on one extends its stream. */
-  std::unordered_set<uint64_t> stream_pages_;
+  std::set<uint64_t> stream_pages_;
 
-  std::unordered_map<uint64_t, PageEntry> pages_;
+  std::map<uint64_t, PageEntry> pages_;
   std::list<uint64_t> lru_;  // front = most recent
   /** Pages currently being fetched: waiters queue behind the fetch. */
-  std::unordered_map<uint64_t,
-                     std::vector<sim::Promise<const uint8_t*>>>
-      in_flight_;
+  std::map<uint64_t, std::vector<sim::Promise<const uint8_t*>>> in_flight_;
   /**
    * In-flight pages invalidated after their fetch was issued: the
    * outstanding read may return pre-invalidation data, so the fetch
    * re-reads the backend before inserting into the cache.
    */
-  std::unordered_set<uint64_t> invalidated_in_flight_;
+  std::set<uint64_t> invalidated_in_flight_;
   Stats stats_;
 };
 

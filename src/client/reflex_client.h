@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "client/io_result.h"
@@ -239,8 +239,8 @@ class ReflexClient {
   obs::TraceSampler sampler_;
 
   uint64_t next_cookie_ = 1;
-  std::unordered_map<uint64_t, PendingOp> pending_;
-  std::unordered_map<uint64_t, sim::Promise<core::ResponseMsg>>
+  std::map<uint64_t, PendingOp> pending_;
+  std::map<uint64_t, sim::Promise<core::ResponseMsg>>
       pending_control_;
 
   FaultStats fault_stats_;

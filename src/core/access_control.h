@@ -3,9 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/protocol.h"
@@ -78,6 +77,9 @@ class AccessControl {
     if (it == tenant_grants_.end()) return ReqStatus::kAccessDenied;
     const auto& allowed = (type == ReqType::kRead) ? it->second.read_ns
                                                    : it->second.write_ns;
+    // Probes namespaces in ascending id order (std::set): the check
+    // result is order-independent, but the probe sequence must not
+    // depend on hash layout for the simulation to stay bit-identical.
     for (uint32_t ns_id : allowed) {
       auto ns = namespaces_.find(ns_id);
       if (ns != namespaces_.end() && ns->second.Contains(lba, sectors)) {
@@ -89,15 +91,14 @@ class AccessControl {
 
  private:
   struct TenantGrants {
-    std::unordered_set<uint32_t> read_ns;
-    std::unordered_set<uint32_t> write_ns;
+    std::set<uint32_t> read_ns;
+    std::set<uint32_t> write_ns;
   };
 
   bool strict_ = false;
   std::map<uint32_t, BlockNamespace> namespaces_;
-  std::unordered_map<uint32_t, TenantGrants> tenant_grants_;
-  std::unordered_map<std::string, std::unordered_set<uint32_t>>
-      client_grants_;
+  std::map<uint32_t, TenantGrants> tenant_grants_;
+  std::map<std::string, std::set<uint32_t>> client_grants_;
 };
 
 }  // namespace reflex::core

@@ -2,7 +2,7 @@
 #define REFLEX_CORE_CONTROL_PLANE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "core/protocol.h"
@@ -133,8 +133,8 @@ class ControlPlane {
   // Fault handling state.
   int brownout_depth_ = 0;
   bool error_shed_ = false;
-  std::unordered_map<uint32_t, int64_t> last_tenant_errors_;
-  std::unordered_map<uint32_t, double> tenant_error_rates_;
+  std::map<uint32_t, int64_t> last_tenant_errors_;
+  std::map<uint32_t, double> tenant_error_rates_;
   int64_t last_total_errors_ = 0;
   int64_t last_total_responses_ = 0;
 };

@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/access_control.h"
@@ -208,7 +208,7 @@ class ReflexServer {
   int active_threads_ = 0;
 
   uint32_t next_handle_ = 1;
-  std::unordered_map<uint32_t, std::unique_ptr<Tenant>> tenants_;
+  std::map<uint32_t, std::unique_ptr<Tenant>> tenants_;
   std::vector<Tenant*> tenant_list_;
 
   std::vector<std::unique_ptr<ServerConnection>> connections_;

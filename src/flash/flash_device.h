@@ -200,6 +200,8 @@ class FlashDevice {
   sim::TimeNs last_write_time_ = -(1LL << 62);
 
   using Page = std::array<uint8_t, 4096>;
+  // detlint: allow(unordered-container) hot-path page store: lookup/insert
+  // only, never iterated, so hash layout can never reach event order.
   std::unordered_map<uint64_t, std::unique_ptr<Page>> store_;
 
   FlashDeviceStats stats_;

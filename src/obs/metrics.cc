@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "sim/logging.h"
 
@@ -9,6 +10,53 @@ namespace reflex::obs {
 LabelSet::LabelSet(
     std::initializer_list<std::pair<std::string, std::string>> kv) {
   for (const auto& [k, v] : kv) Set(k, v);
+}
+
+bool NaturalLess(const std::string& a, const std::string& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const bool da = std::isdigit(static_cast<unsigned char>(a[i])) != 0;
+    const bool db = std::isdigit(static_cast<unsigned char>(b[j])) != 0;
+    if (da && db) {
+      // Compare the two digit runs as numbers: strip leading zeros,
+      // then a longer run is larger, then byte order decides. Shorter
+      // zero-padding breaks exact-value ties ("02" < "2") so distinct
+      // renderings stay distinct keys.
+      const size_t ia = i, jb = j;
+      while (i < a.size() && a[i] == '0') ++i;
+      while (j < b.size() && b[j] == '0') ++j;
+      size_t ea = i, eb = j;
+      while (ea < a.size() && std::isdigit(static_cast<unsigned char>(a[ea]))) {
+        ++ea;
+      }
+      while (eb < b.size() && std::isdigit(static_cast<unsigned char>(b[eb]))) {
+        ++eb;
+      }
+      if (ea - i != eb - j) return ea - i < eb - j;
+      for (; i < ea; ++i, ++j) {
+        if (a[i] != b[j]) return a[i] < b[j];
+      }
+      if (i - ia != j - jb) return i - ia > j - jb;  // more zeros first
+    } else {
+      if (a[i] != b[j]) return a[i] < b[j];
+      ++i;
+      ++j;
+    }
+  }
+  return a.size() - i < b.size() - j;
+}
+
+bool LabelSet::operator<(const LabelSet& other) const {
+  const size_t n = std::min(entries_.size(), other.entries_.size());
+  for (size_t k = 0; k < n; ++k) {
+    if (entries_[k].first != other.entries_[k].first) {
+      return NaturalLess(entries_[k].first, other.entries_[k].first);
+    }
+    if (entries_[k].second != other.entries_[k].second) {
+      return NaturalLess(entries_[k].second, other.entries_[k].second);
+    }
+  }
+  return entries_.size() < other.entries_.size();
 }
 
 void LabelSet::Set(const std::string& key, const std::string& value) {

@@ -13,6 +13,14 @@
 namespace reflex::obs {
 
 /**
+ * Natural (numeric-aware) string ordering: runs of digits compare as
+ * numbers, everything else byte-wise, so "tenant=9" sorts before
+ * "tenant=10". Exports walk metrics in this order; without it, row
+ * order changes the moment a numeric label reaches two digits.
+ */
+bool NaturalLess(const std::string& a, const std::string& b);
+
+/**
  * Label set attached to a metric instance, e.g. {thread=0, tenant=3}.
  * Stored sorted by key so that the same logical labels always produce
  * the same metric identity regardless of construction order.
@@ -32,9 +40,8 @@ class LabelSet {
   /** Canonical "{k1=v1,k2=v2}" rendering ("" when empty). */
   std::string Render() const;
 
-  bool operator<(const LabelSet& other) const {
-    return entries_ < other.entries_;
-  }
+  /** Natural order: numeric label values sort numerically. */
+  bool operator<(const LabelSet& other) const;
   bool operator==(const LabelSet& other) const {
     return entries_ == other.entries_;
   }

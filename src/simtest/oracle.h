@@ -2,8 +2,8 @@
 #define REFLEX_SIMTEST_ORACLE_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "client/io_result.h"
@@ -127,9 +127,9 @@ class ConsistencyOracle {
                   sim::TimeNs issue, sim::TimeNs done,
                   uint64_t* newest_committed) const;
 
-  std::unordered_map<uint64_t, SectorState> sectors_;
-  std::unordered_map<uint64_t, PendingWrite> pending_;
-  std::unordered_map<int, uint64_t> next_seq_;
+  std::map<uint64_t, SectorState> sectors_;
+  std::map<uint64_t, PendingWrite> pending_;
+  std::map<int, uint64_t> next_seq_;
   std::vector<DataViolation> violations_;
   int64_t reads_checked_ = 0;
   int64_t writes_tracked_ = 0;

@@ -72,6 +72,31 @@ TEST(AccessControlTest, MultipleNamespacesAnyMatchAllows) {
             ReqStatus::kAccessDenied);
 }
 
+TEST(AccessControlTest, CheckIoIndependentOfGrantInsertionOrder) {
+  // The grant sets are ordered (std::set) so CheckIo probes namespaces
+  // in ascending id order no matter how grants were issued. Two ACLs
+  // with the same grants inserted in opposite orders must agree on
+  // every decision (this walk used to traverse an unordered_set, the
+  // one hash-order-dependent iteration in src/).
+  AccessControl fwd, rev;
+  for (AccessControl* acl : {&fwd, &rev}) {
+    acl->SetStrict(true);
+    acl->AddNamespace(1, 0, 100);
+    acl->AddNamespace(2, 100, 100);
+    acl->AddNamespace(3, 200, 100);
+  }
+  for (uint32_t ns = 1; ns <= 3; ++ns) fwd.GrantTenant(7, ns, true, false);
+  for (uint32_t ns = 3; ns >= 1; --ns) rev.GrantTenant(7, ns, true, false);
+  for (uint64_t lba = 0; lba < 320; lba += 16) {
+    EXPECT_EQ(fwd.CheckIo(7, ReqType::kRead, lba, 8),
+              rev.CheckIo(7, ReqType::kRead, lba, 8))
+        << "at lba " << lba;
+    EXPECT_EQ(fwd.CheckIo(7, ReqType::kWrite, lba, 8),
+              rev.CheckIo(7, ReqType::kWrite, lba, 8))
+        << "at lba " << lba;
+  }
+}
+
 TEST(AccessControlTest, NamespaceContains) {
   BlockNamespace ns{1, 100, 50};
   EXPECT_TRUE(ns.Contains(100, 50));

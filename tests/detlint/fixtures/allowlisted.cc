@@ -1,0 +1,12 @@
+// Fixture used with allow.txt: the unordered-container findings here
+// are exempted by allowlist entry, not by in-tree suppression. The
+// wall-clock finding is NOT covered and must still surface.
+#include <chrono>
+#include <unordered_map>
+
+long Allowlisted() {
+  std::unordered_map<int, int> m;
+  m[1] = 2;
+  auto t = std::chrono::system_clock::now();
+  return m.at(1) + t.time_since_epoch().count();
+}

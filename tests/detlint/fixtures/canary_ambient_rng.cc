@@ -1,0 +1,11 @@
+// Planted canary: ambient randomness. detlint must flag every site.
+#include <cstdlib>
+#include <random>
+
+int Canary() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::mt19937_64 gen64(1);
+  srand(42);
+  return rand() + static_cast<int>(gen() + gen64());
+}

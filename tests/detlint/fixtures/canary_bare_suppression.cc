@@ -1,0 +1,12 @@
+// Planted canary: suppressions without reasons. A bare directive is
+// itself a violation and silences nothing -- the unordered-container
+// finding below must still surface alongside the bare-suppression one.
+#include <unordered_map>
+
+int Canary() {
+  // detlint: allow(unordered-container)
+  std::unordered_map<int, int> m;
+  // detlint: disable-everything-forever
+  m[1] = 2;
+  return m.at(1);
+}

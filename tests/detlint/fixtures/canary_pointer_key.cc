@@ -1,0 +1,17 @@
+// Planted canary: pointer-valued keys. Addresses differ across runs
+// under ASLR, so any ordering or hashing of them is nondeterministic.
+#include <map>
+#include <set>
+
+struct Conn {
+  int id;
+};
+
+int Canary(Conn* a, Conn* b) {
+  std::map<Conn*, int> by_conn;
+  std::set<const Conn*> live;
+  by_conn[a] = 1;
+  live.insert(b);
+  std::less<Conn*> cmp;
+  return by_conn.size() + live.size() + (cmp(a, b) ? 1 : 0);
+}

@@ -1,0 +1,12 @@
+// Planted canary: unordered container declarations without a
+// suppression reason anywhere near them.
+#include <unordered_map>
+#include <unordered_set>
+
+int Canary() {
+  std::unordered_map<int, int> m;
+  std::unordered_set<long> s;
+  m[1] = 2;
+  s.insert(3);
+  return m.at(1) + static_cast<int>(s.count(3));
+}

@@ -1,0 +1,18 @@
+// Planted canary: iteration over an unordered container. The
+// declarations themselves are suppressed with a reason, so the only
+// findings left are the [unordered-iter] ones -- iteration stays a
+// violation even where the declaration was excused.
+#include <unordered_map>
+#include <unordered_set>
+
+int Canary() {
+  // detlint: allow(unordered-container) canary fixture: the decl is
+  // excused so that only the iteration below trips the linter.
+  std::unordered_map<int, int> counts;
+  // detlint: allow(unordered-container) canary fixture: same as above.
+  std::unordered_set<int> seen;
+  int sum = 0;
+  for (const auto& kv : counts) sum += kv.second;
+  for (auto it = seen.begin(); it != seen.end(); ++it) sum += *it;
+  return sum;
+}

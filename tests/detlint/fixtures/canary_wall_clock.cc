@@ -1,0 +1,16 @@
+// Planted canary: wall-clock reads. detlint must flag every site.
+#include <chrono>
+#include <ctime>
+
+long Canary() {
+  auto a = std::chrono::system_clock::now();
+  auto b = std::chrono::steady_clock::now();
+  auto c = std::chrono::high_resolution_clock::now();
+  long d = time(nullptr);
+  struct timespec ts;
+  clock_gettime(0, &ts);
+  (void)a;
+  (void)b;
+  (void)c;
+  return d + ts.tv_sec;
+}

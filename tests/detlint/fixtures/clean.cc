@@ -1,0 +1,26 @@
+// Negative fixture: deterministic code that must produce no findings.
+// Mentions of banned names inside comments, strings and preprocessor
+// lines must not trip the lexer-based rules:
+//   std::chrono::system_clock, rand(), std::unordered_map iteration.
+#include <unordered_map>  // include line itself must not fire
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+int Clean() {
+  std::map<int, int> m;
+  std::set<std::string> s;
+  std::vector<int> v{3, 1, 2};
+  m[1] = 2;
+  s.insert("time(nullptr) and std::mt19937 inside a string literal");
+  int sum = 0;
+  for (const auto& kv : m) sum += kv.second;  // ordered: fine
+  for (int x : v) sum += x;
+  // A member function named time() is not the C library call:
+  struct Clock {
+    int time() { return 4; }
+  } clock;
+  sum += clock.time();
+  return sum + static_cast<int>(s.size());
+}

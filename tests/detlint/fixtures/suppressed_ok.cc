@@ -1,0 +1,16 @@
+// Negative fixture: every violation carries a reasoned suppression,
+// so the file reports zero findings (and three suppressed).
+#include <unordered_map>
+
+int Suppressed() {
+  // detlint: allow(unordered-container) lookup-only scratch table;
+  // never iterated, so hash layout cannot reach event order.
+  std::unordered_map<int, int> scratch;
+  scratch[1] = 2;
+  std::unordered_map<int, int> inline_ok;  // detlint: allow(unordered-container) same-line form: lookup-only
+  inline_ok[3] = 4;
+  // detlint: allow(all) wildcard form covers any rule on the next line.
+  std::unordered_map<int, int> wild;
+  wild[5] = 6;
+  return scratch.at(1) + inline_ok.at(3) + wild.at(5);
+}

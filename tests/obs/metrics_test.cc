@@ -70,6 +70,39 @@ TEST(MetricsRegistryTest, SnapshotSortedAndComplete) {
   EXPECT_EQ(snap[2].histogram->Count(), 1);
 }
 
+TEST(MetricsRegistryTest, SnapshotOrdersNumericLabelsNumerically) {
+  // Regression: with >= 10 tenants, lexicographic label comparison
+  // exported tenant=10..12 between tenant=1 and tenant=2, so the row
+  // order of every per-tenant export silently changed the moment an
+  // 11th tenant registered. Numeric-aware ordering keeps exports in
+  // tenant-handle order at any scale.
+  MetricsRegistry reg;
+  for (int64_t t = 12; t >= 1; --t) {
+    reg.GetGauge("tenant_queue_depth", Label("tenant", t))
+        ->Set(static_cast<double>(t));
+  }
+  const auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 12u);
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].labels.Render(),
+              "{tenant=" + std::to_string(i + 1) + "}")
+        << "row " << i << " out of numeric tenant order";
+  }
+}
+
+TEST(LabelSetTest, NaturalOrderMixesDigitsAndText) {
+  // Digit runs compare as numbers; ties fall back to byte order, and
+  // equal values with different renderings ("2" vs "02") stay distinct
+  // label sets.
+  EXPECT_LT(Label("t", 2), Label("t", 10));
+  EXPECT_LT(Label("t", "a2b"), Label("t", "a10b"));
+  EXPECT_LT(Label("t", "02"), Label("t", "2"));
+  EXPECT_FALSE(Label("t", "2") < Label("t", "02"));
+  EXPECT_LT(Label("t", "abc"), Label("t", "abd"));
+  EXPECT_LT(Label("t", "ab"), Label("t", "abc"));
+  EXPECT_FALSE(Label("t", 3) < Label("t", 3));
+}
+
 TEST(MetricsRegistryTest, ResetAllZeroes) {
   MetricsRegistry reg;
   Counter* c = reg.GetCounter("n");

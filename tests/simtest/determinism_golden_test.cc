@@ -118,5 +118,70 @@ TEST(DeterminismGoldenTest, Fig5QosScenarioIsBitIdenticalAcrossRuns) {
          "simulation has a hidden source of nondeterminism";
 }
 
+/**
+ * Per-tenant export with >= 10 tenants: two runs must be bit-identical
+ * AND rows must come out in numeric tenant-handle order. Guards the
+ * regression where lexicographic label ordering moved tenant=10..12
+ * between tenant=1 and tenant=2 as soon as an 11th tenant registered.
+ */
+std::string RunManyTenantExportOnce(std::vector<size_t>* tenant_rows) {
+  core::ServerOptions options;
+  options.num_threads = 1;
+  Harness h(options);
+
+  std::vector<std::unique_ptr<client::ReflexClient>> clients;
+  std::vector<std::unique_ptr<client::TenantSession>> sessions;
+  std::vector<std::unique_ptr<client::LoadGenerator>> generators;
+  for (int i = 0; i < 12; ++i) {
+    core::Tenant* tenant =
+        h.server.RegisterTenant({}, core::TenantClass::kBestEffort);
+    if (tenant == nullptr) ADD_FAILURE() << "tenant " << i << " inadmissible";
+    client::ReflexClient::Options copts;
+    copts.seed = 700 + i;
+    clients.push_back(std::make_unique<client::ReflexClient>(
+        h.sim, h.server, h.client_machine, copts));
+    sessions.push_back(clients.back()->AttachSession(tenant->handle()));
+    client::LoadGenSpec spec;
+    spec.read_fraction = 1.0;
+    spec.request_bytes = 4096;
+    spec.queue_depth = 2;
+    spec.seed = 1100 + i;
+    generators.push_back(std::make_unique<client::LoadGenerator>(
+        h.sim, *sessions.back(), spec));
+  }
+  for (auto& g : generators) g->Run(sim::Millis(1), sim::Millis(10));
+  for (auto& g : generators) {
+    EXPECT_TRUE(h.RunUntilDone(g->Done(), sim::Seconds(60)));
+  }
+
+  const std::string csv = obs::RegistryToCsv(h.server.SnapshotMetrics());
+  if (tenant_rows != nullptr) {
+    tenant_rows->clear();
+    std::istringstream lines(csv);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::string prefix = "tenant_queue_depth,{tenant=";
+      const auto pos = line.find(prefix);
+      if (pos == std::string::npos) continue;
+      tenant_rows->push_back(static_cast<size_t>(
+          std::stoul(line.substr(pos + prefix.size()))));
+    }
+  }
+  return csv;
+}
+
+TEST(DeterminismGoldenTest, ManyTenantExportIsIdenticalAndNumericOrdered) {
+  std::vector<size_t> rows;
+  const std::string first = RunManyTenantExportOnce(&rows);
+  const std::string second = RunManyTenantExportOnce(nullptr);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "12-tenant export diverged across runs";
+  ASSERT_EQ(rows.size(), 12u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i], i + 1)
+        << "per-tenant rows not in numeric handle order at row " << i;
+  }
+}
+
 }  // namespace
 }  // namespace reflex

@@ -1,0 +1,141 @@
+#ifndef REFLEX_TOOLS_DETLINT_DETLINT_H_
+#define REFLEX_TOOLS_DETLINT_DETLINT_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/**
+ * detlint: the determinism & simulation-hygiene linter.
+ *
+ * The whole reproduction rests on bit-identical replay: simtest expands
+ * seeds into scenarios, diffs golden exports and bisects repro
+ * artifacts. One stray wall-clock read, ambient RNG draw, or
+ * hash-order-dependent iteration silently invalidates all of it.
+ * detlint tokenizes every file under src/ and machine-checks the
+ * determinism rulebook (DESIGN.md section 13):
+ *
+ *   wall-clock            no std::chrono::{system,steady,high_resolution}
+ *                         _clock, time(), gettimeofday, clock_gettime, ...
+ *   ambient-rng           no std::rand/srand, std::random_device,
+ *                         std::mt19937 & friends -- all randomness flows
+ *                         through seeded sim::Rng streams
+ *   unordered-container   no std::unordered_map/unordered_set (& multi
+ *                         variants): hash layout must never be able to
+ *                         reach event order; use std::map/std::set or
+ *                         suppress with a written reason
+ *   unordered-iter        no range-for or .begin() iteration over a
+ *                         variable declared as an unordered container
+ *                         (fires even where the declaration itself was
+ *                         suppressed or allowlisted)
+ *   pointer-key           no pointer-valued keys in associative
+ *                         containers and no std::less/greater/hash over
+ *                         pointer types: addresses differ run to run
+ *   bare-suppression      every `// detlint: allow(<rule>)` must carry a
+ *                         written reason; bare or malformed directives
+ *                         are themselves violations and suppress nothing
+ *
+ * Suppressions: `// detlint: allow(rule1,rule2) <reason>` on the same
+ * line as the violation, or on a comment line directly above it
+ * (stacked comment blocks apply to the first code line below).
+ * Allowlist files carry `<rule-or-*> <path-substring>` pairs for
+ * whole-file exemptions (e.g. generated code).
+ */
+namespace detlint {
+
+// ---------------------------------------------------------------- lexer
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kChar };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct Comment {
+  std::string text;  // without the // or block delimiters
+  int line;          // line the comment starts on
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/**
+ * Tokenizes C++ source: identifiers, numbers (with digit separators),
+ * punctuation (`::` and `->` fused), string/char literals (including
+ * raw strings), comments captured separately. Preprocessor directive
+ * lines (including continuations) produce no tokens, so `#include
+ * <unordered_map>` never trips the container rules.
+ */
+LexResult Lex(std::string_view src);
+
+// ------------------------------------------------------------- findings
+
+struct Finding {
+  std::string rule;
+  int line;
+  std::string message;
+};
+
+/** Parsed `detlint: allow(...)` directive. */
+struct Suppression {
+  std::vector<std::string> rules;
+  std::string reason;  // empty => bare (a violation, suppresses nothing)
+  int line;            // comment line
+  int target_line;     // code line the directive applies to
+};
+
+/** One `<rule-or-*> <path-substring>` allowlist entry. */
+struct AllowEntry {
+  std::string rule;
+  std::string path_substring;
+};
+
+/**
+ * Parses allowlist text (one entry per line, `#` comments). Returns
+ * false and sets `error` on a malformed line.
+ */
+bool ParseAllowlist(std::string_view text, std::vector<AllowEntry>* out,
+                    std::string* error);
+
+struct FileReport {
+  std::string path;
+  std::vector<Finding> findings;    // unsuppressed violations
+  std::vector<Finding> suppressed;  // violations silenced with a reason
+  int allowlisted = 0;              // violations silenced by allowlist
+};
+
+/** Lints one in-memory source file against the full rulebook. */
+FileReport LintSource(const std::string& path, std::string_view src,
+                      const std::vector<AllowEntry>& allowlist);
+
+/** Rule ids with one-line descriptions, in report order. */
+const std::vector<std::pair<std::string, std::string>>& RuleCatalog();
+
+// --------------------------------------------------------------- driver
+
+struct RunOptions {
+  std::vector<AllowEntry> allowlist;
+  bool json = false;
+};
+
+inline constexpr int kExitClean = 0;
+inline constexpr int kExitViolations = 1;
+inline constexpr int kExitError = 2;
+
+/**
+ * Lints every .h/.hpp/.cc/.cpp/.cxx file under `paths` (files taken
+ * as-is, directories walked recursively in sorted order), writes the
+ * report to `out` and errors to `err`. Returns kExitClean,
+ * kExitViolations or kExitError.
+ */
+int RunDetlint(const std::vector<std::string>& paths, const RunOptions& opts,
+               std::ostream& out, std::ostream& err);
+
+}  // namespace detlint
+
+#endif  // REFLEX_TOOLS_DETLINT_DETLINT_H_

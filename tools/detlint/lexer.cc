@@ -1,0 +1,190 @@
+#include "detlint.h"
+
+#include <cctype>
+
+namespace detlint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+LexResult Lex(std::string_view src) {
+  LexResult out;
+  const size_t n = src.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+        c == '\f') {
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor directive: swallow the whole logical line (with
+    // backslash continuations). Emits no tokens.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (src[i] == '\n') break;
+        advance(1);
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int start_line = line;
+      advance(2);
+      std::string text;
+      while (i < n && src[i] != '\n') {
+        text += src[i];
+        advance(1);
+      }
+      out.comments.push_back(Comment{text, start_line});
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      advance(2);
+      std::string text;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        text += src[i];
+        advance(1);
+      }
+      advance(2);  // closing */
+      out.comments.push_back(Comment{text, start_line});
+      continue;
+    }
+
+    // Identifier (or raw-string prefix).
+    if (IsIdentStart(c)) {
+      const int start_line = line;
+      std::string text;
+      while (i < n && IsIdentChar(src[i])) {
+        text += src[i];
+        advance(1);
+      }
+      // Raw string literal: R"delim( ... )delim" with optional
+      // encoding prefix. The prefix identifier is part of the literal,
+      // not a real identifier.
+      if (i < n && src[i] == '"' &&
+          (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+           text == "LR")) {
+        advance(1);  // opening quote
+        std::string delim;
+        while (i < n && src[i] != '(') {
+          delim += src[i];
+          advance(1);
+        }
+        advance(1);  // (
+        const std::string closer = ")" + delim + "\"";
+        while (i < n && src.compare(i, closer.size(), closer) != 0) {
+          advance(1);
+        }
+        advance(closer.size());
+        out.tokens.push_back(Token{Token::Kind::kString, "", start_line});
+        continue;
+      }
+      // Ordinary string with encoding prefix (u8"x", L"x", ...): the
+      // prefix identifier glues to the literal; fall through and let
+      // the next loop iteration lex the quote as a plain string.
+      out.tokens.push_back(Token{Token::Kind::kIdent, text, start_line});
+      continue;
+    }
+
+    // Number (handles hex/float/exponent chars and digit separators).
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(src[i + 1]))) {
+      const int start_line = line;
+      std::string text;
+      while (i < n) {
+        const char d = src[i];
+        if (IsIdentChar(d) || d == '.') {
+          // ok
+        } else if (d == '\'' && i + 1 < n && IsIdentChar(src[i + 1])) {
+          // digit separator
+        } else if ((d == '+' || d == '-') && !text.empty() &&
+                   (text.back() == 'e' || text.back() == 'E' ||
+                    text.back() == 'p' || text.back() == 'P')) {
+          // exponent sign
+        } else {
+          break;
+        }
+        text += d;
+        advance(1);
+      }
+      out.tokens.push_back(Token{Token::Kind::kNumber, text, start_line});
+      continue;
+    }
+
+    // String literal.
+    if (c == '"') {
+      const int start_line = line;
+      advance(1);
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < n) advance(1);
+        advance(1);
+      }
+      advance(1);
+      out.tokens.push_back(Token{Token::Kind::kString, "", start_line});
+      continue;
+    }
+
+    // Char literal.
+    if (c == '\'') {
+      const int start_line = line;
+      advance(1);
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) advance(1);
+        advance(1);
+      }
+      advance(1);
+      out.tokens.push_back(Token{Token::Kind::kChar, "", start_line});
+      continue;
+    }
+
+    // Punctuation: fuse `::` and `->`, everything else single-char.
+    {
+      const int start_line = line;
+      std::string text(1, c);
+      if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+        text = "::";
+        advance(2);
+      } else if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+        text = "->";
+        advance(2);
+      } else {
+        advance(1);
+      }
+      out.tokens.push_back(Token{Token::Kind::kPunct, text, start_line});
+    }
+  }
+  return out;
+}
+
+}  // namespace detlint

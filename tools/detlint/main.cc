@@ -1,0 +1,94 @@
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "detlint.h"
+
+namespace {
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: detlint [options] <path>...\n"
+         "\n"
+         "Lints C++ sources against the simulation determinism rulebook\n"
+         "(DESIGN.md section 13). Directories are walked recursively.\n"
+         "\n"
+         "options:\n"
+         "  --allowlist FILE   whole-file exemptions, one\n"
+         "                     '<rule-or-*> <path-substring>' per line\n"
+         "  --format text|json report format (default text)\n"
+         "  --list-rules       print the rule catalog and exit\n"
+         "  -h, --help         this message\n"
+         "\n"
+         "exit status: 0 clean, 1 violations found, 2 usage or I/O "
+         "error\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  detlint::RunOptions opts;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      PrintUsage(std::cout);
+      return detlint::kExitClean;
+    }
+    if (arg == "--list-rules") {
+      for (const auto& [id, desc] : detlint::RuleCatalog()) {
+        std::cout << id << ": " << desc << "\n";
+      }
+      return detlint::kExitClean;
+    }
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::cerr << "detlint: --allowlist requires a file argument\n";
+        return detlint::kExitError;
+      }
+      const std::string file = argv[++i];
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        std::cerr << "detlint: cannot read allowlist '" << file << "'\n";
+        return detlint::kExitError;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string error;
+      if (!detlint::ParseAllowlist(buf.str(), &opts.allowlist, &error)) {
+        std::cerr << "detlint: " << file << ": " << error << "\n";
+        return detlint::kExitError;
+      }
+      continue;
+    }
+    if (arg == "--format") {
+      if (i + 1 >= argc) {
+        std::cerr << "detlint: --format requires 'text' or 'json'\n";
+        return detlint::kExitError;
+      }
+      const std::string fmt = argv[++i];
+      if (fmt == "json") {
+        opts.json = true;
+      } else if (fmt == "text") {
+        opts.json = false;
+      } else {
+        std::cerr << "detlint: unknown format '" << fmt << "'\n";
+        return detlint::kExitError;
+      }
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown option '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return detlint::kExitError;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "detlint: no paths given\n";
+    PrintUsage(std::cerr);
+    return detlint::kExitError;
+  }
+  return detlint::RunDetlint(paths, opts, std::cout, std::cerr);
+}

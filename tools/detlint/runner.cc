@@ -1,0 +1,138 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "detlint.h"
+
+namespace detlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".cxx";
+}
+
+/** JSON string escaping for the --format=json report. */
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int RunDetlint(const std::vector<std::string>& paths, const RunOptions& opts,
+               std::ostream& out, std::ostream& err) {
+  // Expand the argument list into a sorted list of source files so the
+  // report order never depends on directory-entry order.
+  std::vector<std::string> files;
+  for (const std::string& arg : paths) {
+    std::error_code ec;
+    const fs::path p(arg);
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+      if (ec) {
+        err << "detlint: error walking '" << arg << "': " << ec.message()
+            << "\n";
+        return kExitError;
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.string());
+    } else {
+      err << "detlint: no such file or directory: '" << arg << "'\n";
+      return kExitError;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<FileReport> reports;
+  int total_findings = 0;
+  int total_suppressed = 0;
+  int total_allowlisted = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      err << "detlint: cannot read '" << file << "'\n";
+      return kExitError;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string src = buf.str();
+    FileReport r = LintSource(file, src, opts.allowlist);
+    total_findings += static_cast<int>(r.findings.size());
+    total_suppressed += static_cast<int>(r.suppressed.size());
+    total_allowlisted += r.allowlisted;
+    reports.push_back(std::move(r));
+  }
+
+  if (opts.json) {
+    out << "{\n  \"files\": " << files.size()
+        << ",\n  \"violations\": " << total_findings
+        << ",\n  \"suppressed\": " << total_suppressed
+        << ",\n  \"allowlisted\": " << total_allowlisted
+        << ",\n  \"findings\": [";
+    bool first = true;
+    for (const FileReport& r : reports) {
+      for (const Finding& f : r.findings) {
+        if (!first) out << ",";
+        first = false;
+        out << "\n    {\"file\": \"" << JsonEscape(r.path)
+            << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+            << "\", \"message\": \"" << JsonEscape(f.message) << "\"}";
+      }
+    }
+    out << (first ? "]" : "\n  ]") << "\n}\n";
+  } else {
+    for (const FileReport& r : reports) {
+      for (const Finding& f : r.findings) {
+        out << r.path << ":" << f.line << ": [" << f.rule << "] "
+            << f.message << "\n";
+      }
+    }
+    out << "detlint: " << files.size() << " file"
+        << (files.size() == 1 ? "" : "s") << ", " << total_findings
+        << " violation" << (total_findings == 1 ? "" : "s") << ", "
+        << total_suppressed << " suppressed, " << total_allowlisted
+        << " allowlisted\n";
+  }
+  return total_findings == 0 ? kExitClean : kExitViolations;
+}
+
+}  // namespace detlint
