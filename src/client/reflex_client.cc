@@ -45,6 +45,13 @@ ReflexClient::ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
   }
 }
 
+ReflexClient::~ReflexClient() {
+  // Unresolved ops still hold watchdog events whose callbacks capture
+  // `this`; disarm them so a simulator outliving the client cannot
+  // dispatch into a destroyed object.
+  for (auto& [cookie, op] : pending_) sim_.Cancel(op.watchdog);
+}
+
 int ReflexClient::OpenConnection() {
   core::AcceptResult accepted = server_.Accept(
       machine_, core::kControlHandle,
@@ -188,8 +195,15 @@ sim::TimeNs ReflexClient::BackoffDelay(int attempt) const {
 
 void ReflexClient::ArmTimeout(uint64_t cookie, int attempt,
                               sim::TimeNs extra_delay) {
-  sim_.ScheduleAfter(options_.retry.request_timeout + extra_delay,
-                     [this, cookie, attempt] { OnTimeout(cookie, attempt); });
+  auto it = pending_.find(cookie);
+  REFLEX_CHECK(it != pending_.end());
+  // Disarm the previous attempt's watchdog (a no-op when it already
+  // fired, i.e. on the timeout-driven retransmit path) so each op keeps
+  // at most one live timeout event in the simulator.
+  sim_.Cancel(it->second.watchdog);
+  it->second.watchdog = sim_.ScheduleAfter(
+      options_.retry.request_timeout + extra_delay,
+      [this, cookie, attempt] { OnTimeout(cookie, attempt); });
 }
 
 void ReflexClient::OnTimeout(uint64_t cookie, int attempt) {
@@ -249,6 +263,7 @@ void ReflexClient::Retransmit(uint64_t cookie, sim::TimeNs delay) {
 }
 
 void ReflexClient::FailPending(PendingOp&& op, core::ReqStatus status) {
+  sim_.Cancel(op.watchdog);
   ++fault_stats_.failures;
   if (failures_metric_ != nullptr) failures_metric_->Increment();
   IoResult result;
@@ -311,6 +326,9 @@ void ReflexClient::OnResponse(const core::ResponseMsg& resp) {
 
   PendingOp op = std::move(it->second);
   pending_.erase(it);
+  // The op resolved: release its timeout watchdog instead of leaving a
+  // dead event queued until it would have fired.
+  sim_.Cancel(op.watchdog);
 
   // Client-side receive processing: interrupt/scheduling delay (Linux
   // stacks) plus per-message stack cost and payload copy.

@@ -140,6 +140,9 @@ class ReflexClient {
 
   ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
                net::Machine* machine, Options options);
+  ~ReflexClient();
+  ReflexClient(const ReflexClient&) = delete;
+  ReflexClient& operator=(const ReflexClient&) = delete;
 
   /**
    * Registers a tenant with the server and returns a session that
@@ -200,6 +203,12 @@ class ReflexClient {
     uint8_t* data = nullptr;
     int conn_index = 0;
     int attempts = 1;
+    /**
+     * Live timeout watchdog for the newest attempt. Cancelled the
+     * moment the op resolves, so completed requests no longer leave a
+     * dead timeout event in the simulator until it would have fired.
+     */
+    sim::TimerHandle watchdog = {};
   };
 
   bool retries_enabled() const {

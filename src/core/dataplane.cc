@@ -68,6 +68,15 @@ void DataplaneThread::Start() {
 
 void DataplaneThread::Shutdown() {
   running_ = false;
+  // Release the idle-reschedule timer instead of letting it fire into
+  // a stopped thread. Wake() deliberately does NOT cancel it: an armed
+  // timer keeps its original deadline across wake/sleep transitions,
+  // and re-arming on the next idle period would shift polling-round
+  // timing (and with it every exported latency figure).
+  if (resched_armed_) {
+    sim_.Cancel(resched_timer_);
+    resched_armed_ = false;
+  }
   Wake();
 }
 
@@ -102,7 +111,7 @@ void DataplaneThread::Wake() {
 void DataplaneThread::ArmRescheduleTimer() {
   if (resched_armed_) return;
   resched_armed_ = true;
-  sim_.ScheduleAfter(config_.idle_resched_delay, [this] {
+  resched_timer_ = sim_.ScheduleAfter(config_.idle_resched_delay, [this] {
     resched_armed_ = false;
     if (running_) Wake();
   });

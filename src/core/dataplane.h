@@ -221,6 +221,9 @@ class DataplaneThread {
   bool ever_started_ = false;
   bool idle_ = false;
   bool resched_armed_ = false;
+  /** Live idle-reschedule timer (valid while resched_armed_). Cancelled
+   * on Shutdown() only; see the comment there for why Wake() keeps it. */
+  sim::TimerHandle resched_timer_;
   std::optional<sim::VoidPromise> wake_promise_;
   sim::TimeNs start_time_ = 0;
 };

@@ -61,12 +61,31 @@ bool FaultPlan::Roll(FaultKind kind, uint64_t id) {
   return true;
 }
 
-void FaultPlan::ScheduleWindow(FaultKind kind, TimeNs start, TimeNs duration,
-                               uint64_t id) {
+FaultPlan::WindowId FaultPlan::ScheduleWindow(FaultKind kind, TimeNs start,
+                                              TimeNs duration, uint64_t id) {
   REFLEX_CHECK(start >= sim_.Now() && duration > 0);
-  sim_.ScheduleAt(start, [this, kind, id] { FlipWindow(kind, id, true); });
-  sim_.ScheduleAt(start + duration,
-                  [this, kind, id] { FlipWindow(kind, id, false); });
+  const WindowId wid = next_window_id_++;
+  PendingWindow pw;
+  pw.open =
+      sim_.ScheduleAt(start, [this, kind, id] { FlipWindow(kind, id, true); });
+  pw.close = sim_.ScheduleAt(start + duration, [this, kind, id, wid] {
+    pending_windows_.erase(wid);
+    FlipWindow(kind, id, false);
+  });
+  pending_windows_.emplace(wid, pw);
+  return wid;
+}
+
+bool FaultPlan::CancelWindow(WindowId id) {
+  auto it = pending_windows_.find(id);
+  if (it == pending_windows_.end()) return false;
+  // Cancelling the open event succeeds only while the window has not
+  // started; an already-open window keeps its close event so the
+  // nesting depth stays balanced.
+  if (!sim_.Cancel(it->second.open)) return false;
+  sim_.Cancel(it->second.close);
+  pending_windows_.erase(it);
+  return true;
 }
 
 void FaultPlan::FlipWindow(FaultKind kind, uint64_t id, bool active) {

@@ -85,13 +85,26 @@ class FaultPlan {
    */
   bool Roll(FaultKind kind, uint64_t id = kAnyId);
 
+  /** Identifies one scheduled window for CancelWindow(). */
+  using WindowId = int64_t;
+
   /**
    * Arms a fault window [start, start + duration) via the event queue.
    * Windows for the same (kind, id) nest: the state is active while at
-   * least one window covers the current time.
+   * least one window covers the current time. Returns an id that can
+   * cancel the window before it opens.
    */
-  void ScheduleWindow(FaultKind kind, TimeNs start, TimeNs duration,
-                      uint64_t id = kAnyId);
+  WindowId ScheduleWindow(FaultKind kind, TimeNs start, TimeNs duration,
+                          uint64_t id = kAnyId);
+
+  /**
+   * Cancels a scheduled window that has not opened yet: both its on
+   * and off events are released and it never fires its listeners.
+   * Returns false (and changes nothing) if the window already opened,
+   * already finished, or the id is unknown -- an open window still
+   * closes at its scheduled end.
+   */
+  bool CancelWindow(WindowId id);
 
   /** True while a window for (kind, id) or (kind, kAnyId) is active. */
   bool WindowActive(FaultKind kind, uint64_t id = kAnyId) const;
@@ -119,6 +132,12 @@ class FaultPlan {
  private:
   using Key = std::pair<uint8_t, uint64_t>;
 
+  /** Timer handles of one scheduled-but-unfinished window. */
+  struct PendingWindow {
+    TimerHandle open;
+    TimerHandle close;
+  };
+
   void FlipWindow(FaultKind kind, uint64_t id, bool active);
 
   Simulator& sim_;
@@ -127,6 +146,9 @@ class FaultPlan {
   std::map<Key, double> id_prob_;
   /** Count of currently-open windows per (kind, id). */
   std::map<Key, int> open_windows_;
+  /** Scheduled windows whose close event has not fired yet. */
+  std::map<WindowId, PendingWindow> pending_windows_;
+  WindowId next_window_id_ = 1;
   std::array<int64_t, kNumFaultKinds> injected_{};
   std::vector<WindowListener> listeners_;
   TimeNs latency_spike_ = Micros(500);

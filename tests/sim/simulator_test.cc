@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <vector>
 
+#include "sim/random.h"
 #include "sim/time.h"
 
 namespace reflex::sim {
@@ -112,6 +115,154 @@ TEST(SimulatorTest, TimeLiteralsConvert) {
   EXPECT_EQ(Micros(1.5), 1500);
   EXPECT_DOUBLE_EQ(ToMicros(1500), 1.5);
   EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+}
+
+// Regression (historical bug): Run()/RunUntil() used to clear stopped_
+// at entry, so a Stop() issued outside the loop -- e.g. from the last
+// callback of a RunUntil slice, after the loop had already returned --
+// was silently lost and the next Run() would plough on.
+TEST(SimulatorTest, StopIsStickyUntilConsumed) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(10, [&] { ++ran; });
+  sim.Stop();  // requested while no loop is active
+  EXPECT_TRUE(sim.StopRequested());
+  sim.Run();  // consumes the stop: must NOT dispatch anything
+  EXPECT_EQ(ran, 0);
+  EXPECT_FALSE(sim.StopRequested());
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();  // stop consumed; this run proceeds normally
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SimulatorTest, StopInsideRunUntilSliceHaltsThatSliceOnly) {
+  Simulator sim;
+  int ran = 0;
+  // A stop requested while the loop is live is consumed by that slice:
+  // it halts after the in-flight event and does not leak into the next
+  // slice (only a stop issued with no loop active is carried forward).
+  sim.ScheduleAt(10, [&] {
+    ++ran;
+    sim.Stop();
+  });
+  sim.ScheduleAt(15, [&] { ++ran; });
+  sim.ScheduleAt(30, [&] { ++ran; });
+  EXPECT_EQ(sim.RunUntil(20), 1);  // halted right after the 10ns event
+  EXPECT_EQ(sim.Now(), 10);        // stop path: clock not advanced to 20
+  EXPECT_FALSE(sim.StopRequested());
+  EXPECT_EQ(sim.RunUntil(40), 2);  // 15ns (stranded) and 30ns both run
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(sim.Now(), 40);
+}
+
+// Exact post-conditions of the RunUntil stop path (see the RunUntil
+// doc comment): Now() stays at the last dispatched event, the return
+// value and EventsProcessed() count the dispatched events, and
+// PendingEvents() counts exactly the live events left behind --
+// including ones with timestamps <= t.
+TEST(SimulatorTest, RunUntilStopPathPostConditions) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(10, [&] { ++ran; });
+  sim.ScheduleAt(20, [&] {
+    ++ran;
+    sim.Stop();
+  });
+  sim.ScheduleAt(25, [&] { ++ran; });  // <= t, stranded by the stop
+  sim.ScheduleAt(50, [&] { ++ran; });
+  const int64_t before = sim.EventsProcessed();
+  EXPECT_EQ(sim.RunUntil(30), 2);
+  EXPECT_EQ(sim.Now(), 20);  // NOT advanced to 30
+  EXPECT_EQ(sim.EventsProcessed() - before, 2);
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  EXPECT_FALSE(sim.StopRequested());
+  // The stranded event is not lost: the next slice picks it up.
+  EXPECT_EQ(sim.RunUntil(30), 1);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, StopRequestedBeforeRunUntilReturnsZeroAndKeepsNow) {
+  Simulator sim;
+  sim.ScheduleAt(10, [] {});
+  sim.Stop();
+  EXPECT_EQ(sim.RunUntil(100), 0);
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+// Pop-ordering under a randomized schedule: the engine must dispatch
+// in ascending (time, seq) order whatever the insertion order. Run
+// under ASan/UBSan this also covers the old const_cast move-from-top()
+// UB path's replacement.
+TEST(SimulatorTest, RandomizedScheduleDispatchesInTimeSeqOrder) {
+  Simulator sim;
+  Rng rng(42, "pop_order");
+  struct Rec {
+    TimeNs time;
+    uint64_t seq;
+  };
+  std::vector<Rec> scheduled;
+  std::vector<Rec> dispatched;
+  for (uint64_t seq = 0; seq < 5000; ++seq) {
+    // Heavy collision range so same-timestamp FIFO is exercised.
+    const TimeNs t = static_cast<TimeNs>(rng.NextBounded(700));
+    scheduled.push_back({t, seq});
+    sim.ScheduleAt(t, [&dispatched, t, seq] {
+      dispatched.push_back({t, seq});
+    });
+  }
+  sim.Run();
+  std::sort(scheduled.begin(), scheduled.end(), [](const Rec& a,
+                                                   const Rec& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  });
+  ASSERT_EQ(dispatched.size(), scheduled.size());
+  for (size_t i = 0; i < scheduled.size(); ++i) {
+    EXPECT_EQ(dispatched[i].time, scheduled[i].time) << "at " << i;
+    EXPECT_EQ(dispatched[i].seq, scheduled[i].seq) << "at " << i;
+  }
+}
+
+TEST(SimulatorTest, CancelPreventsDispatchAndIsIdempotent) {
+  Simulator sim;
+  int ran = 0;
+  TimerHandle h = sim.ScheduleAt(10, [&] { ++ran; });
+  EXPECT_TRUE(h.issued());
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  EXPECT_TRUE(sim.Cancel(h));
+  EXPECT_FALSE(h.issued());  // handle reset by Cancel
+  EXPECT_EQ(sim.PendingEvents(), 0u);  // eager: no dead event remains
+  EXPECT_FALSE(sim.Cancel(h));  // second cancel is a safe no-op
+  sim.Run();
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(sim.EventsProcessed(), 0);
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  int ran = 0;
+  TimerHandle h = sim.ScheduleAt(10, [&] { ++ran; });
+  sim.Run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(sim.Cancel(h));
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SimulatorTest, CancelDefaultHandleIsNoop) {
+  Simulator sim;
+  TimerHandle h;
+  EXPECT_FALSE(h.issued());
+  EXPECT_FALSE(sim.Cancel(h));
+}
+
+TEST(SimulatorTest, PeakPendingEventsTracksHighWater) {
+  Simulator sim;
+  for (int i = 0; i < 32; ++i) sim.ScheduleAt(i, [] {});
+  EXPECT_EQ(sim.PeakPendingEvents(), 32u);
+  sim.Run();
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_EQ(sim.PeakPendingEvents(), 32u);
 }
 
 TEST(SimulatorDeathTest, SchedulingInThePastPanics) {

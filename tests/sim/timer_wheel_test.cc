@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+// Determinism golden tests for the hierarchical timer-wheel engine:
+// ordering across cascade boundaries, Cancel() raced against expiry,
+// and equivalence against a reference (time, seq) priority queue under
+// randomized schedule/cancel workloads. The wheel geometry these edges
+// target: a 4096-slot one-nanosecond near wheel (level 0), then
+// 64-slot overflow levels 2^12, 2^18, 2^24, ... ns wide.
+
+namespace reflex::sim {
+namespace {
+
+/** Runs the simulator and records event ids in dispatch order. */
+class OrderRecorder {
+ public:
+  explicit OrderRecorder(Simulator& sim) : sim_(sim) {}
+
+  TimerHandle At(TimeNs t, int id) {
+    return sim_.ScheduleAt(t, [this, id] { order_.push_back(id); });
+  }
+
+  const std::vector<int>& order() const { return order_; }
+
+ private:
+  Simulator& sim_;
+  std::vector<int> order_;
+};
+
+TEST(TimerWheelTest, OrderingAcrossNearWheelBoundary) {
+  Simulator sim;
+  OrderRecorder rec(sim);
+  // Around the near-wheel horizon (4096 ns from time zero): 4095 is
+  // the last level-0 delta, 4096/4097 start life in overflow level 1
+  // and must cascade down in order.
+  rec.At(4097, 0);
+  rec.At(4095, 1);
+  rec.At(4096, 2);
+  rec.At(4094, 3);
+  sim.Run();
+  EXPECT_EQ(rec.order(), (std::vector<int>{3, 1, 2, 0}));
+  EXPECT_EQ(sim.Now(), 4097);
+}
+
+TEST(TimerWheelTest, OrderingAcrossLevelOneBoundary) {
+  Simulator sim;
+  OrderRecorder rec(sim);
+  // 2^18 is the level-1 horizon from time zero.
+  const TimeNs edge = TimeNs{1} << 18;
+  rec.At(edge + 1, 0);
+  rec.At(edge, 1);
+  rec.At(edge - 1, 2);
+  sim.Run();
+  EXPECT_EQ(rec.order(), (std::vector<int>{2, 1, 0}));
+}
+
+TEST(TimerWheelTest, FarFutureOverflowLevelsDispatchInOrder) {
+  Simulator sim;
+  OrderRecorder rec(sim);
+  // One event per overflow magnitude, scheduled in reverse order.
+  std::vector<TimeNs> times;
+  for (int bit = 55; bit >= 13; bit -= 6) {
+    times.push_back((TimeNs{1} << bit) + 12345);
+  }
+  for (size_t i = 0; i < times.size(); ++i) {
+    rec.At(times[i], static_cast<int>(i));
+  }
+  sim.Run();
+  std::vector<int> want(times.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    want[i] = static_cast<int>(want.size() - 1 - i);
+  }
+  EXPECT_EQ(rec.order(), want);
+  EXPECT_EQ(sim.Now(), times.front());
+}
+
+// Regression: a delta near the top of a level's range scheduled while
+// the wheel position sits mid-bucket lands exactly one full ring ahead
+// and would alias the slot holding the current time; before the
+// promotion fix in InsertNode this cascaded into itself forever.
+TEST(TimerWheelTest, MidBucketScheduleAtLevelHorizonDoesNotHang) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(1, [&] {
+    // Now() == pos == 1; delta == 2^18 - 1 targets level 1 but lands
+    // 64 level-1 buckets ahead (bucket 64 vs current bucket 0).
+    sim.ScheduleAt(TimeNs{1} << 18, [&] { ++ran; });
+    // Same shape one level up: delta just below the level-2 horizon.
+    sim.ScheduleAt(TimeNs{1} << 24, [&] { ++ran; });
+  });
+  sim.Run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.Now(), TimeNs{1} << 24);
+}
+
+// Regression: NextDue used to cascade far-future slots eagerly even
+// when RunUntil's horizon was nowhere near them, advancing the wheel
+// position past the caller's clock; a later near-time schedule then
+// computed a negative (wrapped) delta, misplaced itself in the top
+// level and cascaded into itself forever.
+TEST(TimerWheelTest, NearScheduleAfterIdleSliceWithFarFutureEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  // Parked ~18 minutes out; every RunUntil slice below ends long
+  // before it, so it must not drag the wheel position forward.
+  sim.ScheduleAt(TimeNs{1} << 40, [&] { order.push_back(99); });
+  for (int slice = 0; slice < 5; ++slice) {
+    sim.RunUntil(sim.Now() + Millis(1));
+  }
+  EXPECT_EQ(sim.Now(), Millis(5));
+  // Near-time schedule after the idle slices: must fire at its time,
+  // in order, ahead of the far-future event.
+  sim.ScheduleAfter(Micros(10), [&] { order.push_back(1); });
+  sim.RunUntil(sim.Now() + Millis(1));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 99}));
+  EXPECT_EQ(sim.Now(), TimeNs{1} << 40);
+}
+
+// Same-timestamp FIFO must survive cascading: an event scheduled first
+// (lower seq) but parked in an overflow level has to dispatch before a
+// later schedule (higher seq) that was inserted directly into the near
+// wheel for the same timestamp.
+TEST(TimerWheelTest, SameTimestampFifoAcrossCascade) {
+  Simulator sim;
+  OrderRecorder rec(sim);
+  const TimeNs t = 100000;  // > 4096: starts in an overflow level
+  rec.At(t, 0);             // seq 0, via cascade
+  sim.ScheduleAt(t - 50, [&] {
+    // Near-wheel window now covers t: this insert goes straight to
+    // level 0 with a higher seq, and must run second.
+    rec.At(t, 1);
+  });
+  sim.Run();
+  EXPECT_EQ(rec.order(), (std::vector<int>{0, 1}));
+}
+
+TEST(TimerWheelTest, CancelRacedAgainstExpirySameTimestamp) {
+  Simulator sim;
+  int ran = 0;
+  TimerHandle victim;
+  // First event at t cancels the second event at the same t: the
+  // same-timestamp batch must observe the cancellation mid-run.
+  sim.ScheduleAt(10, [&] { EXPECT_TRUE(sim.Cancel(victim)); });
+  victim = sim.ScheduleAt(10, [&] { ++ran; });
+  sim.ScheduleAt(10, [&] { ++ran; });  // after the victim; still runs
+  sim.Run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.EventsProcessed(), 2);
+}
+
+TEST(TimerWheelTest, CancelOneTickBeforeExpiry) {
+  Simulator sim;
+  int ran = 0;
+  TimerHandle victim = sim.ScheduleAt(10, [&] { ++ran; });
+  sim.ScheduleAt(9, [&] { EXPECT_TRUE(sim.Cancel(victim)); });
+  sim.Run();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(TimerWheelTest, SelfCancelDuringDispatchReturnsFalse) {
+  Simulator sim;
+  TimerHandle self;
+  bool cancel_result = true;
+  self = sim.ScheduleAt(10, [&] {
+    // The event is already off the wheel while its callback runs;
+    // cancelling "itself" must fail rather than corrupt the slab.
+    cancel_result = sim.Cancel(self);
+  });
+  sim.Run();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(sim.EventsProcessed(), 1);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(TimerWheelTest, CancelPendingOverflowEvent) {
+  Simulator sim;
+  int ran = 0;
+  // Parked several levels up; cancellation must unlink it there, long
+  // before any cascade would touch it.
+  TimerHandle h = sim.ScheduleAt(TimeNs{1} << 40, [&] { ++ran; });
+  sim.ScheduleAt(5, [&] { EXPECT_TRUE(sim.Cancel(h)); });
+  sim.Run();
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(sim.Now(), 5);  // the far-future event no longer holds the clock
+}
+
+TEST(TimerWheelTest, HandleGenerationSurvivesSlabReuse) {
+  Simulator sim;
+  int ran = 0;
+  TimerHandle first = sim.ScheduleAt(10, [&] { ++ran; });
+  ASSERT_TRUE(sim.Cancel(first));
+  // The freed slab node is recycled for the next schedule; the stale
+  // handle to its previous life must not cancel the new event.
+  TimerHandle second = sim.ScheduleAt(20, [&] { ++ran; });
+  EXPECT_FALSE(sim.Cancel(first));
+  sim.Run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(second.issued());
+}
+
+// Randomized equivalence against a reference engine: a plain
+// (time, seq) min-heap dispatching one event at a time, with
+// cancellation by id. Any divergence in dispatch order is a
+// determinism-contract violation.
+TEST(TimerWheelTest, MatchesReferenceHeapUnderRandomWorkload) {
+  struct Ref {
+    TimeNs time;
+    uint64_t seq;
+    int id;
+    bool operator>(const Ref& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Simulator sim;
+    Rng rng(seed, "wheel_vs_heap");
+    std::priority_queue<Ref, std::vector<Ref>, std::greater<Ref>> heap;
+    std::vector<bool> cancelled;       // reference: by id
+    std::vector<TimerHandle> handles;  // wheel: by id
+    std::vector<int> wheel_order;
+    uint64_t seq = 0;
+    const auto schedule = [&](TimeNs t) {
+      const int id = static_cast<int>(handles.size());
+      heap.push(Ref{t, seq++, id});
+      cancelled.push_back(false);
+      handles.push_back(
+          sim.ScheduleAt(t, [&wheel_order, id] { wheel_order.push_back(id); }));
+    };
+    // Mixed horizons: collisions in the near wheel, multi-level
+    // overflow, and far-future stragglers.
+    for (int i = 0; i < 2000; ++i) {
+      const uint64_t r = rng.NextBounded(100);
+      TimeNs t;
+      if (r < 50) {
+        t = static_cast<TimeNs>(rng.NextBounded(512));
+      } else if (r < 80) {
+        t = static_cast<TimeNs>(rng.NextBounded(1u << 20));
+      } else {
+        t = static_cast<TimeNs>(rng.NextBounded(uint64_t{1} << 44));
+      }
+      schedule(t);
+    }
+    // Cancel a random third of them before running.
+    for (int i = 0; i < 700; ++i) {
+      const auto id = static_cast<size_t>(rng.NextBounded(handles.size()));
+      const bool wheel_ok = sim.Cancel(handles[id]);
+      EXPECT_EQ(wheel_ok, !cancelled[id]) << "cancel disagreement id=" << id;
+      cancelled[id] = true;
+    }
+    sim.Run();
+    std::vector<int> ref_order;
+    while (!heap.empty()) {
+      const Ref top = heap.top();
+      heap.pop();
+      if (!cancelled[static_cast<size_t>(top.id)]) ref_order.push_back(top.id);
+    }
+    EXPECT_EQ(wheel_order, ref_order) << "seed=" << seed;
+  }
+}
+
+// Events dispatched from callbacks keep the contract too: a chain that
+// schedules across cascade boundaries from inside the run loop.
+TEST(TimerWheelTest, CallbackSchedulingAcrossBoundariesStaysOrdered) {
+  Simulator sim;
+  std::vector<TimeNs> fire_times;
+  std::function<void()> hop = [&] {
+    fire_times.push_back(sim.Now());
+    if (fire_times.size() < 40) {
+      // Alternate short and level-crossing hops.
+      const TimeNs delta =
+          (fire_times.size() % 2 == 0) ? 7 : (TimeNs{1} << 13) - 3;
+      sim.ScheduleAfter(delta, hop);
+    }
+  };
+  sim.ScheduleAt(0, hop);
+  sim.Run();
+  ASSERT_EQ(fire_times.size(), 40u);
+  EXPECT_TRUE(std::is_sorted(fire_times.begin(), fire_times.end()));
+  EXPECT_EQ(sim.Now(), fire_times.back());
+}
+
+}  // namespace
+}  // namespace reflex::sim
