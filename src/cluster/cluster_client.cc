@@ -78,7 +78,16 @@ sim::Task ClusterSession::FanOut(std::vector<ShardExtent> extents,
   result.issue_time = issue_time;
   for (size_t i = 0; i < futures.size(); ++i) {
     const client::IoResult r = co_await futures[i];
-    shard_latency_[extents[i].shard_index].Record(r.Latency());
+    // Per-shard latency histograms measure service latency, so only
+    // successful extents are recorded: a failed extent's duration is
+    // the failure path (watchdog expiry, retry exhaustion) and would
+    // skew the per-shard tail those histograms exist to compare.
+    if (r.ok()) {
+      shard_latency_[extents[i].shard_index].Record(r.Latency());
+    }
+    // First failing extent's status wins; later failures don't
+    // overwrite it (extents are awaited in logical-LBA order, so the
+    // reported status is deterministic for any mix of failures).
     if (result.ok() && !r.ok()) result.status = r.status;
   }
   result.complete_time = client_.cluster().sim().Now();

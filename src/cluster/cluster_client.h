@@ -55,7 +55,10 @@ class ClusterSession {
     return *shard_sessions_[shard];
   }
 
-  /** Per-shard end-to-end latency of this session's extents (ns). */
+  /** Per-shard end-to-end latency of this session's *successful*
+   * extents (ns). Failed extents are not recorded: their duration is
+   * the failure path, not shard service latency. A multi-extent I/O
+   * reports the first failing extent's status (logical-LBA order). */
   const sim::Histogram& shard_latency(int shard) const {
     return shard_latency_[shard];
   }

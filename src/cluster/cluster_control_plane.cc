@@ -56,11 +56,18 @@ bool ClusterControlPlane::UnregisterTenant(const ClusterTenant& tenant) {
   for (int i = 0; i < cluster_.num_shards(); ++i) {
     all_ok &= cluster_.server(i).UnregisterTenant(tenant.handles[i]);
   }
-  for (auto it = active_tenants_.begin(); it != active_tenants_.end();
-       ++it) {
-    if (it->handles == tenant.handles) {
-      active_tenants_.erase(it);
-      break;
+  // Drop the registry entry only when every shard actually released
+  // the tenant. If any shard refused, the tenant is still (partially)
+  // registered and must stay visible in active_tenants_, otherwise
+  // the registry diverges from shard state and the simtest
+  // registration probe can no longer catch the leak.
+  if (all_ok) {
+    for (auto it = active_tenants_.begin(); it != active_tenants_.end();
+         ++it) {
+      if (it->handles == tenant.handles) {
+        active_tenants_.erase(it);
+        break;
+      }
     }
   }
   return all_ok;

@@ -32,9 +32,10 @@ void ShardMap::AddShard(uint32_t shard_id, uint64_t capacity_sectors) {
       shards_.begin(), shards_.end(), shard,
       [](const Shard& a, const Shard& b) { return a.id < b.id; });
   shards_.insert(pos, shard);
+  capacity_cache_ = ComputeCapacitySectors();
 }
 
-uint64_t ShardMap::capacity_sectors() const {
+uint64_t ShardMap::ComputeCapacitySectors() const {
   if (shards_.empty()) return 0;
   uint64_t min_capacity = shards_[0].capacity_sectors;
   for (const Shard& s : shards_) {

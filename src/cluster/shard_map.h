@@ -70,8 +70,10 @@ class ShardMap {
    * same whole number of stripes (bounded by the smallest shard).
    * Hashed: identity addressing means every shard must be able to
    * back any logical LBA, so the smallest shard bounds the volume.
+   * O(1): recomputed eagerly by AddShard, not on each call -- Split
+   * checks it per request on the cluster hot path.
    */
-  uint64_t capacity_sectors() const;
+  uint64_t capacity_sectors() const { return capacity_cache_; }
 
   /** Shard index serving logical stripe `stripe`. */
   int ShardIndexForStripe(uint64_t stripe) const;
@@ -90,8 +92,12 @@ class ShardMap {
     uint64_t capacity_sectors;
   };
 
+  uint64_t ComputeCapacitySectors() const;
+
   ShardMapOptions options_;
   std::vector<Shard> shards_;
+  /** capacity_sectors() of the current shard set (0 when empty). */
+  uint64_t capacity_cache_ = 0;
 };
 
 }  // namespace reflex::cluster

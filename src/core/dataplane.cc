@@ -278,6 +278,10 @@ sim::Task DataplaneThread::RunLoop() {
       // An I/O counts as completed (for barriers) once its response is
       // on the wire, so barrier acks can never overtake it.
       --tenant->inflight;
+      const int64_t bytes =
+          static_cast<int64_t>(item.io.msg.sectors) * kSectorBytes;
+      tenant->inflight_bytes -= bytes;
+      tenant->completed_bytes += bytes;
       const bool is_read = item.io.msg.type == ReqType::kRead;
       if (is_read) {
         ++tenant->completed_reads;
@@ -328,6 +332,8 @@ void DataplaneThread::SubmitToFlash(Tenant& tenant, PendingIo&& io) {
   cmd.cookie = io.msg.cookie;
   Tenant* tenant_ptr = &tenant;
   ++tenant.inflight;
+  tenant.inflight_bytes +=
+      static_cast<int64_t>(cmd.sectors) * kSectorBytes;
   auto shared_io = std::make_shared<PendingIo>(std::move(io));
   const bool ok = device_.Submit(
       qp_, cmd,
@@ -340,6 +346,8 @@ void DataplaneThread::SubmitToFlash(Tenant& tenant, PendingIo&& io) {
     // Ranges were validated at parse time, so a failed submission
     // means the hardware queue pair is full.
     --tenant.inflight;
+    tenant.inflight_bytes -=
+        static_cast<int64_t>(cmd.sectors) * kSectorBytes;
     FailIo(*shared_io, ReqStatus::kOutOfResources);
   }
 }

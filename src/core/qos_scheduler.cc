@@ -8,7 +8,10 @@ namespace reflex::core {
 
 QosScheduler::QosScheduler(SchedulerShared& shared,
                            const RequestCostModel& cost_model, Config config)
-    : shared_(shared), cost_model_(cost_model), config_(config) {}
+    : shared_(shared), cost_model_(cost_model), config_(config) {
+  policy_ = MakeQosPolicy(
+      QosPolicyContext{&shared_, &config_, &metrics_, &on_neg_limit_});
+}
 
 void QosScheduler::AddTenant(Tenant* tenant) {
   REFLEX_CHECK(tenant != nullptr);
@@ -17,6 +20,7 @@ void QosScheduler::AddTenant(Tenant* tenant) {
   } else {
     be_tenants_.push_back(tenant);
   }
+  policy_->OnAddTenant(*tenant);
 }
 
 void QosScheduler::RemoveTenant(Tenant* tenant) {
@@ -41,6 +45,7 @@ void QosScheduler::RemoveTenant(Tenant* tenant) {
     if (idx < be_cursor_) --be_cursor_;
     if (be_cursor_ >= be_tenants_.size()) be_cursor_ = 0;
   }
+  policy_->OnRemoveTenant(*tenant);
 }
 
 void QosScheduler::Enqueue(sim::TimeNs now, Tenant* tenant, PendingIo io) {
@@ -81,6 +86,18 @@ void QosScheduler::SubmitFront(sim::TimeNs now, Tenant& t,
   t.queue_.pop_front();
   t.queued_cost_ -= io.cost;
   if (t.queued_cost_ < 0.0) t.queued_cost_ = 0.0;
+  if (!config_.enforce) {
+    // Pass-through mode generates no tokens in RunRound, but spend
+    // accounting below still runs (the spent counters feed exported
+    // utilization metrics). Grant the exact cost here so the balance
+    // nets to zero and the conservation ledger (generated == spent +
+    // retired + ...) closes instead of the balance drifting
+    // unboundedly negative and being "retired" at unregistration.
+    // Ledger-only: the tokens_generated *metric* stays untouched so
+    // enforcement-off exports are unchanged.
+    t.tokens_ += io.cost;
+    shared_.tokens_generated_total += io.cost;
+  }
   t.tokens_ -= io.cost;
   t.tokens_spent += io.cost;
   shared_.tokens_spent_total += io.cost;
@@ -98,6 +115,7 @@ void QosScheduler::SubmitFront(sim::TimeNs now, Tenant& t,
       ++t.submitted_writes;
     }
   }
+  policy_->OnSubmit(t, io);
   submit(t, std::move(io));
 }
 
@@ -116,7 +134,7 @@ int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
   }
 
   if (!config_.enforce) {
-    // Pass-through mode: no token accounting, submit everything
+    // Pass-through mode: no rate limiting, submit everything
     // (barriers still gate: they are correctness, not QoS).
     for (Tenant* tp : lc_tenants_) {
       while (!tp->queue_.empty() && !FrontBlockedByBarrier(*tp)) {
@@ -134,71 +152,31 @@ int QosScheduler::RunRound(sim::TimeNs now, const SubmitFn& submit) {
     return submitted;
   }
 
+  policy_->BeginRound(now, dt, lc_tenants_, be_tenants_);
+
   // --- Latency-critical tenants (Alg. 1 lines 4-12) ---
   for (Tenant* tp : lc_tenants_) {
     Tenant& t = *tp;
-    const double gen = t.token_rate_ * dt;
-    t.tokens_ += gen;
-    shared_.tokens_generated_total += gen;
-    if (metrics_.enabled()) metrics_.tokens_generated->Add(gen);
-    t.grant_history_[t.grant_cursor_] = gen;
-    t.grant_cursor_ = (t.grant_cursor_ + 1) % 3;
-
-    if (t.tokens_ < config_.neg_limit) {
-      ++t.neg_limit_hits;
-      if (metrics_.enabled()) metrics_.neg_limit_hits->Increment();
-      if (on_neg_limit_) on_neg_limit_(t);
-    }
-    while (!t.queue_.empty() && t.tokens_ > config_.neg_limit &&
+    policy_->AccrueLc(t, now, dt);
+    while (!t.queue_.empty() && policy_->AdmitLc(t, t.queue_.front()) &&
            !FrontBlockedByBarrier(t)) {
       SubmitFront(now, t, submit);
       ++submitted;
     }
-    const double pos_limit = t.grant_history_[0] + t.grant_history_[1] +
-                             t.grant_history_[2];
-    if (t.tokens_ > pos_limit) {
-      // Alg. 1 lines 13-15: only the *excess above POS_LIMIT* is
-      // donated (scaled by donate_fraction); the tenant keeps its full
-      // burst allowance. Donating a fraction of the whole balance --
-      // the previous behavior -- pulled the balance below POS_LIMIT
-      // and eroded the very burst headroom POS_LIMIT exists to
-      // protect (pinned by QosSchedulerTest.LcDonatesOnlyExcess...).
-      const double spill =
-          (t.tokens_ - pos_limit) * config_.donate_fraction;
-      shared_.global_bucket.Donate(spill);
-      t.tokens_ -= spill;
-      shared_.tokens_donated_total += spill;
-      if (metrics_.enabled()) metrics_.tokens_donated->Add(spill);
-    }
+    policy_->FinishLc(t);
   }
 
   // --- Best-effort tenants, round-robin (Alg. 1 lines 13-21) ---
   const size_t n = be_tenants_.size();
   for (size_t k = 0; k < n; ++k) {
     Tenant& t = *be_tenants_[(be_cursor_ + k) % n];
-    const double gen = t.token_rate_ * dt;
-    t.tokens_ += gen;
-    shared_.tokens_generated_total += gen;
-    if (metrics_.enabled()) metrics_.tokens_generated->Add(gen);
-    const double deficit = t.queued_cost_ - t.tokens_;
-    if (deficit > 0.0) {
-      const double claimed = shared_.global_bucket.TryClaim(deficit);
-      t.tokens_ += claimed;
-      shared_.tokens_claimed_total += claimed;
-      if (metrics_.enabled()) metrics_.tokens_claimed->Add(claimed);
-    }
-    while (!t.queue_.empty() && t.tokens_ >= t.queue_.front().cost &&
+    policy_->AccrueBe(t, now, dt);
+    while (!t.queue_.empty() && policy_->AdmitBe(t, t.queue_.front()) &&
            !FrontBlockedByBarrier(t)) {
       SubmitFront(now, t, submit);
       ++submitted;
     }
-    if (t.tokens_ > 0.0 && t.queue_.empty()) {
-      // DRR-style: idle BE tenants may not hoard tokens.
-      shared_.global_bucket.Donate(t.tokens_);
-      shared_.tokens_donated_total += t.tokens_;
-      if (metrics_.enabled()) metrics_.tokens_donated->Add(t.tokens_);
-      t.tokens_ = 0.0;
-    }
+    policy_->FinishBe(t);
   }
   if (n > 0) be_cursor_ = (be_cursor_ + 1) % n;
 

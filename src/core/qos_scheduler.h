@@ -4,9 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/qos_policy.h"
 #include "core/tenant.h"
 #include "core/token_bucket.h"
 #include "obs/hooks.h"
@@ -56,7 +58,8 @@ struct SchedulerShared {
    *               + sum(active tenant balances) + bucket balance
    *
    * holds to within fixed-point rounding and is checked by
-   * simtest::CheckServerInvariants after every harness run.
+   * simtest::CheckServerInvariants after every harness run -- for
+   * every QosPolicy, including pass-through mode.
    */
   double tokens_generated_total = 0.0;
   double tokens_donated_total = 0.0;
@@ -68,36 +71,26 @@ struct SchedulerShared {
 };
 
 /**
- * Per-thread QoS scheduler implementing Algorithm 1 of the paper.
+ * Per-thread QoS scheduler. The scheduler owns the mechanism shared by
+ * every enforcement algorithm -- tenant binding, request pricing and
+ * queueing, barrier ordering, spend accounting, the best-effort
+ * round-robin rotation and the end-of-round global-bucket reset epoch
+ * -- and delegates per-round policy decisions (token/quota accrual,
+ * admission, donation) to a QosPolicy selected by Config::policy.
  *
- * Each dataplane thread owns one scheduler over the tenants bound to
- * it. Latency-critical tenants are served first with burst limits
+ * The default TokenBucketPolicy implements Algorithm 1 of the paper:
+ * latency-critical tenants are served first with burst limits
  * (NEG_LIMIT) and donation of surplus above POS_LIMIT; best-effort
  * tenants are served deficit-round-robin style from their fair share
  * plus the global token bucket.
  */
 class QosScheduler {
  public:
-  struct Config {
-    /** Token deficit at which an LC tenant is rate-limited. */
-    double neg_limit = -50.0;
-
-    /** Fraction of surplus above POS_LIMIT donated to the bucket. */
-    double donate_fraction = 0.9;
-
-    /**
-     * When false, the scheduler becomes a pass-through FIFO (requests
-     * submit immediately, no rate limiting) -- the "I/O sched
-     * disabled" configuration of the paper's Figure 5.
-     */
-    bool enforce = true;
-  };
+  /** See QosConfig (core/qos_policy.h) for the knobs. */
+  using Config = QosConfig;
 
   /** Submits one admissible request to the Flash device. */
   using SubmitFn = std::function<void(Tenant&, PendingIo&&)>;
-
-  /** Invoked when an LC tenant hits NEG_LIMIT (SLO renegotiation). */
-  using NegLimitFn = std::function<void(Tenant&)>;
 
   QosScheduler(SchedulerShared& shared, const RequestCostModel& cost_model,
                Config config);
@@ -116,8 +109,8 @@ class QosScheduler {
   void Enqueue(sim::TimeNs now, Tenant* tenant, PendingIo io);
 
   /**
-   * Runs one scheduling round (Algorithm 1). Returns the number of
-   * requests submitted via `submit`.
+   * Runs one scheduling round under the configured policy. Returns the
+   * number of requests submitted via `submit`.
    */
   int RunRound(sim::TimeNs now, const SubmitFn& submit);
 
@@ -142,6 +135,10 @@ class QosScheduler {
 
   const RequestCostModel& cost_model() const { return cost_model_; }
 
+  /** The enforcement policy this scheduler runs (diagnostics/tests). */
+  const QosPolicy& policy() const { return *policy_; }
+  QosPolicy& policy() { return *policy_; }
+
  private:
   /** True if t's queue head is a barrier still waiting on in-flight
    * I/Os (paper section 4.1's ordering extension). */
@@ -153,6 +150,12 @@ class QosScheduler {
   const RequestCostModel& cost_model_;
   Config config_;
   obs::SchedulerMetrics metrics_;
+  NegLimitFn on_neg_limit_;
+
+  /** Built from config_.policy; holds pointers into this scheduler
+   * (shared_, config_, metrics_, on_neg_limit_), so it must be
+   * declared after them and die first. */
+  std::unique_ptr<QosPolicy> policy_;
 
   std::vector<Tenant*> lc_tenants_;
   std::vector<Tenant*> be_tenants_;
@@ -162,8 +165,6 @@ class QosScheduler {
   bool has_run_ = false;
   uint64_t local_epoch_ = 0;
   bool marked_this_epoch_ = false;
-
-  NegLimitFn on_neg_limit_;
 };
 
 }  // namespace reflex::core

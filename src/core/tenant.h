@@ -88,11 +88,17 @@ class Tenant {
   double tokens_spent = 0.0;
   /** I/Os submitted to the device and not yet completed (barriers). */
   int64_t inflight = 0;
+  /** Payload bytes submitted to the device and not yet completed
+   * (AdaptiveBePolicy's bufferbloat control). */
+  int64_t inflight_bytes = 0;
+  /** Total payload bytes of completed device I/Os. */
+  int64_t completed_bytes = 0;
   /** Non-kOk responses sent on behalf of this tenant. */
   int64_t errors = 0;
 
  private:
   friend class QosScheduler;
+  friend class QosPolicy;
 
   uint32_t handle_;
   TenantClass cls_;

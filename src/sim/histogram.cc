@@ -75,6 +75,17 @@ int64_t Histogram::Percentile(double q) const {
   return max_;
 }
 
+int64_t Histogram::CountAbove(int64_t threshold) const {
+  if (count_ == 0 || max_ <= threshold) return 0;
+  if (threshold < min_) return count_;
+  int64_t above = 0;
+  for (size_t i = static_cast<size_t>(BucketIndex(threshold)) + 1;
+       i < buckets_.size(); ++i) {
+    above += buckets_[i];
+  }
+  return above;
+}
+
 double Histogram::StdDev() const {
   if (count_ < 2) return 0.0;
   const double n = static_cast<double>(count_);

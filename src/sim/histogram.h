@@ -51,6 +51,14 @@ class Histogram {
   /** Standard deviation approximation from bucket midpoints. */
   double StdDev() const;
 
+  /**
+   * Number of recorded values above `threshold`, at bucket
+   * resolution: values sharing the threshold's bucket count as
+   * not-above. Used for SLO-violation counting, where the threshold
+   * is orders of magnitude above the bucket width.
+   */
+  int64_t CountAbove(int64_t threshold) const;
+
   /** Merges another histogram (same geometry) into this one. */
   void Merge(const Histogram& other);
 

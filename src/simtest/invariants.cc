@@ -20,41 +20,42 @@ std::vector<InvariantViolation> CheckServerInvariants(
   std::vector<InvariantViolation> out;
   const core::SchedulerShared& shared = server.shared();
 
-  if (server.options().qos.enforce) {
-    double active_balances = 0.0;
-    for (const core::Tenant* t : server.tenants()) {
-      if (t->active()) active_balances += t->tokens();
-    }
-    const double bucket = shared.global_bucket.Tokens();
-    const double accounted = shared.tokens_spent_total +
-                             shared.tokens_discarded_total +
-                             shared.tokens_retired_total + active_balances +
-                             bucket;
-    // Fixed-point micro-token rounding plus double summation noise.
-    const double tol =
-        1.0 + 1e-9 * std::abs(shared.tokens_generated_total);
-    if (std::abs(shared.tokens_generated_total - accounted) > tol) {
-      std::ostringstream detail;
-      detail << "generated=" << shared.tokens_generated_total
-             << " != spent=" << shared.tokens_spent_total
-             << " + discarded=" << shared.tokens_discarded_total
-             << " + retired=" << shared.tokens_retired_total
-             << " + balances=" << active_balances << " + bucket=" << bucket
-             << " (delta="
-             << shared.tokens_generated_total - accounted << ")";
-      Add(out, "token_conservation", detail);
-    }
+  // The conservation ledger holds for every policy *and* for
+  // pass-through mode: enforcement off generates a matching grant per
+  // submitted request, so the equation closes there too (previously
+  // this probe had to be gated on qos.enforce).
+  double active_balances = 0.0;
+  for (const core::Tenant* t : server.tenants()) {
+    if (t->active()) active_balances += t->tokens();
+  }
+  const double bucket = shared.global_bucket.Tokens();
+  const double accounted = shared.tokens_spent_total +
+                           shared.tokens_discarded_total +
+                           shared.tokens_retired_total + active_balances +
+                           bucket;
+  // Fixed-point micro-token rounding plus double summation noise.
+  const double tol = 1.0 + 1e-9 * std::abs(shared.tokens_generated_total);
+  if (std::abs(shared.tokens_generated_total - accounted) > tol) {
+    std::ostringstream detail;
+    detail << "generated=" << shared.tokens_generated_total
+           << " != spent=" << shared.tokens_spent_total
+           << " + discarded=" << shared.tokens_discarded_total
+           << " + retired=" << shared.tokens_retired_total
+           << " + balances=" << active_balances << " + bucket=" << bucket
+           << " (delta="
+           << shared.tokens_generated_total - accounted << ")";
+    Add(out, "token_conservation", detail);
+  }
 
-    const double bucket_accounted = shared.tokens_claimed_total +
-                                    shared.tokens_discarded_total + bucket;
-    if (std::abs(shared.tokens_donated_total - bucket_accounted) > tol) {
-      std::ostringstream detail;
-      detail << "donated=" << shared.tokens_donated_total
-             << " != claimed=" << shared.tokens_claimed_total
-             << " + discarded=" << shared.tokens_discarded_total
-             << " + bucket=" << bucket;
-      Add(out, "bucket_flow", detail);
-    }
+  const double bucket_accounted = shared.tokens_claimed_total +
+                                  shared.tokens_discarded_total + bucket;
+  if (std::abs(shared.tokens_donated_total - bucket_accounted) > tol) {
+    std::ostringstream detail;
+    detail << "donated=" << shared.tokens_donated_total
+           << " != claimed=" << shared.tokens_claimed_total
+           << " + discarded=" << shared.tokens_discarded_total
+           << " + bucket=" << bucket;
+    Add(out, "bucket_flow", detail);
   }
 
   // Admission: active LC reservations fit the calibrated rate at the

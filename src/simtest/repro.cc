@@ -48,13 +48,18 @@ std::string FindField(const std::string& json, const std::string& key) {
 }  // namespace
 
 std::string ReproToJson(const ScenarioSpec& spec, const RunReport& report,
-                        Mutation mutation, int64_t max_ops) {
+                        Mutation mutation, int64_t max_ops,
+                        bool force_policy) {
   std::ostringstream out;
   out << "{\n";
-  // The replay key comes first: simtest_repro only reads these three.
+  // The replay key comes first: simtest_repro reads only these fields.
   out << "\"seed\": " << spec.seed << ",\n";
   out << "\"max_ops\": " << max_ops << ",\n";
   out << "\"mutation\": \"" << MutationName(mutation) << "\",\n";
+  if (force_policy) {
+    out << "\"forced_policy\": \"" << core::QosPolicyKindName(spec.policy)
+        << "\",\n";
+  }
   out << "\"completed\": " << (report.completed ? "true" : "false")
       << ",\n";
   out << "\"ops_executed\": " << report.ops_executed << ",\n";
@@ -92,6 +97,9 @@ bool ParseRepro(const std::string& json, ReproSpec* out) {
   out->max_ops =
       max_ops.empty() ? -1 : std::strtoll(max_ops.c_str(), nullptr, 10);
   out->mutation = MutationFromName(FindField(json, "mutation"));
+  const std::string forced = FindField(json, "forced_policy");
+  out->force_policy =
+      !forced.empty() && core::QosPolicyKindFromName(forced, &out->policy);
   return true;
 }
 

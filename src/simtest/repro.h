@@ -17,21 +17,35 @@ struct ReproSpec {
   uint64_t seed = 0;
   int64_t max_ops = -1;
   Mutation mutation = Mutation::kNone;
+
+  /**
+   * When true, the sweep overrode the scenario's drawn QoS policy
+   * (and forced enforcement on); replay must apply the same override
+   * or the regenerated scenario diverges from the failing run.
+   */
+  bool force_policy = false;
+  core::QosPolicyKind policy = core::QosPolicyKind::kTokenBucket;
 };
 
 /**
  * Serializes a failing run as a self-contained JSON artifact: the
- * replay key (seed, max_ops, mutation), the expanded topology + fault
- * schedule for human eyes, and the first violating operation.
+ * replay key (seed, max_ops, mutation, optional forced policy), the
+ * expanded topology + fault schedule for human eyes, and the first
+ * violating operation. When `force_policy` is set, `spec` already
+ * carries the overridden policy and a "forced_policy" field records
+ * the override for replay.
  */
 std::string ReproToJson(const ScenarioSpec& spec, const RunReport& report,
-                        Mutation mutation, int64_t max_ops);
+                        Mutation mutation, int64_t max_ops,
+                        bool force_policy = false);
 
 /**
  * Extracts the replay key back out of a repro artifact. A minimal
- * field scanner (looks for "seed", "max_ops", "mutation" at the top
- * level), not a general JSON parser -- the artifact is always written
- * by ReproToJson. Returns false if `seed` is missing.
+ * field scanner (looks for "seed", "max_ops", "mutation",
+ * "forced_policy" at the top level), not a general JSON parser -- the
+ * artifact is always written by ReproToJson. Returns false if `seed`
+ * is missing. ("forced_policy" is distinct from the scenario's
+ * descriptive "qos_policy" key, which the scanner must not match.)
  */
 bool ParseRepro(const std::string& json, ReproSpec* out);
 

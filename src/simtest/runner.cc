@@ -83,6 +83,7 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
   options.num_shards = spec.num_shards;
   options.calibration = flash::CannedCalibrationA();
   options.server.qos.enforce = spec.enforce_qos;
+  options.server.qos.policy = spec.policy;
   options.shard_map.placement = spec.rendezvous
                                     ? cluster::Placement::kHashed
                                     : cluster::Placement::kStriped;

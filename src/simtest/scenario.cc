@@ -24,6 +24,9 @@ ScenarioSpec GenerateScenario(uint64_t seed) {
   spec.rendezvous = rng.NextBernoulli(0.5);
   spec.stripe_sectors = 4u << rng.NextBounded(3);  // 4, 8 or 16
   spec.enforce_qos = rng.NextBernoulli(0.8);
+  // Drawn even when enforce_qos is false so the stream consumption --
+  // and with it every later draw -- is the same for both QoS modes.
+  spec.policy = static_cast<core::QosPolicyKind>(rng.NextBounded(3));
 
   const int num_tenants = 1 + static_cast<int>(rng.NextBounded(4));
   int num_lc = 0;
@@ -93,6 +96,8 @@ std::string ScenarioToJson(const ScenarioSpec& spec) {
   out << "  \"stripe_sectors\": " << spec.stripe_sectors << ",\n";
   out << "  \"enforce_qos\": " << (spec.enforce_qos ? "true" : "false")
       << ",\n";
+  out << "  \"qos_policy\": \"" << core::QosPolicyKindName(spec.policy)
+      << "\",\n";
   out << "  \"tenants\": [\n";
   for (size_t i = 0; i < spec.tenants.size(); ++i) {
     const TenantSpec& t = spec.tenants[i];

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/qos_policy.h"
 #include "sim/fault.h"
 #include "sim/time.h"
 
@@ -62,6 +63,10 @@ struct ScenarioSpec {
   uint32_t stripe_sectors = 8;
 
   bool enforce_qos = true;
+
+  /** Enforcement algorithm (meaningful only when enforce_qos). The
+   * fuzzer draws it so the invariant probes exercise every policy. */
+  core::QosPolicyKind policy = core::QosPolicyKind::kTokenBucket;
 
   std::vector<TenantSpec> tenants;
   std::vector<FaultProbSpec> probabilities;

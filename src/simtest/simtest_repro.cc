@@ -2,6 +2,10 @@
 //
 //   simtest_repro <repro.json>
 //   simtest_repro --seed S [--max-ops M] [--mutation NAME]
+//                 [--policy NAME]
+//
+// --policy (or a "forced_policy" field in the artifact) re-applies a
+// sweep's QoS-policy override to the regenerated scenario.
 //
 // Regenerates the scenario from the seed, re-runs it under the same
 // mutation and op budget, and prints the verdict. Exit status: 0 when
@@ -53,6 +57,16 @@ int main(int argc, char** argv) {
       repro.max_ops = std::strtoll(value(), nullptr, 10);
     } else if (arg == "--mutation") {
       repro.mutation = simtest::MutationFromName(value());
+    } else if (arg == "--policy") {
+      const char* name = value();
+      if (!core::QosPolicyKindFromName(name, &repro.policy)) {
+        std::fprintf(stderr,
+                     "unknown policy '%s' (token_bucket, qwin, "
+                     "adaptive_be)\n",
+                     name);
+        return 2;
+      }
+      repro.force_policy = true;
     } else if (!arg.empty() && arg[0] != '-') {
       std::string json;
       if (!ReadFile(arg, &json)) {
@@ -68,22 +82,30 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: simtest_repro <repro.json> | --seed S "
-                   "[--max-ops M] [--mutation NAME]\n");
+                   "[--max-ops M] [--mutation NAME] [--policy NAME]\n");
       return 2;
     }
   }
   if (!have_seed) {
     std::fprintf(stderr,
                  "usage: simtest_repro <repro.json> | --seed S "
-                 "[--max-ops M] [--mutation NAME]\n");
+                 "[--max-ops M] [--mutation NAME] [--policy NAME]\n");
     return 2;
   }
 
-  const simtest::ScenarioSpec spec = simtest::GenerateScenario(repro.seed);
-  std::printf("replaying seed=%llu max_ops=%lld mutation=%s\n",
+  simtest::ScenarioSpec spec = simtest::GenerateScenario(repro.seed);
+  if (repro.force_policy) {
+    // Same override the sweep applied: post-expansion, so the RNG
+    // stream -- and with it the rest of the scenario -- is identical.
+    spec.policy = repro.policy;
+    spec.enforce_qos = true;
+  }
+  std::printf("replaying seed=%llu max_ops=%lld mutation=%s policy=%s%s\n",
               static_cast<unsigned long long>(repro.seed),
               static_cast<long long>(repro.max_ops),
-              simtest::MutationName(repro.mutation));
+              simtest::MutationName(repro.mutation),
+              core::QosPolicyKindName(spec.policy),
+              repro.force_policy ? " (forced)" : "");
   const simtest::RunReport report =
       simtest::RunScenario(spec, repro.mutation, repro.max_ops);
 

@@ -3,7 +3,13 @@
 // deterministic repro artifact (replayable with simtest_repro).
 //
 //   simtest_sweep [--seeds N] [--start S] [--mutation NAME]
-//                 [--max-ops M] [--out PATH]
+//                 [--max-ops M] [--out PATH] [--policy NAME]
+//
+// --policy overrides the QoS policy every seed would otherwise draw
+// (token_bucket, qwin, adaptive_be) and forces enforcement on, so a
+// sweep can pin coverage of one enforcement algorithm. The override
+// is recorded in the repro artifact ("forced_policy") so replays
+// regenerate the identical scenario.
 //
 // Exit status: 0 when every seed passed, 1 on a (shrunken, persisted)
 // failure, 2 on usage errors.
@@ -21,10 +27,24 @@ namespace {
 
 using namespace reflex;  // NOLINT(build/namespaces)
 
+/** --policy override; applied identically to every expanded seed. */
+bool g_force_policy = false;
+core::QosPolicyKind g_policy = core::QosPolicyKind::kTokenBucket;
+
+simtest::ScenarioSpec Expand(uint64_t seed) {
+  simtest::ScenarioSpec spec = simtest::GenerateScenario(seed);
+  if (g_force_policy) {
+    // Override after expansion: the RNG stream (and so every other
+    // field of the scenario) is untouched, only the policy differs.
+    spec.policy = g_policy;
+    spec.enforce_qos = true;
+  }
+  return spec;
+}
+
 simtest::RunReport Run(uint64_t seed, simtest::Mutation mutation,
                        int64_t max_ops) {
-  return simtest::RunScenario(simtest::GenerateScenario(seed), mutation,
-                              max_ops);
+  return simtest::RunScenario(Expand(seed), mutation, max_ops);
 }
 
 /**
@@ -89,17 +109,28 @@ int main(int argc, char** argv) {
       mutation = simtest::MutationFromName(value());
     } else if (arg == "--out") {
       out_path = value();
+    } else if (arg == "--policy") {
+      const char* name = value();
+      if (!core::QosPolicyKindFromName(name, &g_policy)) {
+        std::fprintf(stderr,
+                     "unknown policy '%s' (token_bucket, qwin, "
+                     "adaptive_be)\n",
+                     name);
+        return 2;
+      }
+      g_force_policy = true;
     } else {
       std::fprintf(stderr,
                    "usage: simtest_sweep [--seeds N] [--start S] "
-                   "[--mutation NAME] [--max-ops M] [--out PATH]\n");
+                   "[--mutation NAME] [--max-ops M] [--out PATH] "
+                   "[--policy NAME]\n");
       return 2;
     }
   }
 
   for (int64_t i = 0; i < seeds; ++i) {
     const uint64_t seed = start + static_cast<uint64_t>(i);
-    const simtest::ScenarioSpec spec = simtest::GenerateScenario(seed);
+    const simtest::ScenarioSpec spec = Expand(seed);
     const int64_t budget = max_ops >= 0 ? max_ops : spec.TotalOps();
     simtest::RunReport report =
         simtest::RunScenario(spec, mutation, budget);
@@ -128,7 +159,7 @@ int main(int argc, char** argv) {
             ? "simtest_repro_" + std::to_string(seed) + ".json"
             : out_path;
     const std::string json =
-        simtest::ReproToJson(spec, report, mutation, shrunk);
+        simtest::ReproToJson(spec, report, mutation, shrunk, g_force_policy);
     if (!simtest::WriteRepro(path, json)) {
       std::fprintf(stderr, "  (could not write %s)\n", path.c_str());
     } else {

@@ -7,6 +7,7 @@
 #include "cluster/cluster_client.h"
 #include "cluster/cluster_control_plane.h"
 #include "cluster/flash_cluster.h"
+#include "sim/fault.h"
 #include "testing/cluster_harness.h"
 #include "testing/histogram_assert.h"
 
@@ -169,6 +170,58 @@ TEST(ClusterTest, MetricsRollupSumsShardGauges) {
   EXPECT_DOUBLE_EQ(total, shard0 + shard1);
   EXPECT_DOUBLE_EQ(m.GetGauge("cluster_shards")->value(), 2.0);
   EXPECT_GT(m.GetGauge("cluster_device_reads")->value(), 0.0);
+}
+
+// Regression: UnregisterTenant used to erase the tenant from
+// active_tenants_ even when a shard refused the per-shard unregister,
+// leaving the registry claiming "gone" while the shard still held the
+// registration -- exactly the divergence the simtest registration
+// probe enumerates active_tenants() to catch.
+TEST(ClusterTest, UnregisterKeepsRegistryWhenShardRefuses) {
+  ClusterHarness h(/*num_shards=*/2);
+  ClusterControlPlane& cp = h.cluster.control_plane();
+  ClusterTenant tenant =
+      cp.RegisterTenant(LcSlo(100000), TenantClass::kLatencyCritical);
+  ASSERT_TRUE(tenant.valid());
+  ASSERT_EQ(cp.active_tenants().size(), 1u);
+
+  // Unregister shard 1's handle behind the control plane's back: the
+  // cluster-wide unregister below will succeed on shard 0 but shard 1
+  // refuses (already inactive).
+  ASSERT_TRUE(h.cluster.server(1).UnregisterTenant(tenant.handles[1]));
+
+  EXPECT_FALSE(cp.UnregisterTenant(tenant))
+      << "a refused shard must surface as failure";
+  ASSERT_EQ(cp.active_tenants().size(), 1u)
+      << "a partially-unregistered tenant must stay in the registry";
+  EXPECT_EQ(cp.active_tenants()[0].handles, tenant.handles);
+}
+
+// Pins FanOut's partial-failure semantics: a multi-extent I/O reports
+// the failing extent's status, and per-shard latency histograms record
+// *successful* extents only -- a failed extent's duration measures the
+// failure path, not shard service latency (regression: it used to be
+// recorded, skewing the failing shard's tail).
+TEST(ClusterTest, FanOutPartialFailureKeepsStatusAndSkipsLatency) {
+  ClusterHarness h(/*num_shards=*/2, /*stripe_sectors=*/8);
+  sim::FaultPlan plan(h.sim, 7);
+  h.cluster.server(1).SetFaultPlan(&plan);
+  plan.ScheduleWindow(sim::FaultKind::kServerDeviceError, sim::Micros(1),
+                      sim::Seconds(10));
+  auto session = h.client.OpenSession(SloSpec{}, TenantClass::kBestEffort);
+  ASSERT_NE(session, nullptr);
+
+  // 12 sectors from LBA 4: extents on shard 0 (stripe 0) and shard 1
+  // (stripe 1); shard 1 is forced to reply kDeviceError.
+  auto io = session->Read(4, 12);
+  ASSERT_TRUE(h.Await(io));
+  EXPECT_FALSE(io.Get().ok());
+  EXPECT_EQ(io.Get().status, ReqStatus::kDeviceError)
+      << "the failing extent's status must surface";
+  EXPECT_TRUE(testing::HasSamples(session->shard_latency(0)))
+      << "the successful extent records shard service latency";
+  EXPECT_FALSE(testing::HasSamples(session->shard_latency(1)))
+      << "a failed extent must not pollute the shard latency histogram";
 }
 
 TEST(ClusterTest, ClusterRunsAreDeterministic) {

@@ -277,5 +277,44 @@ TEST(ShardMapTest, PropertySplitTilesLogicalRangeExactly) {
   }
 }
 
+// Pins capacity_sectors() (now an O(1) cached value recomputed by
+// AddShard -- Split consults it per request on the cluster hot path):
+// it must track the shard set exactly as the on-demand min-scan did,
+// including uneven capacities and both placements.
+TEST(ShardMapTest, CapacityTracksShardSetAcrossAdds) {
+  ShardMapOptions striped;
+  striped.placement = Placement::kStriped;
+  striped.stripe_sectors = 8;
+  ShardMap map(striped);
+  EXPECT_EQ(map.capacity_sectors(), 0u) << "no shards, no capacity";
+
+  // Uneven capacities: the smallest shard bounds the whole-stripe
+  // count each shard contributes. 100 sectors -> 12 stripes of 8.
+  map.AddShard(3, 100);
+  EXPECT_EQ(map.capacity_sectors(), 12u * 8u);
+  map.AddShard(1, 256);  // smaller id, larger capacity: still 12 stripes
+  EXPECT_EQ(map.capacity_sectors(), 2u * 12u * 8u);
+  map.AddShard(2, 64);  // new smallest: 8 stripes per shard
+  EXPECT_EQ(map.capacity_sectors(), 3u * 8u * 8u);
+
+  // Hashed placement: identity addressing means any shard must back
+  // the whole volume, so the smallest shard alone bounds it.
+  ShardMapOptions hashed;
+  hashed.placement = Placement::kHashed;
+  hashed.stripe_sectors = 8;
+  ShardMap hmap(hashed);
+  hmap.AddShard(0, 256);
+  EXPECT_EQ(hmap.capacity_sectors(), 256u);
+  hmap.AddShard(1, 100);
+  EXPECT_EQ(hmap.capacity_sectors(), 12u * 8u);
+  hmap.AddShard(2, 1 << 20);
+  EXPECT_EQ(hmap.capacity_sectors(), 12u * 8u)
+      << "a large shard cannot raise a min-bounded capacity";
+
+  // Split still enforces the bound at the cached capacity's edge.
+  EXPECT_FALSE(hmap.Split(88, 8).empty());
+  EXPECT_TRUE(hmap.Split(90, 0).empty());
+}
+
 }  // namespace
 }  // namespace reflex

@@ -352,5 +352,40 @@ TEST_F(QosSchedulerTest, HasPendingDemand) {
   EXPECT_TRUE(sched_.HasPendingDemand());
 }
 
+// Regression: with enforcement off, SubmitFront used to book spends
+// against tenants that never received a grant, driving the balance
+// unboundedly negative; RemoveTenant then "retired" that negative
+// balance, corrupting the conservation ledger. Pass-through must be
+// self-consistent: each submit generates a matching grant, so the
+// balance stays at zero and nothing is retired.
+TEST_F(QosSchedulerTest, PassThroughLedgerClosesAfterRetire) {
+  QosScheduler::Config config;
+  config.enforce = false;
+  QosScheduler sched(shared_, cost_model_, config);
+  Tenant t(1, TenantClass::kLatencyCritical, SloSpec{});
+  sched.AddTenant(&t);
+  for (int i = 0; i < 20; ++i) {
+    sched.Enqueue(0, &t, MakeIo(ReqType::kRead));
+    sched.Enqueue(0, &t, MakeIo(ReqType::kWrite));
+  }
+  sched.RunRound(Micros(10), Collect());
+  EXPECT_EQ(Submitted(), 40) << "pass-through submits everything";
+  EXPECT_GT(shared_.tokens_spent_total, 0.0);
+  EXPECT_DOUBLE_EQ(t.tokens(), 0.0)
+      << "each pass-through spend must be matched by a grant";
+  EXPECT_DOUBLE_EQ(shared_.tokens_generated_total,
+                   shared_.tokens_spent_total);
+
+  sched.RemoveTenant(&t);
+  EXPECT_DOUBLE_EQ(shared_.tokens_retired_total, 0.0)
+      << "a pass-through tenant retires with a closed balance";
+  // Full conservation equation with no active tenants.
+  EXPECT_NEAR(shared_.tokens_generated_total,
+              shared_.tokens_spent_total + shared_.tokens_discarded_total +
+                  shared_.tokens_retired_total +
+                  shared_.global_bucket.Tokens(),
+              1e-9);
+}
+
 }  // namespace
 }  // namespace reflex::core

@@ -48,11 +48,11 @@ TEST(SimtestTest, CleanSeedsRunWithoutViolations) {
 }
 
 TEST(SimtestTest, SkippedSubWriteMutationIsCaughtAsTornWrite) {
-  // Seed 2 expands to a multi-shard topology where a cross-shard write
+  // Seed 4 expands to a multi-shard topology where a cross-shard write
   // occurs; skipping one of its sub-I/Os while reporting success must
   // surface as a stale read of the skipped sectors.
   const RunReport report =
-      RunScenario(GenerateScenario(2), Mutation::kSkipOneSubWrite);
+      RunScenario(GenerateScenario(4), Mutation::kSkipOneSubWrite);
   ASSERT_FALSE(report.ok());
   ASSERT_FALSE(report.data_violations.empty());
   EXPECT_EQ(report.data_violations.front().kind, "stale_read");
@@ -72,7 +72,7 @@ TEST(SimtestTest, ForgedTokensMutationBreaksConservationLedger) {
 }
 
 TEST(SimtestTest, MutatedRunReplaysDeterministically) {
-  const ScenarioSpec spec = GenerateScenario(2);
+  const ScenarioSpec spec = GenerateScenario(4);
   const RunReport a = RunScenario(spec, Mutation::kSkipOneSubWrite);
   const RunReport b = RunScenario(spec, Mutation::kSkipOneSubWrite);
   EXPECT_EQ(a.ops_executed, b.ops_executed);
@@ -92,17 +92,18 @@ TEST(SimtestTest, OpBudgetCapsDeterministically) {
 }
 
 TEST(SimtestTest, ReproArtifactRoundTrips) {
-  const ScenarioSpec spec = GenerateScenario(2);
+  const ScenarioSpec spec = GenerateScenario(4);
   const RunReport report =
-      RunScenario(spec, Mutation::kSkipOneSubWrite, 38);
+      RunScenario(spec, Mutation::kSkipOneSubWrite, 107);
   const std::string json = simtest::ReproToJson(
-      spec, report, Mutation::kSkipOneSubWrite, 38);
+      spec, report, Mutation::kSkipOneSubWrite, 107);
 
   simtest::ReproSpec repro;
   ASSERT_TRUE(simtest::ParseRepro(json, &repro));
-  EXPECT_EQ(repro.seed, 2u);
-  EXPECT_EQ(repro.max_ops, 38);
+  EXPECT_EQ(repro.seed, 4u);
+  EXPECT_EQ(repro.max_ops, 107);
   EXPECT_EQ(repro.mutation, Mutation::kSkipOneSubWrite);
+  EXPECT_FALSE(repro.force_policy);
 
   // The replay key reproduces the failure.
   const RunReport replay =
@@ -114,6 +115,33 @@ TEST(SimtestTest, ReproArtifactRoundTrips) {
     EXPECT_EQ(replay.data_violations[i].detail,
               report.data_violations[i].detail);
   }
+}
+
+TEST(SimtestTest, ForcedPolicyRoundTripsThroughArtifact) {
+  // A sweep's --policy override is recorded as a top-level
+  // "forced_policy" field, distinct from the scenario's descriptive
+  // "qos_policy" key, and parses back into the replay spec.
+  ScenarioSpec spec = GenerateScenario(4);
+  spec.policy = core::QosPolicyKind::kQwin;
+  spec.enforce_qos = true;
+  const RunReport report =
+      RunScenario(spec, Mutation::kSkipOneSubWrite, 107);
+  const std::string json = simtest::ReproToJson(
+      spec, report, Mutation::kSkipOneSubWrite, 107, /*force_policy=*/true);
+  EXPECT_NE(json.find("\"forced_policy\": \"qwin\""), std::string::npos);
+
+  simtest::ReproSpec repro;
+  ASSERT_TRUE(simtest::ParseRepro(json, &repro));
+  EXPECT_TRUE(repro.force_policy);
+  EXPECT_EQ(repro.policy, core::QosPolicyKind::kQwin);
+  EXPECT_EQ(repro.seed, 4u);
+
+  // An artifact without the field must not force anything.
+  simtest::ReproSpec plain;
+  ASSERT_TRUE(simtest::ParseRepro(
+      simtest::ReproToJson(spec, report, Mutation::kSkipOneSubWrite, 107),
+      &plain));
+  EXPECT_FALSE(plain.force_policy);
 }
 
 TEST(SimtestTest, MutationNamesRoundTrip) {
