@@ -29,7 +29,7 @@ constexpr sim::TimeNs kSloP95 = sim::Micros(500);
 struct Driver {
   std::unique_ptr<cluster::ClusterClient> client;
   std::unique_ptr<cluster::ClusterSession> session;
-  std::unique_ptr<cluster::ClusterFlashService> service;
+  std::unique_ptr<client::ReflexService> service;
 };
 
 double RunPoint(int num_shards, double* worst_shard_p95_us) {
@@ -74,7 +74,8 @@ double RunPoint(int num_shards, double* worst_shard_p95_us) {
       std::fprintf(stderr, "cluster session refused\n");
       std::abort();
     }
-    d.service = std::make_unique<cluster::ClusterFlashService>(*d.session);
+    d.service =
+        std::make_unique<client::ReflexService>(*d.session, "ReFlex cluster");
     drivers.push_back(std::move(d));
     services.push_back(drivers.back().service.get());
   }

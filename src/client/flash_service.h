@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "client/io_result.h"
-#include "client/reflex_client.h"
+#include "client/io_session.h"
 #include "sim/task.h"
 
 namespace reflex::client {
@@ -57,11 +57,14 @@ class FlashService {
   virtual const char* name() const = 0;
 };
 
-/** FlashService adapter over a ReFlex tenant session. */
+/**
+ * FlashService adapter over any IoSession -- a single-server
+ * TenantSession or a cluster::ClusterSession equally, which is how the
+ * comparison benches run one driver against both topologies.
+ */
 class ReflexService : public FlashService {
  public:
-  explicit ReflexService(TenantSession& session,
-                         const char* name = "ReFlex")
+  explicit ReflexService(IoSession& session, const char* name = "ReFlex")
       : session_(session), name_(name) {}
 
   sim::Future<IoResult> SubmitIo(const IoDesc& io) override {
@@ -72,7 +75,7 @@ class ReflexService : public FlashService {
   const char* name() const override { return name_; }
 
  private:
-  TenantSession& session_;
+  IoSession& session_;
   const char* name_;
 };
 

@@ -7,19 +7,18 @@
 
 namespace reflex::client {
 
-LoadGenerator::LoadGenerator(sim::Simulator& sim, TenantSession& session,
+LoadGenerator::LoadGenerator(sim::Simulator& sim, IoSession& session,
                              LoadGenSpec spec)
     : sim_(sim),
       session_(session),
       spec_(spec),
       rng_(spec.seed, "load_generator"),
       done_promise_(std::make_unique<sim::VoidPromise>(sim)) {
-  const auto& profile = session_.client().server().device().profile();
   sectors_ = std::max<uint32_t>(
-      1, spec_.request_bytes / profile.sector_bytes);
+      1, spec_.request_bytes / session_.sector_bytes());
   uint64_t span = spec_.lba_span_sectors;
-  if (span == 0) span = profile.capacity_sectors - spec_.lba_offset;
-  const uint32_t spp = profile.SectorsPerPage();
+  if (span == 0) span = session_.capacity_sectors() - spec_.lba_offset;
+  const uint32_t spp = session_.sectors_per_page();
   REFLEX_CHECK(span >= sectors_);
   max_page_ = (span - sectors_) / spp;
   const bool open_loop = spec_.offered_iops > 0.0;
@@ -48,7 +47,7 @@ void LoadGenerator::Run(sim::TimeNs warm_end, sim::TimeNs end) {
   if (spec_.queue_depth > 0) {
     for (int i = 0; i < spec_.queue_depth; ++i) {
       ++outstanding_;
-      ClosedLoopWorker(i % session_.client().num_connections());
+      ClosedLoopWorker(i % session_.num_lanes());
     }
     return;
   }
@@ -58,10 +57,9 @@ void LoadGenerator::Run(sim::TimeNs warm_end, sim::TimeNs end) {
 
 std::pair<uint64_t, bool> LoadGenerator::PickOp() {
   const bool is_read = rng_.NextBernoulli(spec_.read_fraction);
-  const auto& profile = session_.client().server().device().profile();
   const uint64_t page = rng_.NextBounded(max_page_ + 1);
   const uint64_t lba =
-      spec_.lba_offset + page * profile.SectorsPerPage();
+      spec_.lba_offset + page * session_.sectors_per_page();
   return {lba, is_read};
 }
 
@@ -131,7 +129,7 @@ void LoadGenerator::ScheduleNextArrival() {
     }
     ++outstanding_;
     IssueOpenLoopOp(next_conn_);
-    next_conn_ = (next_conn_ + 1) % session_.client().num_connections();
+    next_conn_ = (next_conn_ + 1) % session_.num_lanes();
     ScheduleNextArrival();
   });
 }

@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "client/io_result.h"
-#include "client/reflex_client.h"
+#include "client/io_session.h"
 #include "sim/histogram.h"
 #include "sim/random.h"
 #include "sim/task.h"
@@ -49,16 +49,15 @@ struct LoadGenSpec {
 };
 
 /**
- * Generates read/write load against a ReFlex tenant session,
- * mimicking the paper's extended mutilate load generator: many
- * connections generate throughput while latency is recorded per
- * request; statistics are confined to the measurement window
- * [warm_end, end).
+ * Generates read/write load against any IoSession (a single ReFlex
+ * server or a sharded cluster), mimicking the paper's extended
+ * mutilate load generator: many lanes generate throughput while
+ * latency is recorded per request; statistics are confined to the
+ * measurement window [warm_end, end).
  */
 class LoadGenerator {
  public:
-  LoadGenerator(sim::Simulator& sim, TenantSession& session,
-                LoadGenSpec spec);
+  LoadGenerator(sim::Simulator& sim, IoSession& session, LoadGenSpec spec);
 
   /**
    * Starts generation. In windowed mode (offered_iops or queue_depth
@@ -89,7 +88,7 @@ class LoadGenerator {
   void MaybeFinish();
 
   sim::Simulator& sim_;
-  TenantSession& session_;
+  IoSession& session_;
   LoadGenSpec spec_;
   sim::Rng rng_;
   uint64_t max_page_ = 0;

@@ -28,6 +28,20 @@ sim::Future<IoResult> TenantSession::Barrier(int conn_index) {
                           conn_index);
 }
 
+int TenantSession::num_lanes() const { return client_.num_connections(); }
+
+uint64_t TenantSession::capacity_sectors() const {
+  return client_.server().device().profile().capacity_sectors;
+}
+
+uint32_t TenantSession::sector_bytes() const {
+  return client_.server().device().profile().sector_bytes;
+}
+
+uint32_t TenantSession::sectors_per_page() const {
+  return client_.server().device().profile().SectorsPerPage();
+}
+
 ReflexClient::ReflexClient(sim::Simulator& sim, core::ReflexServer& server,
                            net::Machine* machine, Options options)
     : sim_(sim),
@@ -285,8 +299,13 @@ void ReflexClient::ReconnectConnection(int conn_index) {
 }
 
 void ReflexClient::OnResponse(const core::ResponseMsg& resp) {
-  if (resp.type == core::RespType::kRegistered ||
-      resp.type == core::RespType::kUnregistered) {
+  const bool is_control = resp.type == core::RespType::kRegistered ||
+                          resp.type == core::RespType::kUnregistered;
+  // Every data response carries the serving thread's queue depth;
+  // surface it before any resolution/dedup logic so even stale
+  // duplicates refresh the load estimate.
+  if (!is_control && hint_listener_) hint_listener_(resp.queue_depth_hint);
+  if (is_control) {
     auto it = pending_control_.find(resp.cookie);
     REFLEX_CHECK(it != pending_control_.end());
     sim::Promise<core::ResponseMsg> promise = std::move(it->second);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "client/io_result.h"
+#include "client/io_session.h"
 #include "core/reflex_server.h"
 #include "net/network.h"
 #include "net/stack_costs.h"
@@ -33,9 +34,9 @@ class ReflexClient;
  * unregisters it on destruction; AttachSession() leaves lifetime
  * with whoever registered the tenant.
  */
-class TenantSession {
+class TenantSession : public IoSession {
  public:
-  ~TenantSession();
+  ~TenantSession() override;
   TenantSession(const TenantSession&) = delete;
   TenantSession& operator=(const TenantSession&) = delete;
 
@@ -47,11 +48,13 @@ class TenantSession {
    * one connection of the pool; -1 round-robins.
    */
   sim::Future<IoResult> Read(uint64_t lba, uint32_t sectors,
-                             uint8_t* data = nullptr, int conn_index = -1);
+                             uint8_t* data = nullptr,
+                             int conn_index = -1) override;
 
   /** Issues a write; see Read(). */
   sim::Future<IoResult> Write(uint64_t lba, uint32_t sectors,
-                              uint8_t* data = nullptr, int conn_index = -1);
+                              uint8_t* data = nullptr,
+                              int conn_index = -1) override;
 
   /**
    * Issues an ordering barrier (paper section 4.1 extension): resolves
@@ -62,6 +65,14 @@ class TenantSession {
 
   uint32_t handle() const { return handle_; }
   ReflexClient& client() { return client_; }
+
+  // IoSession: one lane per TCP connection of the shared pool; the
+  // device profile supplies geometry.
+  uint32_t tenant_handle() const override { return handle_; }
+  int num_lanes() const override;
+  uint64_t capacity_sectors() const override;
+  uint32_t sector_bytes() const override;
+  uint32_t sectors_per_page() const override;
 
  private:
   friend class ReflexClient;
@@ -187,6 +198,18 @@ class ReflexClient {
 
   const FaultStats& fault_stats() const { return fault_stats_; }
 
+  /**
+   * Observer for the queue-depth hint the server piggybacks on every
+   * data response (core::ResponseMsg::queue_depth_hint). Invoked
+   * synchronously from response receive -- including for stale
+   * duplicates, whose hints are just as fresh as any other. Used by
+   * ClusterClient to maintain per-shard load estimates for
+   * power-of-d-choices read steering.
+   */
+  void set_hint_listener(std::function<void(uint32_t)> fn) {
+    hint_listener_ = std::move(fn);
+  }
+
  private:
   friend class TenantSession;
   struct PendingOp {
@@ -253,6 +276,7 @@ class ReflexClient {
       pending_control_;
 
   FaultStats fault_stats_;
+  std::function<void(uint32_t)> hint_listener_;
   obs::Counter* timeouts_metric_ = nullptr;
   obs::Counter* retries_metric_ = nullptr;
   obs::Counter* failures_metric_ = nullptr;

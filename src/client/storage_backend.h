@@ -5,6 +5,7 @@
 
 #include "client/flash_service.h"
 #include "client/io_result.h"
+#include "client/io_session.h"
 #include "core/protocol.h"
 #include "sim/task.h"
 
@@ -68,6 +69,49 @@ class ServiceStorageAdapter : public StorageBackend {
 
   FlashService& service_;
   uint64_t capacity_bytes_;
+};
+
+/**
+ * Byte-addressed backend over any IoSession. The session supplies its
+ * own capacity, so the applications (FIO, graph engine, LSM store)
+ * run identically on a single server or a sharded cluster.
+ */
+class SessionStorageBackend : public StorageBackend {
+ public:
+  explicit SessionStorageBackend(IoSession& session,
+                                 const char* name = "ReFlex")
+      : session_(session), name_(name) {}
+
+  sim::Future<IoResult> ReadBytes(uint64_t offset, uint32_t bytes,
+                                  uint8_t* data) override {
+    return session_.Read(offset / core::kSectorBytes,
+                         SectorsFor(offset, bytes), data);
+  }
+
+  sim::Future<IoResult> WriteBytes(uint64_t offset, uint32_t bytes,
+                                   const uint8_t* data) override {
+    return session_.Write(offset / core::kSectorBytes,
+                          SectorsFor(offset, bytes),
+                          const_cast<uint8_t*>(data));
+  }
+
+  uint64_t CapacityBytes() const override {
+    return session_.capacity_sectors() *
+           static_cast<uint64_t>(session_.sector_bytes());
+  }
+
+  const char* name() const override { return name_; }
+
+ private:
+  static uint32_t SectorsFor(uint64_t offset, uint32_t bytes) {
+    const uint64_t first = offset / core::kSectorBytes;
+    const uint64_t end =
+        (offset + bytes + core::kSectorBytes - 1) / core::kSectorBytes;
+    return static_cast<uint32_t>(end - first);
+  }
+
+  IoSession& session_;
+  const char* name_;
 };
 
 }  // namespace reflex::client

@@ -2,20 +2,43 @@
 #define REFLEX_CLUSTER_CLUSTER_CLIENT_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "client/flash_service.h"
 #include "client/io_result.h"
+#include "client/io_session.h"
 #include "client/reflex_client.h"
 #include "client/storage_backend.h"
 #include "cluster/cluster_control_plane.h"
 #include "cluster/flash_cluster.h"
 #include "sim/histogram.h"
+#include "sim/random.h"
 #include "sim/task.h"
 
 namespace reflex::cluster {
 
 class ClusterClient;
+
+/**
+ * How replicated reads choose among the R copies of an extent
+ * (RackSched-style; writes always go to every live replica).
+ */
+enum class SteeringPolicy : uint8_t {
+  /** Always the primary -- reproduces the unreplicated cluster. */
+  kPrimaryOnly = 0,
+  /** Power-of-two-choices over piggybacked queue-depth hints: sample
+   * two distinct replicas, take the shallower queue. */
+  kPowerOfTwo = 1,
+  /** Scan all R replicas for the shallowest queue. */
+  kFullScan = 2,
+};
+
+/** Stable name for a SteeringPolicy (scenario JSON, bench output). */
+const char* SteeringPolicyName(SteeringPolicy policy);
+
+/** Parses a SteeringPolicyName(); returns false on unknown names. */
+bool SteeringPolicyFromName(const std::string& name, SteeringPolicy* out);
 
 /**
  * A tenant's I/O endpoint on a sharded cluster: the session owns one
@@ -26,28 +49,42 @@ class ClusterClient;
  * extent does -- the returned IoResult carries the first failing
  * status, or kOk if every extent succeeded.
  *
+ * With replication (ShardMapOptions::replication > 1) each extent has
+ * R placements. Writes go to every replica and succeed if at least
+ * one copy lands on a readable (non-dirty) replica -- replicas that
+ * failed while another succeeded are marked dirty on the
+ * ClusterClient and serve no reads until reinstated. Reads are
+ * steered by the client's SteeringPolicy over per-shard queue-depth
+ * hints, fail over to untried live replicas on error or timeout, and
+ * fail closed (kDeviceError) when every replica of an extent is
+ * dirty.
+ *
  * Sessions from ClusterClient::OpenSession() own the cluster-wide
  * tenant registration and unregister it on destruction (mirroring
  * client::TenantSession); AttachSession() leaves lifetime with the
  * caller.
  */
-class ClusterSession {
+class ClusterSession : public client::IoSession {
  public:
-  ~ClusterSession();
+  ~ClusterSession() override;
   ClusterSession(const ClusterSession&) = delete;
   ClusterSession& operator=(const ClusterSession&) = delete;
 
   /**
    * Reads `sectors` 512B sectors at logical `lba`. `data` (optional)
    * receives the payload, reassembled byte-exact across shards. The
-   * future resolves when the last shard extent completes.
+   * future resolves when the last shard extent completes. `lane` pins
+   * sub-requests to one connection of every per-shard pool; -1 lets
+   * each pool round-robin.
    */
   sim::Future<client::IoResult> Read(uint64_t lba, uint32_t sectors,
-                                     uint8_t* data = nullptr);
+                                     uint8_t* data = nullptr,
+                                     int lane = -1) override;
 
-  /** Writes; see Read(). */
+  /** Writes (to every live replica of each extent); see Read(). */
   sim::Future<client::IoResult> Write(uint64_t lba, uint32_t sectors,
-                                      uint8_t* data = nullptr);
+                                      uint8_t* data = nullptr,
+                                      int lane = -1) override;
 
   const ClusterTenant& tenant() const { return tenant_; }
   ClusterClient& client() { return client_; }
@@ -55,17 +92,34 @@ class ClusterSession {
     return *shard_sessions_[shard];
   }
 
+  // IoSession geometry: the logical volume the shard map exposes.
+  uint32_t tenant_handle() const override { return tenant_.handles[0]; }
+  int num_lanes() const override;
+  uint64_t capacity_sectors() const override;
+  uint32_t sector_bytes() const override;
+  uint32_t sectors_per_page() const override;
+
   /** Per-shard end-to-end latency of this session's *successful*
-   * extents (ns). Failed extents are not recorded: their duration is
-   * the failure path, not shard service latency. A multi-extent I/O
-   * reports the first failing extent's status (logical-LBA order). */
+   * sub-requests (ns), attributed to the shard that actually served
+   * each one -- a read steered or failed over to a replica lands in
+   * the replica's histogram, not the primary's. Failed sub-requests
+   * are not recorded: their duration is the failure path, not shard
+   * service latency. A multi-extent I/O reports the first failing
+   * extent's status (logical-LBA order). */
   const sim::Histogram& shard_latency(int shard) const {
     return shard_latency_[shard];
+  }
+
+  /** Successful reads served by `shard` (steering-imbalance metric). */
+  int64_t shard_reads_served(int shard) const {
+    return shard_reads_served_[shard];
   }
 
   int64_t requests_issued() const { return requests_issued_; }
   /** Requests that crossed a stripe boundary and were split. */
   int64_t requests_split() const { return requests_split_; }
+  /** Read sub-requests that failed over to another replica. */
+  int64_t read_failovers() const { return read_failovers_; }
 
  private:
   friend class ClusterClient;
@@ -74,18 +128,34 @@ class ClusterSession {
                  bool owns_tenant);
 
   sim::Future<client::IoResult> Submit(client::IoOp op, uint64_t lba,
-                                       uint32_t sectors, uint8_t* data);
-  sim::Task FanOut(std::vector<ShardExtent> extents, client::IoOp op,
-                   uint8_t* data, sim::TimeNs issue_time,
-                   sim::Promise<client::IoResult> promise);
+                                       uint32_t sectors, uint8_t* data,
+                                       int lane);
+  sim::Task FanOutRead(std::vector<ShardExtent> extents, uint8_t* data,
+                       int lane, sim::TimeNs issue_time,
+                       sim::Promise<client::IoResult> promise);
+  sim::Task FanOutWrite(std::vector<ShardExtent> extents, uint8_t* data,
+                        int lane, sim::TimeNs issue_time,
+                        sim::Promise<client::IoResult> promise);
+
+  /** Live (non-dirty) placements of `e`, primary first; empty when
+   * every replica is marked dirty (reads then fail closed). */
+  std::vector<ReplicaTarget> LiveTargets(const ShardExtent& e) const;
+
+  /** Picks the steered first choice among `candidates` (index into
+   * the vector). Draws from steer_rng_ only for power-of-two with
+   * more than two candidates, so R=1 consumes no randomness. */
+  size_t SteerChoice(const std::vector<ReplicaTarget>& candidates);
 
   ClusterClient& client_;
   ClusterTenant tenant_;
   std::vector<std::unique_ptr<client::TenantSession>> shard_sessions_;
   std::vector<sim::Histogram> shard_latency_;
+  std::vector<int64_t> shard_reads_served_;
+  sim::Rng steer_rng_;
   bool owns_tenant_;
   int64_t requests_issued_ = 0;
   int64_t requests_split_ = 0;
+  int64_t read_failovers_ = 0;
 };
 
 /**
@@ -95,6 +165,12 @@ class ClusterSession {
  * the ClusterControlPlane's all-or-nothing admission) and returns an
  * owning session; AttachSession opens a session over a tenant
  * registered elsewhere.
+ *
+ * The client also owns the cluster-wide steering state shared by its
+ * sessions: per-shard queue-depth hints (piggybacked by servers on
+ * every response, decaying toward a prior when stale) and the dirty
+ * set of replicas that missed a write and must not serve reads until
+ * reinstated.
  */
 class ClusterClient {
  public:
@@ -105,19 +181,37 @@ class ClusterClient {
      * randomness.
      */
     client::ReflexClient::Options client;
+
+    /** Read steering over replicas (ignored at replication == 1,
+     * where every policy degenerates to the primary). */
+    SteeringPolicy steering = SteeringPolicy::kPrimaryOnly;
+
+    /**
+     * Hint decay horizon: a shard's queue-depth hint interpolates
+     * linearly back to `hint_prior` over this window since the last
+     * response from that shard, so a silent (possibly dead) shard
+     * neither repels nor attracts reads forever on stale evidence.
+     */
+    sim::TimeNs hint_stale_after = sim::Micros(500);
+
+    /** Queue depth assumed for shards with no (fresh) hint. */
+    double hint_prior = 0.0;
   };
 
   ClusterClient(FlashCluster& cluster, net::Machine* machine,
-                Options options = {});
+                Options options);
+  /** Default options (primary-only steering). */
+  ClusterClient(FlashCluster& cluster, net::Machine* machine);
 
   /**
    * Registers `slo` across every shard and returns a session owning
-   * the registration; null (with `status` set) if any shard's
-   * admission control rejects its share.
+   * the registration; null (with `result` filled) if admission
+   * rejects the SLO or post-admission session setup fails and rolls
+   * the registration back.
    */
   std::unique_ptr<ClusterSession> OpenSession(
       const core::SloSpec& slo, core::TenantClass cls,
-      core::ReqStatus* status = nullptr);
+      AdmitResult* result = nullptr);
 
   /** Session over an existing cluster-wide registration (not owned). */
   std::unique_ptr<ClusterSession> AttachSession(
@@ -126,75 +220,65 @@ class ClusterClient {
   FlashCluster& cluster() { return cluster_; }
   client::ReflexClient& shard_client(int shard) { return *clients_[shard]; }
   net::Machine* machine() { return machine_; }
+  const Options& options() const { return options_; }
+
+  /**
+   * Current steering estimate of `shard`'s queue depth: the last
+   * piggybacked hint, decayed linearly toward Options::hint_prior
+   * over Options::hint_stale_after.
+   */
+  double EffectiveQueueDepth(int shard) const;
+
+  /**
+   * Marks `shard` dirty as of `version` (a write version it missed):
+   * the shard stops serving this client's reads and replicated writes
+   * until ReinstateShard(), modeling a replica awaiting resync.
+   */
+  void MarkDirty(int shard, uint64_t version);
+  bool IsDirty(int shard) const { return dirty_since_[shard] != 0; }
+  /** First write version `shard` missed (0 when clean). */
+  uint64_t dirty_since_version(int shard) const {
+    return dirty_since_[shard];
+  }
+  /** Declares `shard` resynced (out-of-band) and steerable again. */
+  void ReinstateShard(int shard) { dirty_since_[shard] = 0; }
+
+  /** Monotonic stamp for replicated writes (dirty bookkeeping). */
+  uint64_t NextWriteVersion() { return next_write_version_++; }
+
+  /**
+   * Floods `shard`'s hint with a penalty depth so steering avoids it
+   * until a fresh response (or hint decay) rehabilitates it. Called
+   * by sessions when a read on the shard times out.
+   */
+  void PenalizeShard(int shard);
 
  private:
+  friend class ClusterSession;
+
+  /** Penalty depth installed by PenalizeShard: far above any real
+   * queue, so every live replica wins a steering comparison. */
+  static constexpr double kPenaltyDepth = 1e9;
+
+  struct HintState {
+    double depth = 0.0;
+    sim::TimeNs at = 0;
+    bool seen = false;
+  };
+
   std::unique_ptr<ClusterSession> MakeSession(ClusterTenant tenant,
                                               bool owns_tenant,
-                                              core::ReqStatus* status);
+                                              AdmitResult* result);
+  void ObserveHint(int shard, uint32_t depth);
 
   FlashCluster& cluster_;
   net::Machine* machine_;
   Options options_;
   std::vector<std::unique_ptr<client::ReflexClient>> clients_;
-};
-
-/** FlashService adapter over a ClusterSession: lets every existing
- * workload driver (load generators, apps) run against the sharded
- * cluster unmodified. */
-class ClusterFlashService : public client::FlashService {
- public:
-  explicit ClusterFlashService(ClusterSession& session,
-                               const char* name = "ReFlex cluster")
-      : session_(session), name_(name) {}
-
-  sim::Future<client::IoResult> SubmitIo(const client::IoDesc& io) override {
-    return io.is_read() ? session_.Read(io.lba, io.sectors, io.data)
-                        : session_.Write(io.lba, io.sectors, io.data);
-  }
-
-  const char* name() const override { return name_; }
-
- private:
-  ClusterSession& session_;
-  const char* name_;
-};
-
-/** Byte-addressed StorageBackend over a ClusterSession, so the
- * applications (FIO, graph engine, LSM store) run on the cluster the
- * same way they run on a single server. */
-class ShardedStorageBackend : public client::StorageBackend {
- public:
-  explicit ShardedStorageBackend(ClusterSession& session)
-      : session_(session) {}
-
-  sim::Future<client::IoResult> ReadBytes(uint64_t offset, uint32_t bytes,
-                                          uint8_t* data) override {
-    return session_.Read(offset / core::kSectorBytes,
-                         SectorsFor(offset, bytes), data);
-  }
-
-  sim::Future<client::IoResult> WriteBytes(uint64_t offset, uint32_t bytes,
-                                           const uint8_t* data) override {
-    return session_.Write(offset / core::kSectorBytes,
-                          SectorsFor(offset, bytes),
-                          const_cast<uint8_t*>(data));
-  }
-
-  uint64_t CapacityBytes() const override {
-    return session_.client().cluster().capacity_bytes();
-  }
-
-  const char* name() const override { return "ReFlex cluster"; }
-
- private:
-  static uint32_t SectorsFor(uint64_t offset, uint32_t bytes) {
-    const uint64_t first = offset / core::kSectorBytes;
-    const uint64_t end =
-        (offset + bytes + core::kSectorBytes - 1) / core::kSectorBytes;
-    return static_cast<uint32_t>(end - first);
-  }
-
-  ClusterSession& session_;
+  std::vector<HintState> hints_;
+  /** Per shard: 0 = clean, else the write version it first missed. */
+  std::vector<uint64_t> dirty_since_;
+  uint64_t next_write_version_ = 1;
 };
 
 }  // namespace reflex::cluster

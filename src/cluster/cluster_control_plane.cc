@@ -6,6 +6,20 @@
 
 namespace reflex::cluster {
 
+const char* AdmitKindName(AdmitResult::Kind kind) {
+  switch (kind) {
+    case AdmitResult::Kind::kAccepted:
+      return "accepted";
+    case AdmitResult::Kind::kRejectedCapacity:
+      return "rejected_capacity";
+    case AdmitResult::Kind::kRejectedShard:
+      return "rejected_shard";
+    case AdmitResult::Kind::kRolledBack:
+      return "rolled_back";
+  }
+  return "unknown";
+}
+
 ClusterControlPlane::ClusterControlPlane(FlashCluster& cluster)
     : cluster_(cluster) {}
 
@@ -20,7 +34,7 @@ core::SloSpec ClusterControlPlane::ShardShare(const core::SloSpec& slo,
 
 ClusterTenant ClusterControlPlane::RegisterTenant(const core::SloSpec& slo,
                                                   core::TenantClass cls,
-                                                  core::ReqStatus* status) {
+                                                  AdmitResult* result) {
   ClusterTenant tenant;
   tenant.cluster_slo = slo;
   tenant.shard_slo = cls == core::TenantClass::kLatencyCritical
@@ -36,13 +50,22 @@ ClusterTenant ClusterControlPlane::RegisterTenant(const core::SloSpec& slo,
       for (int k = 0; k < i; ++k) {
         cluster_.server(k).UnregisterTenant(tenant.handles[k]);
       }
-      if (status != nullptr) *status = shard_status;
+      if (result != nullptr) {
+        // kOutOfResources is the token-math verdict "this share does
+        // not fit", a cluster-capacity problem; anything else is the
+        // specific shard misbehaving.
+        result->kind = shard_status == core::ReqStatus::kOutOfResources
+                           ? AdmitResult::Kind::kRejectedCapacity
+                           : AdmitResult::Kind::kRejectedShard;
+        result->shard = i;
+        result->status = shard_status;
+      }
       ++tenants_rejected_;
       return ClusterTenant{};
     }
     tenant.handles.push_back(t->handle());
   }
-  if (status != nullptr) *status = core::ReqStatus::kOk;
+  if (result != nullptr) *result = AdmitResult{};
   ++tenants_admitted_;
   active_tenants_.push_back(tenant);
   return tenant;

@@ -27,6 +27,42 @@ struct ClusterTenant {
 };
 
 /**
+ * Typed outcome of cluster-wide admission (RegisterTenant /
+ * ClusterClient::OpenSession). Distinguishes "the cluster has no
+ * capacity for this SLO" from "one shard refused" -- the replication
+ * control plane treats the former as a tenant problem and the latter
+ * as a shard-health signal (e.g. a replica that is down or dirty and
+ * should be excluded until re-registered).
+ */
+struct AdmitResult {
+  enum class Kind : uint8_t {
+    /** Admitted on every shard. */
+    kAccepted = 0,
+    /** A shard's token math rejected the per-shard share
+     * (kOutOfResources): the cluster lacks capacity for the SLO. */
+    kRejectedCapacity = 1,
+    /** A shard refused for a non-capacity reason (connection refused,
+     * ACL, dead replica); `shard` identifies it. */
+    kRejectedShard = 2,
+    /** Admission succeeded but post-admission setup (per-shard session
+     * attach) failed and the registration was rolled back. */
+    kRolledBack = 3,
+  };
+
+  Kind kind = Kind::kAccepted;
+  /** Shard index the failure is attributed to; -1 when not tied to
+   * one shard (accepted, or capacity exhausted cluster-wide). */
+  int shard = -1;
+  /** The underlying per-shard status code. */
+  core::ReqStatus status = core::ReqStatus::kOk;
+
+  bool ok() const { return kind == Kind::kAccepted; }
+};
+
+/** Stable name for an AdmitResult::Kind (logs, bench JSON). */
+const char* AdmitKindName(AdmitResult::Kind kind);
+
+/**
  * Cluster-wide admission control and metrics rollup.
  *
  * Admission splits a tenant's cluster SLO into equal per-shard shares
@@ -41,12 +77,12 @@ class ClusterControlPlane {
 
   /**
    * Registers `slo` across every shard. On rejection returns an
-   * invalid ClusterTenant, sets `status` (optional) to the refusing
-   * shard's reason, and unregisters any shards already admitted.
+   * invalid ClusterTenant, fills `result` (optional) with the typed
+   * reason, and unregisters any shards already admitted.
    */
   ClusterTenant RegisterTenant(const core::SloSpec& slo,
                                core::TenantClass cls,
-                               core::ReqStatus* status = nullptr);
+                               AdmitResult* result = nullptr);
 
   /** Unregisters the tenant from every shard. */
   bool UnregisterTenant(const ClusterTenant& tenant);

@@ -19,6 +19,13 @@ uint64_t Mix(uint64_t x) {
 
 ShardMap::ShardMap(ShardMapOptions options) : options_(options) {
   REFLEX_CHECK(options_.stripe_sectors > 0);
+  REFLEX_CHECK(options_.replication >= 1);
+}
+
+int ShardMap::replication() const {
+  if (shards_.empty()) return 1;
+  return std::min(options_.replication,
+                  static_cast<int>(shards_.size()));
 }
 
 void ShardMap::AddShard(uint32_t shard_id, uint64_t capacity_sectors) {
@@ -41,12 +48,19 @@ uint64_t ShardMap::ComputeCapacitySectors() const {
   for (const Shard& s : shards_) {
     min_capacity = std::min(min_capacity, s.capacity_sectors);
   }
-  const uint64_t stripes_per_shard = min_capacity / options_.stripe_sectors;
   if (options_.placement == Placement::kStriped) {
-    return shards_.size() * stripes_per_shard * options_.stripe_sectors;
+    // Each shard packs R-way replica slots densely, so R copies of
+    // every stripe shrink the usable volume by a factor of R (exact
+    // at R=1: slots == stripes).
+    const uint64_t r = static_cast<uint64_t>(replication());
+    const uint64_t slots_per_shard =
+        min_capacity / (options_.stripe_sectors * r);
+    return shards_.size() * slots_per_shard * options_.stripe_sectors;
   }
   // Hashed placement addresses shards by logical LBA, so any shard
-  // must be able to back the whole volume.
+  // must be able to back the whole volume -- replicas are identity-
+  // addressed too and cost no extra logical capacity.
+  const uint64_t stripes_per_shard = min_capacity / options_.stripe_sectors;
   return stripes_per_shard * options_.stripe_sectors;
 }
 
@@ -70,6 +84,59 @@ int ShardMap::ShardIndexForStripe(uint64_t stripe) const {
   return best;
 }
 
+std::vector<ReplicaTarget> ShardMap::TargetsForStripe(
+    uint64_t stripe, uint32_t within) const {
+  REFLEX_CHECK(!shards_.empty());
+  const uint64_t n = shards_.size();
+  const int r = replication();
+  std::vector<ReplicaTarget> out;
+  out.reserve(static_cast<size_t>(r));
+  if (options_.placement == Placement::kStriped) {
+    // Replica ordinal k of stripe s lives on shard (s + k) mod N, in
+    // that shard's slot (s / N) at intra-slot position k. Slot index
+    // (s/N)*R + k is unique per (shard, stripe, ordinal): two pairs
+    // collide only if both the quotient and the ordinal agree, which
+    // forces the same stripe.
+    const uint64_t primary = stripe % n;
+    const uint64_t slot_base =
+        (stripe / n) * options_.stripe_sectors * static_cast<uint64_t>(r);
+    for (int k = 0; k < r; ++k) {
+      const size_t index =
+          static_cast<size_t>((primary + static_cast<uint64_t>(k)) % n);
+      out.push_back(ReplicaTarget{
+          static_cast<int>(index), shards_[index].id,
+          slot_base + static_cast<uint64_t>(k) * options_.stripe_sectors +
+              within});
+    }
+    return out;
+  }
+  // Hashed: the rendezvous top-R shards by (weight desc, id asc) --
+  // the same total order whose maximum is the primary, so adding or
+  // removing replicas never moves existing ones. Identity-addressed,
+  // like the primary.
+  std::vector<size_t> order(shards_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<uint64_t> weights(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    weights[i] = Mix(Mix(stripe ^ options_.seed) ^ shards_[i].id);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return shards_[a].id < shards_[b].id;
+  });
+  for (int k = 0; k < r; ++k) {
+    const size_t index = order[static_cast<size_t>(k)];
+    out.push_back(ReplicaTarget{static_cast<int>(index), shards_[index].id,
+                                stripe * options_.stripe_sectors + within});
+  }
+  return out;
+}
+
+std::vector<ReplicaTarget> ShardMap::ReplicasForStripe(
+    uint64_t stripe) const {
+  return TargetsForStripe(stripe, /*within=*/0);
+}
+
 std::vector<ShardExtent> ShardMap::Split(uint64_t lba,
                                          uint32_t sectors) const {
   // A zero-sector request touches no shard: it splits into no extents
@@ -77,7 +144,6 @@ std::vector<ShardExtent> ShardMap::Split(uint64_t lba,
   if (sectors == 0) return {};
   REFLEX_CHECK(lba + sectors <= capacity_sectors());
   const uint64_t stripe_sectors = options_.stripe_sectors;
-  const uint64_t num_shards = shards_.size();
 
   std::vector<ShardExtent> out;
   uint64_t cur = lba;
@@ -88,17 +154,33 @@ std::vector<ShardExtent> ShardMap::Split(uint64_t lba,
     const uint32_t within = static_cast<uint32_t>(cur % stripe_sectors);
     const uint32_t run = std::min(
         remaining, static_cast<uint32_t>(stripe_sectors - within));
-    const int index = ShardIndexForStripe(stripe);
-    const uint64_t shard_lba =
-        options_.placement == Placement::kStriped
-            ? (stripe / num_shards) * stripe_sectors + within
-            : cur;
-    if (!out.empty() && out.back().shard_index == index &&
-        out.back().shard_lba + out.back().sectors == shard_lba) {
+    std::vector<ReplicaTarget> targets = TargetsForStripe(stripe, within);
+    const ReplicaTarget& primary = targets[0];
+    // Merge with the previous extent only when every placement --
+    // primary and each replica ordinal -- continues contiguously on
+    // the same shard, so one merged extent still describes one
+    // contiguous run per target.
+    bool mergeable =
+        !out.empty() && out.back().shard_index == primary.shard_index &&
+        out.back().shard_lba + out.back().sectors == primary.shard_lba &&
+        out.back().replicas.size() == targets.size() - 1;
+    for (size_t k = 1; mergeable && k < targets.size(); ++k) {
+      const ReplicaTarget& prev = out.back().replicas[k - 1];
+      mergeable = prev.shard_index == targets[k].shard_index &&
+                  prev.shard_lba + out.back().sectors ==
+                      targets[k].shard_lba;
+    }
+    if (mergeable) {
       out.back().sectors += run;
     } else {
-      out.push_back(ShardExtent{index, shards_[index].id, shard_lba, run,
-                                buffer_offset});
+      ShardExtent e;
+      e.shard_index = primary.shard_index;
+      e.shard_id = primary.shard_id;
+      e.shard_lba = primary.shard_lba;
+      e.sectors = run;
+      e.buffer_offset_sectors = buffer_offset;
+      e.replicas.assign(targets.begin() + 1, targets.end());
+      out.push_back(std::move(e));
     }
     cur += run;
     remaining -= run;

@@ -28,6 +28,24 @@ struct ShardMapOptions {
 
   /** Seed for hashed placement (ignored for striped). */
   uint64_t seed = 0x5eed;
+
+  /**
+   * Copies of every stripe (RAIN-style): one primary plus R-1
+   * replicas, clamped to the shard count. R=1 reproduces the
+   * unreplicated map bit-for-bit -- identical shard LBAs, identical
+   * capacity, empty replica lists.
+   */
+  int replication = 1;
+};
+
+/**
+ * One placement of a stripe range on one shard: which shard, and the
+ * LBA in that shard's address space.
+ */
+struct ReplicaTarget {
+  int shard_index = 0;
+  uint32_t shard_id = 0;
+  uint64_t shard_lba = 0;
 };
 
 /**
@@ -42,6 +60,23 @@ struct ShardExtent {
   uint32_t sectors = 0;
   /** Offset of this extent's payload in the logical I/O's buffer. */
   uint32_t buffer_offset_sectors = 0;
+
+  /**
+   * Replica placements of this extent beyond the primary (ordinals
+   * 1..R-1; empty when replication == 1). Each replica holds the same
+   * `sectors` run starting at its own shard_lba. Writes go to the
+   * primary and every replica; reads may be steered to any of them.
+   */
+  std::vector<ReplicaTarget> replicas;
+
+  /** All R placements, primary first (for uniform iteration). */
+  std::vector<ReplicaTarget> AllTargets() const {
+    std::vector<ReplicaTarget> out;
+    out.reserve(1 + replicas.size());
+    out.push_back(ReplicaTarget{shard_index, shard_id, shard_lba});
+    out.insert(out.end(), replicas.begin(), replicas.end());
+    return out;
+  }
 };
 
 /**
@@ -75,8 +110,21 @@ class ShardMap {
    */
   uint64_t capacity_sectors() const { return capacity_cache_; }
 
-  /** Shard index serving logical stripe `stripe`. */
+  /** Effective replication factor: options().replication clamped to
+   * the shard count (always >= 1 once a shard exists). */
+  int replication() const;
+
+  /** Shard index serving logical stripe `stripe` (the primary). */
   int ShardIndexForStripe(uint64_t stripe) const;
+
+  /**
+   * All R placements of logical stripe `stripe`, primary first, with
+   * shard LBAs of the stripe's first sector. Striped placement puts
+   * replica ordinal k on shard (primary + k) mod N, each shard packing
+   * its R-way slots densely; hashed placement takes the rendezvous
+   * top-R (identity-addressed, like the primary).
+   */
+  std::vector<ReplicaTarget> ReplicasForStripe(uint64_t stripe) const;
 
   /**
    * Splits [lba, lba+sectors) into per-shard extents, in logical-LBA
@@ -93,6 +141,11 @@ class ShardMap {
   };
 
   uint64_t ComputeCapacitySectors() const;
+
+  /** All R placements of `stripe`, primary first, with `within`
+   * sectors of intra-stripe offset applied to every shard LBA. */
+  std::vector<ReplicaTarget> TargetsForStripe(uint64_t stripe,
+                                              uint32_t within) const;
 
   ShardMapOptions options_;
   std::vector<Shard> shards_;

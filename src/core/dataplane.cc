@@ -352,6 +352,16 @@ void DataplaneThread::SubmitToFlash(Tenant& tenant, PendingIo&& io) {
   }
 }
 
+uint32_t DataplaneThread::QueueDepthHint() const {
+  // Everything a newly-arriving request would queue behind on this
+  // thread: unparsed receives, scheduler-queued requests, device
+  // submissions in flight and completions awaiting TX.
+  uint64_t depth = rx_ring_.size() + cq_ring_.size();
+  depth += static_cast<uint64_t>(scheduler_.QueuedRequests());
+  if (qp_ != nullptr) depth += static_cast<uint64_t>(qp_->Outstanding());
+  return static_cast<uint32_t>(depth);
+}
+
 void DataplaneThread::SendResponse(ServerConnection* conn,
                                    const ResponseMsg& resp) {
   ++stats_.responses_tx;
@@ -362,6 +372,7 @@ void DataplaneThread::SendResponse(ServerConnection* conn,
   }
   ServerConnection* c = conn;
   ResponseMsg r = resp;
+  r.queue_depth_hint = QueueDepthHint();
   conn->tcp()->SendToClient(resp.WireBytes(kSectorBytes), [c, r] {
     if (c->on_response) c->on_response(r);
   });

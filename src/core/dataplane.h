@@ -199,6 +199,9 @@ class DataplaneThread {
   double LlcFactor() const;
   void HandleControlMsg(ServerConnection* conn, const RequestMsg& msg);
   void SubmitToFlash(Tenant& tenant, PendingIo&& io);
+  /** Load estimate piggybacked on every response (ResponseMsg::
+   * queue_depth_hint): requests queued or in flight on this thread. */
+  uint32_t QueueDepthHint() const;
   void SendResponse(ServerConnection* conn, const ResponseMsg& resp);
   void FailIo(const PendingIo& io, ReqStatus status);
 

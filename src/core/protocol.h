@@ -126,6 +126,16 @@ struct ResponseMsg {
   uint64_t cookie = 0;
   uint32_t sectors = 0;
 
+  /**
+   * Queue-depth hint piggybacked by the serving dataplane thread on
+   * every response (RackSched-style): requests queued or in flight on
+   * that thread at transmit time. Clients steering reads across
+   * replicas use it for power-of-d choices. Rides in reserved bytes of
+   * the 24-byte response header, so it adds no wire bytes and cannot
+   * perturb network timing.
+   */
+  uint32_t queue_depth_hint = 0;
+
   uint32_t WireBytes(uint32_t sector_bytes) const {
     switch (type) {
       case RespType::kRegistered:

@@ -75,6 +75,17 @@ bool QosScheduler::HasPendingDemand() const {
   return false;
 }
 
+int64_t QosScheduler::QueuedRequests() const {
+  int64_t queued = 0;
+  for (const Tenant* t : lc_tenants_) {
+    queued += static_cast<int64_t>(t->queue_.size());
+  }
+  for (const Tenant* t : be_tenants_) {
+    queued += static_cast<int64_t>(t->queue_.size());
+  }
+  return queued;
+}
+
 bool QosScheduler::FrontBlockedByBarrier(const Tenant& t) {
   return !t.queue_.empty() &&
          t.queue_.front().msg.type == ReqType::kBarrier && t.inflight > 0;

@@ -117,6 +117,9 @@ class QosScheduler {
   /** True if any tenant on this thread has queued requests. */
   bool HasPendingDemand() const;
 
+  /** Requests queued across every tenant bound to this thread. */
+  int64_t QueuedRequests() const;
+
   /** Number of tenants bound to this scheduler. */
   int NumTenants() const {
     return static_cast<int>(lc_tenants_.size() + be_tenants_.size());

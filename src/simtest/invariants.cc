@@ -1,9 +1,14 @@
 #include "simtest/invariants.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <map>
 #include <sstream>
+#include <utility>
 
 #include "cluster/cluster_control_plane.h"
+#include "cluster/shard_map.h"
 
 namespace reflex::simtest {
 namespace {
@@ -124,6 +129,58 @@ std::vector<InvariantViolation> CheckClusterInvariants(
         detail << "cluster tenant " << k << " handle " << t.handles[s]
                << " is missing/inactive/misclassed on shard " << s;
         Add(out, "shard_registration", detail);
+      }
+    }
+  }
+
+  // Replica-layout well-formedness over a sample of stripes: every
+  // stripe must have exactly R placements on R distinct shards with
+  // the primary agreeing with ShardIndexForStripe, and no two
+  // placements may share a (shard, shard LBA) slot -- a collision
+  // would silently alias two stripes' data.
+  const cluster::ShardMap& map = cluster.shard_map();
+  if (map.num_shards() > 0 && map.capacity_sectors() > 0) {
+    const int r = map.replication();
+    const uint64_t num_stripes =
+        map.capacity_sectors() / map.options().stripe_sectors;
+    const uint64_t sample = std::min<uint64_t>(num_stripes, 256);
+    std::map<std::pair<int, uint64_t>, uint64_t> slot_owner;
+    for (uint64_t stripe = 0; stripe < sample; ++stripe) {
+      const auto targets = map.ReplicasForStripe(stripe);
+      if (static_cast<int>(targets.size()) != r) {
+        std::ostringstream detail;
+        detail << "stripe " << stripe << " has " << targets.size()
+               << " placements, expected replication " << r;
+        Add(out, "replica_count", detail);
+        continue;
+      }
+      if (targets[0].shard_index != map.ShardIndexForStripe(stripe)) {
+        std::ostringstream detail;
+        detail << "stripe " << stripe << " primary placement on shard "
+               << targets[0].shard_index << " != ShardIndexForStripe "
+               << map.ShardIndexForStripe(stripe);
+        Add(out, "replica_primary", detail);
+      }
+      for (size_t a = 0; a < targets.size(); ++a) {
+        for (size_t b = a + 1; b < targets.size(); ++b) {
+          if (targets[a].shard_index == targets[b].shard_index) {
+            std::ostringstream detail;
+            detail << "stripe " << stripe << " places ordinals " << a
+                   << " and " << b << " on the same shard "
+                   << targets[a].shard_index;
+            Add(out, "replica_distinct", detail);
+          }
+        }
+        const auto slot =
+            std::make_pair(targets[a].shard_index, targets[a].shard_lba);
+        auto [it, inserted] = slot_owner.emplace(slot, stripe);
+        if (!inserted && it->second != stripe) {
+          std::ostringstream detail;
+          detail << "stripes " << it->second << " and " << stripe
+                 << " collide on shard " << slot.first << " LBA "
+                 << slot.second;
+          Add(out, "replica_slot_collision", detail);
+        }
       }
     }
   }

@@ -49,7 +49,7 @@ std::string FindField(const std::string& json, const std::string& key) {
 
 std::string ReproToJson(const ScenarioSpec& spec, const RunReport& report,
                         Mutation mutation, int64_t max_ops,
-                        bool force_policy) {
+                        bool force_policy, bool force_replication) {
   std::ostringstream out;
   out << "{\n";
   // The replay key comes first: simtest_repro reads only these fields.
@@ -59,6 +59,9 @@ std::string ReproToJson(const ScenarioSpec& spec, const RunReport& report,
   if (force_policy) {
     out << "\"forced_policy\": \"" << core::QosPolicyKindName(spec.policy)
         << "\",\n";
+  }
+  if (force_replication) {
+    out << "\"forced_replication\": " << spec.replication << ",\n";
   }
   out << "\"completed\": " << (report.completed ? "true" : "false")
       << ",\n";
@@ -100,6 +103,12 @@ bool ParseRepro(const std::string& json, ReproSpec* out) {
   const std::string forced = FindField(json, "forced_policy");
   out->force_policy =
       !forced.empty() && core::QosPolicyKindFromName(forced, &out->policy);
+  const std::string forced_r = FindField(json, "forced_replication");
+  out->force_replication = !forced_r.empty();
+  if (out->force_replication) {
+    out->replication =
+        static_cast<int>(std::strtol(forced_r.c_str(), nullptr, 10));
+  }
   return true;
 }
 

@@ -25,27 +25,38 @@ struct ReproSpec {
    */
   bool force_policy = false;
   core::QosPolicyKind policy = core::QosPolicyKind::kTokenBucket;
+
+  /**
+   * When true, the sweep overrode the scenario's drawn replication
+   * factor (post-expansion, like force_policy); replay must apply the
+   * same override.
+   */
+  bool force_replication = false;
+  int replication = 1;
 };
 
 /**
  * Serializes a failing run as a self-contained JSON artifact: the
- * replay key (seed, max_ops, mutation, optional forced policy), the
- * expanded topology + fault schedule for human eyes, and the first
- * violating operation. When `force_policy` is set, `spec` already
- * carries the overridden policy and a "forced_policy" field records
+ * replay key (seed, max_ops, mutation, optional forced policy and
+ * replication), the expanded topology + fault schedule for human
+ * eyes, and the first violating operation. When `force_policy` /
+ * `force_replication` is set, `spec` already carries the overridden
+ * value and a "forced_policy" / "forced_replication" field records
  * the override for replay.
  */
 std::string ReproToJson(const ScenarioSpec& spec, const RunReport& report,
                         Mutation mutation, int64_t max_ops,
-                        bool force_policy = false);
+                        bool force_policy = false,
+                        bool force_replication = false);
 
 /**
  * Extracts the replay key back out of a repro artifact. A minimal
  * field scanner (looks for "seed", "max_ops", "mutation",
- * "forced_policy" at the top level), not a general JSON parser -- the
- * artifact is always written by ReproToJson. Returns false if `seed`
- * is missing. ("forced_policy" is distinct from the scenario's
- * descriptive "qos_policy" key, which the scanner must not match.)
+ * "forced_policy", "forced_replication" at the top level), not a
+ * general JSON parser -- the artifact is always written by
+ * ReproToJson. Returns false if `seed` is missing. (The "forced_*"
+ * keys are distinct from the scenario's descriptive "qos_policy" and
+ * "replication" keys, which the scanner must not match.)
  */
 bool ParseRepro(const std::string& json, ReproSpec* out);
 

@@ -44,8 +44,19 @@ struct TenantDriver {
   uint32_t sectors = 0;
   uint8_t* buffer = nullptr;
   sim::Future<IoResult> future;
-  /** Manual fan-out path (kSkipOneSubWrite): per-extent futures. */
+  /** Manual fan-out path (mutations): per-sub-write futures. */
   std::vector<sim::Future<IoResult>> extent_futures;
+
+  /** kServeStaleReplica probe: after the planted write "succeeds",
+   * the skipped replica is read directly and oracle-checked against
+   * the extent's logical LBA. */
+  bool probe_pending = false;
+  bool probe_inflight = false;
+  cluster::ReplicaTarget probe_target;
+  uint64_t probe_lba = 0;
+  uint32_t probe_sectors = 0;
+  uint8_t* probe_buffer = nullptr;
+  sim::Future<IoResult> probe_future;
 
   TenantDriver(const TenantSpec* s, uint64_t seed, int index)
       : spec(s), rng(seed, "simtest.tenant." + std::to_string(index)) {}
@@ -61,6 +72,8 @@ const char* MutationName(Mutation m) {
       return "skip_one_sub_write";
     case Mutation::kForgeTokens:
       return "forge_tokens";
+    case Mutation::kServeStaleReplica:
+      return "serve_stale_replica";
   }
   return "none";
 }
@@ -68,6 +81,7 @@ const char* MutationName(Mutation m) {
 Mutation MutationFromName(const std::string& name) {
   if (name == "skip_one_sub_write") return Mutation::kSkipOneSubWrite;
   if (name == "forge_tokens") return Mutation::kForgeTokens;
+  if (name == "serve_stale_replica") return Mutation::kServeStaleReplica;
   return Mutation::kNone;
 }
 
@@ -75,6 +89,12 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
                       int64_t max_ops) {
   ScenarioSpec spec = spec_in;
   if (mutation == Mutation::kForgeTokens) spec.enforce_qos = true;
+  if (mutation == Mutation::kServeStaleReplica) {
+    // The planted bug needs a replica to skip, hosted on a shard other
+    // than the primary.
+    spec.num_shards = std::max(spec.num_shards, 2);
+    spec.replication = std::max(spec.replication, 2);
+  }
 
   sim::Simulator sim;
   net::Network net(sim);
@@ -88,6 +108,7 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
                                     ? cluster::Placement::kHashed
                                     : cluster::Placement::kStriped;
   options.shard_map.stripe_sectors = spec.stripe_sectors;
+  options.shard_map.replication = spec.replication;
   options.seed = spec.seed;
   cluster::FlashCluster cluster(sim, net, options);
 
@@ -103,9 +124,21 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
   for (const FaultWindowSpec& w : spec.windows) {
     plan.ScheduleWindow(w.kind, w.start, w.duration);
   }
+  // Kill one replica mid-run: the shard machine's link flaps, so every
+  // send through it is dropped for the window. Only armed when the
+  // effective replication leaves a survivor for every stripe --
+  // otherwise the window would just stall the workload.
+  if (spec.kill_replica &&
+      std::min(spec.replication, spec.num_shards) > 1) {
+    const int kill_shard = spec.kill_shard % spec.num_shards;
+    plan.ScheduleWindow(
+        sim::FaultKind::kNetLinkFlap, spec.kill_start, spec.kill_duration,
+        static_cast<uint64_t>(cluster.machine(kill_shard)->id()));
+  }
 
   net::Machine* client_machine = net.AddMachine("simtest-client");
   cluster::ClusterClient::Options copts;
+  copts.steering = spec.steering;
   copts.client.retry.request_timeout = sim::Millis(2);
   copts.client.retry.max_retries = 5;
   copts.client.retry.backoff_base = sim::Micros(100);
@@ -140,6 +173,7 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
       max_ops >= 0 ? std::min(max_ops, spec.TotalOps()) : spec.TotalOps();
   int64_t total_issued = 0;
   bool skip_mutation_pending = mutation == Mutation::kSkipOneSubWrite;
+  bool stale_mutation_pending = mutation == Mutation::kServeStaleReplica;
   bool tokens_forged = false;
 
   auto issue_for = [&](int index) {
@@ -167,18 +201,50 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
       std::vector<cluster::ShardExtent> extents =
           cluster.shard_map().Split(d.lba, d.sectors);
       if (extents.size() >= 2) {
-        // Planted bug: issue every extent except the last, then
-        // report the write as fully successful.
+        // Planted bug: issue every extent except the last (to all of
+        // its replica placements, so the skipped *extent* is the only
+        // defect), then report the write as fully successful.
         skip_mutation_pending = false;
         extents.pop_back();
         for (const cluster::ShardExtent& e : extents) {
-          d.extent_futures.push_back(
-              d.session->shard_session(e.shard_index)
-                  .Write(e.shard_lba, e.sectors,
-                         d.buffer +
-                             static_cast<size_t>(e.buffer_offset_sectors) *
-                                 core::kSectorBytes));
+          for (const cluster::ReplicaTarget& target : e.AllTargets()) {
+            d.extent_futures.push_back(
+                d.session->shard_session(target.shard_index)
+                    .Write(target.shard_lba, e.sectors,
+                           d.buffer +
+                               static_cast<size_t>(e.buffer_offset_sectors) *
+                                   core::kSectorBytes));
+          }
         }
+        return;
+      }
+    }
+    if (stale_mutation_pending) {
+      std::vector<cluster::ShardExtent> extents =
+          cluster.shard_map().Split(d.lba, d.sectors);
+      if (!extents.empty() && !extents.front().replicas.empty()) {
+        // Planted bug: write every placement except the first extent's
+        // last replica, report full success, and remember the skipped
+        // replica for a direct probe read once the write resolves.
+        stale_mutation_pending = false;
+        for (size_t ei = 0; ei < extents.size(); ++ei) {
+          const cluster::ShardExtent& e = extents[ei];
+          const std::vector<cluster::ReplicaTarget> targets =
+              e.AllTargets();
+          for (size_t ti = 0; ti < targets.size(); ++ti) {
+            if (ei == 0 && ti + 1 == targets.size()) continue;  // skipped
+            d.extent_futures.push_back(
+                d.session->shard_session(targets[ti].shard_index)
+                    .Write(targets[ti].shard_lba, e.sectors,
+                           d.buffer +
+                               static_cast<size_t>(e.buffer_offset_sectors) *
+                                   core::kSectorBytes));
+          }
+        }
+        d.probe_pending = true;
+        d.probe_target = extents.front().AllTargets().back();
+        d.probe_lba = d.lba;  // extent 0 starts at the logical LBA
+        d.probe_sectors = extents.front().sectors;
         return;
       }
     }
@@ -200,12 +266,38 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
     }
   };
 
+  // Reads the replica skipped by kServeStaleReplica, bypassing
+  // steering: whatever that shard returns is oracle-checked against
+  // the logical LBA the planted write claimed to have committed.
+  auto start_probe = [&](TenantDriver& d) {
+    d.probe_pending = false;
+    d.probe_inflight = true;
+    d.busy = true;
+    buffers.push_back(std::make_unique<std::vector<uint8_t>>(
+        static_cast<size_t>(d.probe_sectors) * core::kSectorBytes, 0));
+    d.probe_buffer = buffers.back()->data();
+    d.probe_future =
+        d.session->shard_session(d.probe_target.shard_index)
+            .Read(d.probe_target.shard_lba, d.probe_sectors,
+                  d.probe_buffer);
+  };
+
   while (sim.Now() < kDeadline) {
     bool idle = true;
     for (size_t i = 0; i < drivers.size(); ++i) {
       TenantDriver& d = *drivers[i];
       if (d.busy) {
-        if (!d.extent_futures.empty()) {
+        if (d.probe_inflight) {
+          if (d.probe_future.Ready()) {
+            IoResult observed = d.probe_future.Get();
+            observed.complete_time =
+                std::max(observed.complete_time, sim.Now());
+            oracle.EndRead(d.probe_lba, d.probe_sectors, d.probe_buffer,
+                           observed);
+            d.probe_inflight = false;
+            d.busy = false;
+          }
+        } else if (!d.extent_futures.empty()) {
           bool all_ready = true;
           for (const auto& f : d.extent_futures) all_ready &= f.Ready();
           if (all_ready) {
@@ -220,6 +312,7 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
               if (combined.ok() && !r.ok()) combined.status = r.status;
             }
             complete_op(d, combined);
+            if (d.probe_pending) start_probe(d);
           }
         } else if (d.future.Ready()) {
           complete_op(d, d.future.Get());

@@ -31,6 +31,14 @@ enum class Mutation {
    * must no longer close. Forces enforce_qos on.
    */
   kForgeTokens,
+  /**
+   * The first replicated write is fanned out by hand with one replica
+   * placement silently skipped, reported as fully successful, and the
+   * skipped replica is then read directly -- the oracle must flag the
+   * probe as a stale read. Forces num_shards >= 2 and replication >= 2
+   * so a replica exists to skip.
+   */
+  kServeStaleReplica,
 };
 
 const char* MutationName(Mutation m);

@@ -83,6 +83,21 @@ ScenarioSpec GenerateScenario(uint64_t seed) {
   if (rng.NextBernoulli(0.2)) {
     spec.windows.push_back(window_at(sim::FaultKind::kFlashWriteError));
   }
+
+  // Replication draws come last so the expansion above is unchanged
+  // for every seed that predates them. Every draw is unconditional:
+  // kill parameters are consumed even when kill_replica is false (or
+  // the topology ends up unreplicated) to keep the stream aligned.
+  spec.replication = 1 + static_cast<int>(rng.NextBounded(3));
+  spec.steering =
+      static_cast<cluster::SteeringPolicy>(rng.NextBounded(3));
+  spec.kill_replica = rng.NextBernoulli(0.25);
+  spec.kill_shard =
+      static_cast<int>(rng.NextBounded(4)) % spec.num_shards;
+  spec.kill_start =
+      sim::Millis(1 + static_cast<int64_t>(rng.NextBounded(5)));
+  spec.kill_duration =
+      sim::Millis(1 + static_cast<int64_t>(rng.NextBounded(3)));
   return spec;
 }
 
@@ -98,6 +113,14 @@ std::string ScenarioToJson(const ScenarioSpec& spec) {
       << ",\n";
   out << "  \"qos_policy\": \"" << core::QosPolicyKindName(spec.policy)
       << "\",\n";
+  out << "  \"replication\": " << spec.replication << ",\n";
+  out << "  \"steering\": \""
+      << cluster::SteeringPolicyName(spec.steering) << "\",\n";
+  out << "  \"kill_replica\": " << (spec.kill_replica ? "true" : "false")
+      << ",\n";
+  out << "  \"kill_shard\": " << spec.kill_shard << ",\n";
+  out << "  \"kill_start_us\": " << spec.kill_start / 1000 << ",\n";
+  out << "  \"kill_duration_us\": " << spec.kill_duration / 1000 << ",\n";
   out << "  \"tenants\": [\n";
   for (size_t i = 0; i < spec.tenants.size(); ++i) {
     const TenantSpec& t = spec.tenants[i];

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_client.h"
 #include "core/qos_policy.h"
 #include "sim/fault.h"
 #include "sim/time.h"
@@ -67,6 +68,21 @@ struct ScenarioSpec {
   /** Enforcement algorithm (meaningful only when enforce_qos). The
    * fuzzer draws it so the invariant probes exercise every policy. */
   core::QosPolicyKind policy = core::QosPolicyKind::kTokenBucket;
+
+  // Replication and read steering. Drawn at the END of the seed
+  // expansion so every pre-replication field of a given seed is
+  // unchanged. The shard map clamps replication to num_shards.
+  int replication = 1;
+  cluster::SteeringPolicy steering = cluster::SteeringPolicy::kPrimaryOnly;
+
+  /** Kill one replica mid-run (drawn always, applied by the runner
+   * only when the clamped replication and shard count allow a
+   * survivor): shard `kill_shard`'s machine link flaps for
+   * [kill_start, kill_start + kill_duration). */
+  bool kill_replica = false;
+  int kill_shard = 0;
+  sim::TimeNs kill_start = 0;
+  sim::TimeNs kill_duration = 0;
 
   std::vector<TenantSpec> tenants;
   std::vector<FaultProbSpec> probabilities;

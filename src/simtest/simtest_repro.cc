@@ -2,10 +2,11 @@
 //
 //   simtest_repro <repro.json>
 //   simtest_repro --seed S [--max-ops M] [--mutation NAME]
-//                 [--policy NAME]
+//                 [--policy NAME] [--replication R]
 //
-// --policy (or a "forced_policy" field in the artifact) re-applies a
-// sweep's QoS-policy override to the regenerated scenario.
+// --policy / --replication (or "forced_policy" / "forced_replication"
+// fields in the artifact) re-apply a sweep's overrides to the
+// regenerated scenario.
 //
 // Regenerates the scenario from the seed, re-runs it under the same
 // mutation and op budget, and prints the verdict. Exit status: 0 when
@@ -67,6 +68,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       repro.force_policy = true;
+    } else if (arg == "--replication") {
+      repro.replication =
+          static_cast<int>(std::strtol(value(), nullptr, 10));
+      if (repro.replication < 1) {
+        std::fprintf(stderr, "--replication must be >= 1\n");
+        return 2;
+      }
+      repro.force_replication = true;
     } else if (!arg.empty() && arg[0] != '-') {
       std::string json;
       if (!ReadFile(arg, &json)) {
@@ -82,14 +91,16 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: simtest_repro <repro.json> | --seed S "
-                   "[--max-ops M] [--mutation NAME] [--policy NAME]\n");
+                   "[--max-ops M] [--mutation NAME] [--policy NAME] "
+                   "[--replication R]\n");
       return 2;
     }
   }
   if (!have_seed) {
     std::fprintf(stderr,
                  "usage: simtest_repro <repro.json> | --seed S "
-                 "[--max-ops M] [--mutation NAME] [--policy NAME]\n");
+                 "[--max-ops M] [--mutation NAME] [--policy NAME] "
+                 "[--replication R]\n");
     return 2;
   }
 
@@ -100,12 +111,18 @@ int main(int argc, char** argv) {
     spec.policy = repro.policy;
     spec.enforce_qos = true;
   }
-  std::printf("replaying seed=%llu max_ops=%lld mutation=%s policy=%s%s\n",
-              static_cast<unsigned long long>(repro.seed),
-              static_cast<long long>(repro.max_ops),
-              simtest::MutationName(repro.mutation),
-              core::QosPolicyKindName(spec.policy),
-              repro.force_policy ? " (forced)" : "");
+  if (repro.force_replication) {
+    spec.replication = repro.replication;
+  }
+  std::printf(
+      "replaying seed=%llu max_ops=%lld mutation=%s policy=%s%s "
+      "replication=%d%s\n",
+      static_cast<unsigned long long>(repro.seed),
+      static_cast<long long>(repro.max_ops),
+      simtest::MutationName(repro.mutation),
+      core::QosPolicyKindName(spec.policy),
+      repro.force_policy ? " (forced)" : "", spec.replication,
+      repro.force_replication ? " (forced)" : "");
   const simtest::RunReport report =
       simtest::RunScenario(spec, repro.mutation, repro.max_ops);
 

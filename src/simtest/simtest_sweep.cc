@@ -4,12 +4,16 @@
 //
 //   simtest_sweep [--seeds N] [--start S] [--mutation NAME]
 //                 [--max-ops M] [--out PATH] [--policy NAME]
+//                 [--replication R]
 //
 // --policy overrides the QoS policy every seed would otherwise draw
 // (token_bucket, qwin, adaptive_be) and forces enforcement on, so a
-// sweep can pin coverage of one enforcement algorithm. The override
-// is recorded in the repro artifact ("forced_policy") so replays
-// regenerate the identical scenario.
+// sweep can pin coverage of one enforcement algorithm. --replication
+// likewise overrides the drawn replication factor (e.g. to force a
+// replicated sweep). Both overrides are applied post-expansion (the
+// RNG stream is untouched) and recorded in the repro artifact
+// ("forced_policy" / "forced_replication") so replays regenerate the
+// identical scenario.
 //
 // Exit status: 0 when every seed passed, 1 on a (shrunken, persisted)
 // failure, 2 on usage errors.
@@ -31,6 +35,10 @@ using namespace reflex;  // NOLINT(build/namespaces)
 bool g_force_policy = false;
 core::QosPolicyKind g_policy = core::QosPolicyKind::kTokenBucket;
 
+/** --replication override; applied identically to every seed. */
+bool g_force_replication = false;
+int g_replication = 1;
+
 simtest::ScenarioSpec Expand(uint64_t seed) {
   simtest::ScenarioSpec spec = simtest::GenerateScenario(seed);
   if (g_force_policy) {
@@ -38,6 +46,9 @@ simtest::ScenarioSpec Expand(uint64_t seed) {
     // field of the scenario) is untouched, only the policy differs.
     spec.policy = g_policy;
     spec.enforce_qos = true;
+  }
+  if (g_force_replication) {
+    spec.replication = g_replication;
   }
   return spec;
 }
@@ -119,11 +130,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       g_force_policy = true;
+    } else if (arg == "--replication") {
+      g_replication = static_cast<int>(std::strtol(value(), nullptr, 10));
+      if (g_replication < 1) {
+        std::fprintf(stderr, "--replication must be >= 1\n");
+        return 2;
+      }
+      g_force_replication = true;
     } else {
       std::fprintf(stderr,
                    "usage: simtest_sweep [--seeds N] [--start S] "
                    "[--mutation NAME] [--max-ops M] [--out PATH] "
-                   "[--policy NAME]\n");
+                   "[--policy NAME] [--replication R]\n");
       return 2;
     }
   }
@@ -159,7 +177,8 @@ int main(int argc, char** argv) {
             ? "simtest_repro_" + std::to_string(seed) + ".json"
             : out_path;
     const std::string json =
-        simtest::ReproToJson(spec, report, mutation, shrunk, g_force_policy);
+        simtest::ReproToJson(spec, report, mutation, shrunk, g_force_policy,
+                             g_force_replication);
     if (!simtest::WriteRepro(path, json)) {
       std::fprintf(stderr, "  (could not write %s)\n", path.c_str());
     } else {

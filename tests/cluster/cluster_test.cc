@@ -110,12 +110,16 @@ TEST(ClusterTest, AdmissionIsAllOrNothingWithRollback) {
 
   // 600K cluster IOPS -> 300K per shard: fits shard 0 (~423K token/s
   // cap at 500us), exceeds shard 1 (300K + 200K preloaded).
-  ReqStatus status = ReqStatus::kOk;
+  cluster::AdmitResult result;
   ClusterTenant rejected =
       cp.RegisterTenant(LcSlo(600000), TenantClass::kLatencyCritical,
-                        &status);
+                        &result);
   EXPECT_FALSE(rejected.valid());
-  EXPECT_EQ(status, ReqStatus::kOutOfResources);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.kind, cluster::AdmitResult::Kind::kRejectedCapacity)
+      << "a token-math refusal is a capacity rejection";
+  EXPECT_EQ(result.shard, 1) << "the refusing shard must be identified";
+  EXPECT_EQ(result.status, ReqStatus::kOutOfResources);
   EXPECT_EQ(cp.tenants_rejected(), 1);
 
   // Remove the preload; the same registration must now succeed on both
@@ -124,9 +128,10 @@ TEST(ClusterTest, AdmissionIsAllOrNothingWithRollback) {
   ASSERT_TRUE(h.cluster.server(1).UnregisterTenant(preload->handle()));
   ClusterTenant admitted =
       cp.RegisterTenant(LcSlo(600000), TenantClass::kLatencyCritical,
-                        &status);
+                        &result);
   ASSERT_TRUE(admitted.valid());
-  EXPECT_EQ(status, ReqStatus::kOk);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.status, ReqStatus::kOk);
   EXPECT_EQ(cp.tenants_admitted(), 1);
   EXPECT_EQ(static_cast<int>(admitted.handles.size()),
             h.cluster.num_shards());

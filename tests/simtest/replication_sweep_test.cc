@@ -1,0 +1,138 @@
+// Replication-specific simtest coverage: the replicated sweep is
+// bit-identical across in-process runs, the serve_stale_replica
+// planted mutation is caught by the oracle, replica-kill seeds stay
+// clean, and the --replication override round-trips through the repro
+// artifact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "simtest/repro.h"
+#include "simtest/runner.h"
+#include "simtest/scenario.h"
+
+namespace reflex {
+namespace {
+
+using simtest::GenerateScenario;
+using simtest::Mutation;
+using simtest::RunReport;
+using simtest::RunScenario;
+using simtest::ScenarioSpec;
+
+/** The sweep's --replication override: applied post-expansion. */
+ScenarioSpec ExpandReplicated(uint64_t seed, int replication) {
+  ScenarioSpec spec = GenerateScenario(seed);
+  spec.replication = replication;
+  return spec;
+}
+
+// Steering determinism golden: a 5-seed replicated sweep, run twice
+// in-process, must produce bit-identical repro artifacts (which embed
+// op counts, read counts, and every violation).
+TEST(ReplicationSweepTest, ReplicatedSweepIsBitIdenticalAcrossRuns) {
+  auto sweep = [] {
+    std::vector<std::string> artifacts;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      const ScenarioSpec spec = ExpandReplicated(seed, 2);
+      const RunReport report = RunScenario(spec);
+      EXPECT_TRUE(report.ok()) << "seed " << seed;
+      artifacts.push_back(simtest::ReproToJson(
+          spec, report, Mutation::kNone, -1, /*force_policy=*/false,
+          /*force_replication=*/true));
+    }
+    return artifacts;
+  };
+  EXPECT_EQ(sweep(), sweep());
+}
+
+TEST(ReplicationSweepTest, ReplicationThreeSeedsStayClean) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const RunReport report = RunScenario(ExpandReplicated(seed, 3));
+    EXPECT_TRUE(report.completed) << "seed " << seed << " stalled";
+    EXPECT_TRUE(report.data_violations.empty())
+        << "seed " << seed << ": "
+        << report.data_violations.front().detail;
+    EXPECT_TRUE(report.invariant_violations.empty())
+        << "seed " << seed << ": "
+        << report.invariant_violations.front().detail;
+    EXPECT_GT(report.reads_checked, 0) << "seed " << seed;
+  }
+}
+
+// Planted-mutation canary: silently skipping one replica of a
+// replicated write, then reading that replica directly, must surface
+// as a stale read. Proves the oracle actually covers replica reads.
+TEST(ReplicationSweepTest, ServeStaleReplicaCanaryIsCaught) {
+  const RunReport report =
+      RunScenario(GenerateScenario(1), Mutation::kServeStaleReplica);
+  ASSERT_FALSE(report.ok());
+  ASSERT_FALSE(report.data_violations.empty());
+  EXPECT_EQ(report.data_violations.front().kind, "stale_read");
+}
+
+TEST(ReplicationSweepTest, ServeStaleReplicaCanaryReplaysDeterministically) {
+  const ScenarioSpec spec = GenerateScenario(1);
+  const RunReport a = RunScenario(spec, Mutation::kServeStaleReplica);
+  const RunReport b = RunScenario(spec, Mutation::kServeStaleReplica);
+  ASSERT_FALSE(a.ok());
+  ASSERT_EQ(a.data_violations.size(), b.data_violations.size());
+  for (size_t i = 0; i < a.data_violations.size(); ++i) {
+    EXPECT_EQ(a.data_violations[i].detail, b.data_violations[i].detail);
+    EXPECT_EQ(a.data_violations[i].time, b.data_violations[i].time);
+  }
+}
+
+// Seeds whose expansion draws a mid-run replica kill must run with
+// zero oracle violations: reads steer away, writes commit on the
+// survivors.
+TEST(ReplicationSweepTest, ReplicaKillSeedsStayClean) {
+  int covered = 0;
+  for (uint64_t seed = 1; seed <= 40 && covered < 4; ++seed) {
+    const ScenarioSpec spec = GenerateScenario(seed);
+    if (!spec.kill_replica ||
+        std::min(spec.replication, spec.num_shards) < 2) {
+      continue;
+    }
+    ++covered;
+    const RunReport report = RunScenario(spec);
+    EXPECT_TRUE(report.completed) << "seed " << seed << " stalled";
+    EXPECT_TRUE(report.data_violations.empty())
+        << "seed " << seed << ": "
+        << report.data_violations.front().detail;
+    EXPECT_TRUE(report.invariant_violations.empty())
+        << "seed " << seed << ": "
+        << report.invariant_violations.front().detail;
+  }
+  EXPECT_GE(covered, 1)
+      << "no seed in 1..40 drew a replicated kill window; the fuzzer "
+         "lost fault coverage";
+}
+
+TEST(ReplicationSweepTest, ForcedReplicationRoundTripsThroughArtifact) {
+  const ScenarioSpec spec = ExpandReplicated(4, 2);
+  const RunReport report = RunScenario(spec, Mutation::kNone, 50);
+  const std::string json = simtest::ReproToJson(
+      spec, report, Mutation::kNone, 50, /*force_policy=*/false,
+      /*force_replication=*/true);
+  EXPECT_NE(json.find("\"forced_replication\": 2"), std::string::npos);
+
+  simtest::ReproSpec repro;
+  ASSERT_TRUE(simtest::ParseRepro(json, &repro));
+  EXPECT_TRUE(repro.force_replication);
+  EXPECT_EQ(repro.replication, 2);
+  EXPECT_EQ(repro.seed, 4u);
+  EXPECT_EQ(repro.max_ops, 50);
+
+  // An artifact without the field must not force anything.
+  simtest::ReproSpec plain;
+  ASSERT_TRUE(simtest::ParseRepro(
+      simtest::ReproToJson(spec, report, Mutation::kNone, 50), &plain));
+  EXPECT_FALSE(plain.force_replication);
+}
+
+}  // namespace
+}  // namespace reflex

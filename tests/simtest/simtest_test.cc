@@ -146,7 +146,8 @@ TEST(SimtestTest, ForcedPolicyRoundTripsThroughArtifact) {
 
 TEST(SimtestTest, MutationNamesRoundTrip) {
   for (Mutation m : {Mutation::kNone, Mutation::kSkipOneSubWrite,
-                     Mutation::kForgeTokens}) {
+                     Mutation::kForgeTokens,
+                     Mutation::kServeStaleReplica}) {
     EXPECT_EQ(simtest::MutationFromName(simtest::MutationName(m)), m);
   }
   EXPECT_EQ(simtest::MutationFromName("garbage"), Mutation::kNone);

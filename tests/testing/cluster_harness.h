@@ -26,17 +26,23 @@ struct ClusterHarness {
       : ClusterHarness(MakeOptions(num_shards, stripe_sectors)) {}
 
   explicit ClusterHarness(cluster::FlashClusterOptions options)
+      : ClusterHarness(options, cluster::ClusterClient::Options()) {}
+
+  ClusterHarness(cluster::FlashClusterOptions options,
+                 cluster::ClusterClient::Options client_options)
       : net(sim),
         cluster(sim, net, options),
         client_machine(net.AddMachine("client-0")),
-        client(cluster, client_machine) {}
+        client(cluster, client_machine, client_options) {}
 
   static cluster::FlashClusterOptions MakeOptions(int num_shards,
-                                                  uint32_t stripe_sectors) {
+                                                  uint32_t stripe_sectors,
+                                                  int replication = 1) {
     cluster::FlashClusterOptions options;
     options.num_shards = num_shards;
     options.calibration = SyntheticCalibrationA();
     options.shard_map.stripe_sectors = stripe_sectors;
+    options.shard_map.replication = replication;
     return options;
   }
 
