@@ -159,6 +159,7 @@ sim::Future<IoResult> ReflexClient::SubmitIo(core::ReqType type,
   msg.sectors = sectors;
   msg.data = data;
   msg.cookie = next_cookie_++;
+  msg.map_epoch = map_epoch_;
 
   std::shared_ptr<obs::TraceSpan> trace;
   if (type != core::ReqType::kBarrier && sampler_.Sample()) {
@@ -265,6 +266,9 @@ void ReflexClient::Retransmit(uint64_t cookie, sim::TimeNs delay) {
   msg.sectors = op.sectors;
   msg.data = op.data;
   msg.cookie = cookie;
+  // Stamp the *current* epoch: if the map refreshed between attempts,
+  // the retransmission routes (and gates) as fresh traffic.
+  msg.map_epoch = map_epoch_;
   // The original trace span stays with the pending op; the wire copy
   // is untraced so server stages are not double-marked.
 

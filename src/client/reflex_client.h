@@ -210,6 +210,15 @@ class ReflexClient {
     hint_listener_ = std::move(fn);
   }
 
+  /**
+   * Shard-map epoch stamped on every outgoing I/O (and retransmission)
+   * from now on. Set by ClusterClient whenever its local map copy
+   * refreshes; the default bypass sentinel leaves single-server
+   * clients out of migration epoch checks entirely.
+   */
+  void set_map_epoch(uint64_t epoch) { map_epoch_ = epoch; }
+  uint64_t map_epoch() const { return map_epoch_; }
+
  private:
   friend class TenantSession;
   struct PendingOp {
@@ -277,6 +286,7 @@ class ReflexClient {
 
   FaultStats fault_stats_;
   std::function<void(uint32_t)> hint_listener_;
+  uint64_t map_epoch_ = core::kMapEpochBypass;
   obs::Counter* timeouts_metric_ = nullptr;
   obs::Counter* retries_metric_ = nullptr;
   obs::Counter* failures_metric_ = nullptr;

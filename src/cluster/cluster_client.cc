@@ -45,6 +45,15 @@ ClusterSession::ClusterSession(
       owns_tenant_(owns_tenant) {}
 
 ClusterSession::~ClusterSession() {
+  // Frames parked mid-await (session destroyed with I/O in flight, or
+  // the simulation ended first) never self-destruct: suspend_never
+  // final suspend means a frame frees itself only by running to the
+  // end of its body. Destroying one here runs its local destructors
+  // but not its body, so io_frames_ is not mutated mid-iteration.
+  for (auto& [id, handle] : io_frames_) {
+    if (handle) handle.destroy();
+  }
+  io_frames_.clear();
   if (owns_tenant_) {
     // Drop the per-shard sessions first: they do not own the
     // registrations, so the cluster-wide unregister below is the only
@@ -59,7 +68,9 @@ int ClusterSession::num_lanes() const {
 }
 
 uint64_t ClusterSession::capacity_sectors() const {
-  return client_.cluster().shard_map().capacity_sectors();
+  // The local routing copy (migration never changes capacity, so this
+  // equals the master's).
+  return client_.local_map().capacity_sectors();
 }
 
 uint32_t ClusterSession::sector_bytes() const { return core::kSectorBytes; }
@@ -86,22 +97,49 @@ sim::Future<client::IoResult> ClusterSession::Submit(client::IoOp op,
                                                      uint32_t sectors,
                                                      uint8_t* data,
                                                      int lane) {
-  std::vector<ShardExtent> extents =
-      client_.cluster().shard_map().Split(lba, sectors);
   ++requests_issued_;
-  if (extents.size() > 1) ++requests_split_;
   sim::Simulator& sim = client_.cluster().sim();
-
   sim::Promise<client::IoResult> promise(sim);
   auto future = promise.GetFuture();
-  if (op == client::IoOp::kRead) {
-    FanOutRead(std::move(extents), data, lane, sim.Now(),
-               std::move(promise));
-  } else {
-    FanOutWrite(std::move(extents), data, lane, sim.Now(),
-                std::move(promise));
-  }
+  Dispatch(op, lba, sectors, data, lane, /*attempt=*/0, sim.Now(),
+           std::move(promise));
   return future;
+}
+
+void ClusterSession::Dispatch(client::IoOp op, uint64_t lba,
+                              uint32_t sectors, uint8_t* data, int lane,
+                              int attempt, sim::TimeNs issue_time,
+                              sim::Promise<client::IoResult> promise) {
+  // Route through the client's local map copy: a migration that
+  // commits on the master is invisible here until RefreshMap(), which
+  // is exactly the staleness kWrongShard exists to catch.
+  std::vector<ShardExtent> extents = client_.local_map().Split(lba, sectors);
+  if (attempt == 0 && extents.size() > 1) ++requests_split_;
+  if (op == client::IoOp::kRead) {
+    FanOutRead(std::move(extents), data, lane, op, lba, sectors, attempt,
+               issue_time, std::move(promise));
+  } else {
+    FanOutWrite(std::move(extents), data, lane, op, lba, sectors, attempt,
+                issue_time, std::move(promise));
+  }
+}
+
+sim::Task ClusterSession::RetryWrongShard(
+    client::IoOp op, uint64_t lba, uint32_t sectors, uint8_t* data, int lane,
+    int attempt, sim::TimeNs issue_time,
+    sim::Promise<client::IoResult> promise) {
+  const uint64_t frame_id = next_frame_id_++;
+  co_await sim::SelfHandle(&io_frames_[frame_id]);
+  ++wrong_shard_retries_;
+  client_.RefreshMap();
+  // Doubling backoff: early retries catch a cutover that already
+  // committed (refresh suffices); later ones outwait a drain window
+  // that is still bouncing writes.
+  co_await sim::Delay(client_.cluster().sim(),
+                      kWrongShardBackoffBase << attempt);
+  Dispatch(op, lba, sectors, data, lane, attempt + 1, issue_time,
+           std::move(promise));
+  io_frames_.erase(frame_id);
 }
 
 std::vector<ReplicaTarget> ClusterSession::LiveTargets(
@@ -156,8 +194,12 @@ size_t ClusterSession::SteerChoice(
 
 sim::Task ClusterSession::FanOutRead(std::vector<ShardExtent> extents,
                                      uint8_t* data, int lane,
+                                     client::IoOp op, uint64_t lba,
+                                     uint32_t sectors, int attempt,
                                      sim::TimeNs issue_time,
                                      sim::Promise<client::IoResult> promise) {
+  const uint64_t frame_id = next_frame_id_++;
+  co_await sim::SelfHandle(&io_frames_[frame_id]);
   // One in-flight attempt per extent: issue every extent's steered
   // first choice before awaiting any, so replicas work in parallel
   // and the request completes when the slowest extent does.
@@ -197,6 +239,7 @@ sim::Task ClusterSession::FanOutRead(std::vector<ShardExtent> extents,
 
   client::IoResult result;
   result.issue_time = issue_time;
+  bool saw_wrong_shard = false;
   for (ExtentState& st : states) {
     if (st.unreadable) {
       if (result.ok()) result.status = core::ReqStatus::kDeviceError;
@@ -208,6 +251,16 @@ sim::Task ClusterSession::FanOutRead(std::vector<ShardExtent> extents,
     // untried one (shallowest estimated queue first, ties by shard
     // id) until a copy serves the read or the set is exhausted.
     while (!r.ok()) {
+      if (r.status == core::ReqStatus::kWrongShard &&
+          attempt < kMaxWrongShardRetries) {
+        // Stale routing, not a replica fault: every replica in this
+        // (old) placement is equally stale, so failover is pointless.
+        // The whole request reissues off a refreshed map below. Once
+        // the budget is spent it degrades to the ordinary failure
+        // path instead.
+        saw_wrong_shard = true;
+        break;
+      }
       if (r.status == core::ReqStatus::kTimedOut) {
         client_.PenalizeShard(serving);
       }
@@ -248,14 +301,25 @@ sim::Task ClusterSession::FanOutRead(std::vector<ShardExtent> extents,
       result.status = r.status;
     }
   }
+  if (saw_wrong_shard && attempt < kMaxWrongShardRetries) {
+    RetryWrongShard(op, lba, sectors, data, lane, attempt, issue_time,
+                    std::move(promise));
+    io_frames_.erase(frame_id);
+    co_return;
+  }
   result.complete_time = client_.cluster().sim().Now();
   promise.Set(result);
+  io_frames_.erase(frame_id);
 }
 
 sim::Task ClusterSession::FanOutWrite(std::vector<ShardExtent> extents,
                                       uint8_t* data, int lane,
+                                      client::IoOp op, uint64_t lba,
+                                      uint32_t sectors, int attempt,
                                       sim::TimeNs issue_time,
                                       sim::Promise<client::IoResult> promise) {
+  const uint64_t frame_id = next_frame_id_++;
+  co_await sim::SelfHandle(&io_frames_[frame_id]);
   const uint64_t version = client_.NextWriteVersion();
   // Every replica of every extent -- dirty ones included, so a lagging
   // copy's divergence stays bounded -- is written in parallel; an
@@ -290,6 +354,7 @@ sim::Task ClusterSession::FanOutWrite(std::vector<ShardExtent> extents,
 
   client::IoResult result;
   result.issue_time = issue_time;
+  bool saw_wrong_shard = false;
   for (std::vector<SubWrite>& subs : per_extent) {
     int ok_live = 0;
     core::ReqStatus first_fail = core::ReqStatus::kOk;
@@ -303,6 +368,16 @@ sim::Task ClusterSession::FanOutWrite(std::vector<ShardExtent> extents,
         // the extent: a dirty replica serves no reads, so data held
         // only there would make every later read stale.
         if (!client_.IsDirty(sw.shard_index)) ++ok_live;
+      } else if (r.status == core::ReqStatus::kWrongShard &&
+                 attempt < kMaxWrongShardRetries) {
+        // The shard no longer owns this placement (or is draining it).
+        // That is stale routing, not a missed write: the shard must
+        // NOT be marked dirty -- it still serves every range it does
+        // own. The whole request reissues off a refreshed map. Once
+        // the retry budget is spent the bounce degrades to the
+        // ordinary failure path (fail-closed dirty marking).
+        saw_wrong_shard = true;
+        if (first_fail == core::ReqStatus::kOk) first_fail = r.status;
       } else {
         if (first_fail == core::ReqStatus::kOk) first_fail = r.status;
         failed_shards.push_back(sw.shard_index);
@@ -321,8 +396,18 @@ sim::Task ClusterSession::FanOutWrite(std::vector<ShardExtent> extents,
       for (int shard : failed_shards) client_.MarkDirty(shard, version);
     }
   }
+  if (saw_wrong_shard && attempt < kMaxWrongShardRetries) {
+    // Reissuing the whole request is idempotent (same payload, every
+    // replica rewritten) and the refreshed map routes the bounced
+    // extent to its post-migration owner.
+    RetryWrongShard(op, lba, sectors, data, lane, attempt, issue_time,
+                    std::move(promise));
+    io_frames_.erase(frame_id);
+    co_return;
+  }
   result.complete_time = client_.cluster().sim().Now();
   promise.Set(result);
+  io_frames_.erase(frame_id);
 }
 
 ClusterClient::ClusterClient(FlashCluster& cluster, net::Machine* machine)
@@ -330,7 +415,10 @@ ClusterClient::ClusterClient(FlashCluster& cluster, net::Machine* machine)
 
 ClusterClient::ClusterClient(FlashCluster& cluster, net::Machine* machine,
                              Options options)
-    : cluster_(cluster), machine_(machine), options_(options) {
+    : cluster_(cluster),
+      machine_(machine),
+      options_(options),
+      local_map_(cluster.shard_map()) {
   for (int i = 0; i < cluster_.num_shards(); ++i) {
     client::ReflexClient::Options shard_options = options_.client;
     shard_options.seed =
@@ -339,9 +427,20 @@ ClusterClient::ClusterClient(FlashCluster& cluster, net::Machine* machine,
         cluster_.sim(), cluster_.server(i), machine_, shard_options));
     clients_.back()->set_hint_listener(
         [this, i](uint32_t depth) { ObserveHint(i, depth); });
+    // All cluster traffic is epoch-stamped from the start, so a range
+    // that later migrates away can tell this client's pre-cutover
+    // routing from fresh routing.
+    clients_.back()->set_map_epoch(local_map_.epoch());
   }
   hints_.resize(static_cast<size_t>(cluster_.num_shards()));
   dirty_since_.assign(static_cast<size_t>(cluster_.num_shards()), 0);
+}
+
+void ClusterClient::RefreshMap() {
+  local_map_ = cluster_.shard_map();
+  for (auto& client : clients_) {
+    client->set_map_epoch(local_map_.epoch());
+  }
 }
 
 void ClusterClient::ObserveHint(int shard, uint32_t depth) {

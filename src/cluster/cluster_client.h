@@ -1,6 +1,8 @@
 #ifndef REFLEX_CLUSTER_CLUSTER_CLIENT_H_
 #define REFLEX_CLUSTER_CLUSTER_CLIENT_H_
 
+#include <coroutine>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -120,9 +122,18 @@ class ClusterSession : public client::IoSession {
   int64_t requests_split() const { return requests_split_; }
   /** Read sub-requests that failed over to another replica. */
   int64_t read_failovers() const { return read_failovers_; }
+  /** Whole-request reissues after a kWrongShard map refresh. */
+  int64_t wrong_shard_retries() const { return wrong_shard_retries_; }
 
  private:
   friend class ClusterClient;
+
+  /** Bounded refresh-and-reissue budget for requests that race a map
+   * flip. Exponential backoff (base below, doubling per attempt) sums
+   * to ~3 ms -- comfortably past a migration's drain window. */
+  static constexpr int kMaxWrongShardRetries = 6;
+  static constexpr sim::TimeNs kWrongShardBackoffBase = sim::Micros(50);
+
   ClusterSession(ClusterClient& client, ClusterTenant tenant,
                  std::vector<std::unique_ptr<client::TenantSession>> sessions,
                  bool owns_tenant);
@@ -130,11 +141,27 @@ class ClusterSession : public client::IoSession {
   sim::Future<client::IoResult> Submit(client::IoOp op, uint64_t lba,
                                        uint32_t sectors, uint8_t* data,
                                        int lane);
+  /** Splits via the client's local map and fans the attempt out. */
+  void Dispatch(client::IoOp op, uint64_t lba, uint32_t sectors,
+                uint8_t* data, int lane, int attempt, sim::TimeNs issue_time,
+                sim::Promise<client::IoResult> promise);
+  /**
+   * A sub-request came back kWrongShard: the routing map copy predates
+   * a migration cutover. Refreshes the map, backs off (doubling per
+   * attempt) and reissues the whole logical request; once the budget
+   * is spent the kWrongShard surfaces to the caller.
+   */
+  sim::Task RetryWrongShard(client::IoOp op, uint64_t lba, uint32_t sectors,
+                            uint8_t* data, int lane, int attempt,
+                            sim::TimeNs issue_time,
+                            sim::Promise<client::IoResult> promise);
   sim::Task FanOutRead(std::vector<ShardExtent> extents, uint8_t* data,
-                       int lane, sim::TimeNs issue_time,
+                       int lane, client::IoOp op, uint64_t lba,
+                       uint32_t sectors, int attempt, sim::TimeNs issue_time,
                        sim::Promise<client::IoResult> promise);
   sim::Task FanOutWrite(std::vector<ShardExtent> extents, uint8_t* data,
-                        int lane, sim::TimeNs issue_time,
+                        int lane, client::IoOp op, uint64_t lba,
+                        uint32_t sectors, int attempt, sim::TimeNs issue_time,
                         sim::Promise<client::IoResult> promise);
 
   /** Live (non-dirty) placements of `e`, primary first; empty when
@@ -148,6 +175,13 @@ class ClusterSession : public client::IoSession {
 
   ClusterClient& client_;
   ClusterTenant tenant_;
+  /** Live FanOutRead/FanOutWrite/RetryWrongShard frames by id. Each
+   * erases itself before finishing; whatever remains at teardown is
+   * parked on a sub-I/O (or backoff Delay) that will never resolve and
+   * is destroyed by ~ClusterSession. std::map for node stability --
+   * the frames park SelfHandle pointers into the mapped values. */
+  std::map<uint64_t, std::coroutine_handle<>> io_frames_;
+  uint64_t next_frame_id_ = 0;
   std::vector<std::unique_ptr<client::TenantSession>> shard_sessions_;
   std::vector<sim::Histogram> shard_latency_;
   std::vector<int64_t> shard_reads_served_;
@@ -156,6 +190,7 @@ class ClusterSession : public client::IoSession {
   int64_t requests_issued_ = 0;
   int64_t requests_split_ = 0;
   int64_t read_failovers_ = 0;
+  int64_t wrong_shard_retries_ = 0;
 };
 
 /**
@@ -223,6 +258,19 @@ class ClusterClient {
   const Options& options() const { return options_; }
 
   /**
+   * The client's own routing copy of the cluster ShardMap, taken at
+   * construction and on RefreshMap(). Sessions route through this copy
+   * -- never the live master -- so a migration commit flips routing
+   * only when the client refreshes, exactly like a real deployment
+   * where clients cache the map and learn of moves via kWrongShard.
+   */
+  const ShardMap& local_map() const { return local_map_; }
+
+  /** Re-copies the master map and restamps every shard client with
+   * its epoch. Called by sessions on kWrongShard. */
+  void RefreshMap();
+
+  /**
    * Current steering estimate of `shard`'s queue depth: the last
    * piggybacked hint, decayed linearly toward Options::hint_prior
    * over Options::hint_stale_after.
@@ -274,6 +322,7 @@ class ClusterClient {
   FlashCluster& cluster_;
   net::Machine* machine_;
   Options options_;
+  ShardMap local_map_;
   std::vector<std::unique_ptr<client::ReflexClient>> clients_;
   std::vector<HintState> hints_;
   /** Per shard: 0 = clean, else the write version it first missed. */

@@ -1,6 +1,9 @@
 #include "cluster/cluster_control_plane.h"
 
+#include <algorithm>
+
 #include "cluster/flash_cluster.h"
+#include "cluster/migration.h"
 #include "core/reflex_server.h"
 #include "sim/logging.h"
 
@@ -22,6 +25,178 @@ const char* AdmitKindName(AdmitResult::Kind kind) {
 
 ClusterControlPlane::ClusterControlPlane(FlashCluster& cluster)
     : cluster_(cluster) {}
+
+ClusterControlPlane::~ClusterControlPlane() {
+  // An autoscaler loop parked on its Delay when the simulation ended
+  // never resumes; reclaim the frame (see sim::SelfHandle).
+  if (autoscaler_active_ && autoscaler_handle_) {
+    autoscaler_active_ = false;
+    autoscaler_handle_.destroy();
+  }
+}
+
+void ClusterControlPlane::StartAutoscaler(MigrationCoordinator& coordinator,
+                                          AutoscalerOptions options) {
+  REFLEX_CHECK(!autoscaler_running_);
+  REFLEX_CHECK(cluster_.num_shards() >= 1);
+  autoscaler_coordinator_ = &coordinator;
+  autoscaler_options_ = options;
+  autoscaler_running_ = true;
+  if (active_shards_ == 0) active_shards_ = cluster_.num_shards();
+  prev_tokens_spent_.assign(static_cast<size_t>(cluster_.num_shards()), 0.0);
+  prev_neg_hits_.assign(static_cast<size_t>(cluster_.num_shards()), 0);
+  for (int i = 0; i < cluster_.num_shards(); ++i) {
+    prev_tokens_spent_[static_cast<size_t>(i)] =
+        cluster_.server(i).shared().tokens_spent_total;
+    SampleShardRejects(i);
+  }
+  AutoscaleLoop();
+}
+
+double ClusterControlPlane::SampleShardUtilization(int i, sim::TimeNs dt,
+                                                   uint32_t* queue_depth) {
+  core::ReflexServer& server = cluster_.server(i);
+  const double spent = server.shared().tokens_spent_total;
+  const double delta = spent - prev_tokens_spent_[static_cast<size_t>(i)];
+  prev_tokens_spent_[static_cast<size_t>(i)] = spent;
+  // Utilization = token spend rate over the calibrated device token
+  // capacity -- the same currency admission control reserves in, so
+  // "0.7 utilized" means 70% of what the token math would sell.
+  const double capacity =
+      server.calibration().token_capacity_per_sec * sim::ToSeconds(dt);
+  uint32_t depth = 0;
+  for (int t = 0; t < server.num_active_threads(); ++t) {
+    depth = std::max(depth, server.thread(t).QueueDepthHint());
+  }
+  if (queue_depth != nullptr) *queue_depth = depth;
+  return capacity > 0.0 ? delta / capacity : 0.0;
+}
+
+int64_t ClusterControlPlane::SampleShardRejects(int i) {
+  int64_t hits = 0;
+  for (const core::Tenant* t : cluster_.server(i).tenants()) {
+    hits += t->neg_limit_hits;
+  }
+  const int64_t delta = hits - prev_neg_hits_[static_cast<size_t>(i)];
+  prev_neg_hits_[static_cast<size_t>(i)] = hits;
+  return delta;
+}
+
+sim::Task ClusterControlPlane::AutoscaleLoop() {
+  co_await sim::SelfHandle(&autoscaler_handle_);
+  autoscaler_active_ = true;
+  sim::Simulator& sim = cluster_.sim();
+  const AutoscalerOptions opts = autoscaler_options_;
+
+  int low_streak = 0;
+  while (autoscaler_running_) {
+    co_await sim::Delay(sim, opts.period);
+    if (!autoscaler_running_) break;
+    ++autoscaler_stats_.evaluations;
+
+    const int n = cluster_.num_shards();
+    double max_util = 0.0;
+    uint32_t max_depth = 0;
+    int64_t max_rejects = 0;
+    for (int i = 0; i < n; ++i) {
+      // Sample every shard (keeps baselines fresh for shards about to
+      // join the active set) but only the active prefix drives the
+      // decision.
+      uint32_t depth = 0;
+      const double util = SampleShardUtilization(i, opts.period, &depth);
+      const int64_t rejects = SampleShardRejects(i);
+      if (i < active_shards_) {
+        max_util = std::max(max_util, util);
+        max_depth = std::max(max_depth, depth);
+        max_rejects = std::max(max_rejects, rejects);
+      }
+    }
+
+    // The active set never shrinks below the replication factor: every
+    // hot stripe must keep R placements on R distinct shards.
+    const int floor_active = std::max(
+        {1, opts.min_active, cluster_.shard_map().replication()});
+    int desired = active_shards_;
+    // Rejects are the strongest grow signal: a shard throttling on its
+    // token reservation serves a flat rate and keeps its queue short,
+    // so the other two signals read "healthy" while offered load
+    // bounces. Without this term an over-packed fleet is metastable --
+    // it rejects forever and never scales out of the regime.
+    if ((max_util > opts.high_utilization ||
+         max_depth > opts.high_queue_depth ||
+         max_rejects >= opts.high_rejects) &&
+        active_shards_ < n) {
+      desired = active_shards_ + 1;
+      low_streak = 0;
+    } else if (max_util < opts.low_utilization &&
+               max_depth <= opts.high_queue_depth / 2 &&
+               max_rejects == 0 && active_shards_ > floor_active) {
+      // Shrinking is damped: only a sustained lull below the low-water
+      // mark gives up a server.
+      if (++low_streak >= opts.shrink_persistence) {
+        desired = active_shards_ - 1;
+      }
+    } else {
+      low_streak = 0;
+    }
+    desired = std::clamp(desired, floor_active, n);
+    if (desired == active_shards_) continue;
+    low_streak = 0;
+    if (autoscaler_coordinator_->busy()) continue;  // retry next period
+
+    // Re-place the hot range over the resized active set; the plan
+    // drops placements already where they belong, so repeated resizes
+    // only move what changed.
+    ShardMap& map = cluster_.mutable_shard_map();
+    const int r = map.replication();
+    std::vector<ShardMap::StripeMove> moves;
+    const uint64_t end_stripe = std::min(
+        opts.hot_first_stripe + opts.hot_stripes, map.num_stripes());
+    for (uint64_t s = opts.hot_first_stripe; s < end_stripe; ++s) {
+      for (int k = 0; k < r; ++k) {
+        moves.push_back(ShardMap::StripeMove{
+            s, k,
+            static_cast<int>((s + static_cast<uint64_t>(k)) %
+                             static_cast<uint64_t>(desired))});
+      }
+    }
+    std::vector<MigrationAssignment> plan = map.PlanStripeMoves(moves);
+    bool applied = true;
+    if (!plan.empty()) {
+      ++autoscaler_stats_.rebalances;
+      applied = co_await autoscaler_coordinator_->MigrateAssignments(
+          std::move(plan));
+      if (!applied) ++autoscaler_stats_.rebalances_failed;
+
+      // The batch's copy traffic polluted this period's signals (its
+      // token spend and queue depth look like tenant load, which would
+      // bounce the fleet straight back up). Sit out one period and
+      // re-baseline every shard before the next decision.
+      co_await sim::Delay(sim, opts.period);
+      if (!autoscaler_running_) break;
+      for (int i = 0; i < n; ++i) {
+        SampleShardUtilization(i, opts.period, nullptr);
+        SampleShardRejects(i);
+      }
+    }
+
+    // The active set only changes when the repack actually applied: a
+    // size adopted before an aborted migration would never be retried
+    // (desired == active next period) and would leave the hot range
+    // packed on fewer shards than the fleet believes it has -- an
+    // overload trap when load keeps rising.
+    if (!applied) continue;
+    if (desired > active_shards_) {
+      ++autoscaler_stats_.grow_events;
+    } else {
+      ++autoscaler_stats_.shrink_events;
+    }
+    active_shards_ = desired;
+  }
+
+  autoscaler_handle_ = nullptr;
+  autoscaler_active_ = false;
+}
 
 core::SloSpec ClusterControlPlane::ShardShare(const core::SloSpec& slo,
                                               int num_shards) {

@@ -1,15 +1,20 @@
 #ifndef REFLEX_CLUSTER_CLUSTER_CONTROL_PLANE_H_
 #define REFLEX_CLUSTER_CLUSTER_CONTROL_PLANE_H_
 
+#include <coroutine>
+#include <cstdint>
 #include <vector>
 
 #include "core/protocol.h"
 #include "core/tenant.h"
 #include "obs/metrics.h"
+#include "sim/task.h"
+#include "sim/time.h"
 
 namespace reflex::cluster {
 
 class FlashCluster;
+class MigrationCoordinator;
 
 /**
  * A cluster-wide tenant: one per-shard tenant registration on every
@@ -73,7 +78,56 @@ const char* AdmitKindName(AdmitResult::Kind kind);
  */
 class ClusterControlPlane {
  public:
+  /**
+   * SLO-aware elastic scaling (DESIGN.md section 17). The autoscaler
+   * samples two per-shard load signals each period -- token-spend rate
+   * against the calibrated device token capacity, and the dataplane
+   * queue-depth hint -- and sizes the *active server set*: the prefix
+   * of shards allowed to hold the configured hot stripe range. Growing
+   * spreads the hot stripes over one more shard; shrinking packs them
+   * back onto fewer. Placement changes are ordinary live migrations
+   * through the MigrationCoordinator, so scaling is hitless; the
+   * active set never drops below the map's replication factor (every
+   * stripe keeps R distinct shards) nor below min_active.
+   */
+  struct AutoscalerOptions {
+    sim::TimeNs period = sim::Millis(2);
+    /** Grow when any active shard's token utilization exceeds this. */
+    double high_utilization = 0.70;
+    /** Shrink when every active shard sits below this. */
+    double low_utilization = 0.30;
+    /** Consecutive all-below-low periods required before a shrink
+     * actually fires. Growing is eager (SLO pressure), shrinking is
+     * damped: one quiet sample right after a grow overshoot must not
+     * bounce the fleet straight back down. */
+    int shrink_persistence = 3;
+    /** Grow when any active shard's queue-depth hint exceeds this
+     * (catches SLO pressure the token signal lags on). */
+    uint32_t high_queue_depth = 64;
+    /** Grow whenever any active shard rejected at least this many
+     * requests on QoS (neg-limit hits) during the period. Rejects keep
+     * both other signals quiet -- served throughput plateaus and the
+     * queue stays short -- so without this an overloaded-but-rejecting
+     * fleet reads as healthy and never scales out. */
+    int64_t high_rejects = 1;
+    int min_active = 1;
+    /** Hot stripe range the active set serves; replica ordinal k of
+     * stripe s is placed on active shard (s + k) mod active. */
+    uint64_t hot_first_stripe = 0;
+    uint64_t hot_stripes = 64;
+  };
+
+  struct AutoscalerStats {
+    int64_t evaluations = 0;
+    int64_t grow_events = 0;
+    int64_t shrink_events = 0;
+    /** Migration batches issued (a resize can plan an empty batch). */
+    int64_t rebalances = 0;
+    int64_t rebalances_failed = 0;
+  };
+
   explicit ClusterControlPlane(FlashCluster& cluster);
+  ~ClusterControlPlane();
 
   /**
    * Registers `slo` across every shard. On rejection returns an
@@ -112,12 +166,55 @@ class ClusterControlPlane {
     return active_tenants_;
   }
 
+  /**
+   * Starts the periodic scaling loop. `coordinator` must outlive the
+   * loop (call StopAutoscaler -- or end the simulation -- before
+   * destroying it). One loop at a time.
+   */
+  void StartAutoscaler(MigrationCoordinator& coordinator,
+                       AutoscalerOptions options);
+
+  /** Stops the loop; it exits at its next wakeup. */
+  void StopAutoscaler() { autoscaler_running_ = false; }
+
+  /** Shards currently in the active serving set (always the prefix
+   * [0, active_shards) of the shard list). */
+  int active_shards() const { return active_shards_; }
+
+  const AutoscalerStats& autoscaler_stats() const {
+    return autoscaler_stats_;
+  }
+
  private:
+  sim::Task AutoscaleLoop();
+  /** Token utilization + max queue-depth hint of shard `i` since the
+   * previous sample, `dt` ago. */
+  double SampleShardUtilization(int i, sim::TimeNs dt,
+                                uint32_t* queue_depth);
+  /** QoS rejects (tenant neg-limit hits) on shard `i` since the
+   * previous sample. */
+  int64_t SampleShardRejects(int i);
+
   FlashCluster& cluster_;
   obs::MetricsRegistry metrics_;
   int64_t tenants_admitted_ = 0;
   int64_t tenants_rejected_ = 0;
   std::vector<ClusterTenant> active_tenants_;
+
+  // --- Autoscaler state ---
+  MigrationCoordinator* autoscaler_coordinator_ = nullptr;
+  AutoscalerOptions autoscaler_options_;
+  AutoscalerStats autoscaler_stats_;
+  bool autoscaler_running_ = false;
+  int active_shards_ = 0;
+  /** Previous tokens_spent_total sample per shard. */
+  std::vector<double> prev_tokens_spent_;
+  /** Previous summed tenant neg_limit_hits sample per shard. */
+  std::vector<int64_t> prev_neg_hits_;
+  /** Loop frame parked on its Delay at teardown (simulation over);
+   * destroyed by ~ClusterControlPlane. */
+  std::coroutine_handle<> autoscaler_handle_;
+  bool autoscaler_active_ = false;
 };
 
 }  // namespace reflex::cluster

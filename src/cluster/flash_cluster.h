@@ -61,6 +61,9 @@ class FlashCluster {
   net::Machine* machine(int shard) { return shards_[shard]->machine; }
 
   const ShardMap& shard_map() const { return shard_map_; }
+  /** Mutable master map -- migration planning/commit only (the
+   * MigrationCoordinator and ShardMap property tests). */
+  ShardMap& mutable_shard_map() { return shard_map_; }
   ClusterControlPlane& control_plane() { return *control_plane_; }
 
   sim::Simulator& sim() { return sim_; }

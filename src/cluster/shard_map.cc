@@ -33,13 +33,18 @@ void ShardMap::AddShard(uint32_t shard_id, uint64_t capacity_sectors) {
   for (const Shard& s : shards_) {
     REFLEX_CHECK(s.id != shard_id);
   }
-  Shard shard{shard_id, capacity_sectors};
+  // Shards are added before any migration plans: overrides reference
+  // shard indices, which inserting in the middle would shift.
+  REFLEX_CHECK(overrides_.empty());
+  Shard shard{shard_id, capacity_sectors,
+              std::vector<bool>(options_.migration_slots, false)};
   // Sorted by id: the map is identical for any insertion order.
   const auto pos = std::upper_bound(
       shards_.begin(), shards_.end(), shard,
       [](const Shard& a, const Shard& b) { return a.id < b.id; });
   shards_.insert(pos, shard);
   capacity_cache_ = ComputeCapacitySectors();
+  REFLEX_CHECK(capacity_cache_ > 0);
 }
 
 uint64_t ShardMap::ComputeCapacitySectors() const {
@@ -48,24 +53,32 @@ uint64_t ShardMap::ComputeCapacitySectors() const {
   for (const Shard& s : shards_) {
     min_capacity = std::min(min_capacity, s.capacity_sectors);
   }
+  // Migration landing slots come off the top of every shard before the
+  // base map is laid out (migration_slots == 0 reserves nothing).
+  const uint64_t raw_slots = min_capacity / options_.stripe_sectors;
+  REFLEX_CHECK(raw_slots > options_.migration_slots);
+  const uint64_t usable_slots = raw_slots - options_.migration_slots;
   if (options_.placement == Placement::kStriped) {
     // Each shard packs R-way replica slots densely, so R copies of
     // every stripe shrink the usable volume by a factor of R (exact
     // at R=1: slots == stripes).
     const uint64_t r = static_cast<uint64_t>(replication());
-    const uint64_t slots_per_shard =
-        min_capacity / (options_.stripe_sectors * r);
+    const uint64_t slots_per_shard = usable_slots / r;
     return shards_.size() * slots_per_shard * options_.stripe_sectors;
   }
   // Hashed placement addresses shards by logical LBA, so any shard
   // must be able to back the whole volume -- replicas are identity-
   // addressed too and cost no extra logical capacity.
-  const uint64_t stripes_per_shard = min_capacity / options_.stripe_sectors;
-  return stripes_per_shard * options_.stripe_sectors;
+  return usable_slots * options_.stripe_sectors;
 }
 
 int ShardMap::ShardIndexForStripe(uint64_t stripe) const {
   REFLEX_CHECK(!shards_.empty());
+  // A committed migration override relocates the primary; the map
+  // must keep answering "who serves this stripe" consistently with
+  // ReplicasForStripe / Split.
+  const auto it = overrides_.find({stripe, 0});
+  if (it != overrides_.end()) return it->second.shard_index;
   if (options_.placement == Placement::kStriped) {
     return static_cast<int>(stripe % shards_.size());
   }
@@ -85,6 +98,20 @@ int ShardMap::ShardIndexForStripe(uint64_t stripe) const {
 }
 
 std::vector<ReplicaTarget> ShardMap::TargetsForStripe(
+    uint64_t stripe, uint32_t within) const {
+  std::vector<ReplicaTarget> out = BaseTargetsForStripe(stripe, within);
+  if (overrides_.empty()) return out;
+  for (int k = 0; k < static_cast<int>(out.size()); ++k) {
+    const auto it = overrides_.find({stripe, k});
+    if (it == overrides_.end()) continue;
+    out[static_cast<size_t>(k)] =
+        ReplicaTarget{it->second.shard_index, it->second.shard_id,
+                      it->second.shard_lba + within};
+  }
+  return out;
+}
+
+std::vector<ReplicaTarget> ShardMap::BaseTargetsForStripe(
     uint64_t stripe, uint32_t within) const {
   REFLEX_CHECK(!shards_.empty());
   const uint64_t n = shards_.size();
@@ -187,6 +214,163 @@ std::vector<ShardExtent> ShardMap::Split(uint64_t lba,
     buffer_offset += run;
   }
   return out;
+}
+
+uint64_t ShardMap::MigrationRegionBase(const Shard& shard) const {
+  // Reserved slots sit at the top of the shard's own address space;
+  // the base map is bounded by the smallest shard, so the regions of
+  // larger shards start even further above any base placement.
+  const uint64_t raw_slots = shard.capacity_sectors / options_.stripe_sectors;
+  return (raw_slots - options_.migration_slots) * options_.stripe_sectors;
+}
+
+uint32_t ShardMap::FreeMigrationSlots(int shard_index) const {
+  const Shard& shard = shards_[static_cast<size_t>(shard_index)];
+  uint32_t free = 0;
+  for (const bool used : shard.migration_slot_used) {
+    if (!used) ++free;
+  }
+  return free;
+}
+
+bool ShardMap::AllocMigrationSlot(int shard_index, uint64_t* slot_lba) {
+  Shard& shard = shards_[static_cast<size_t>(shard_index)];
+  for (size_t j = 0; j < shard.migration_slot_used.size(); ++j) {
+    if (shard.migration_slot_used[j]) continue;
+    shard.migration_slot_used[j] = true;
+    *slot_lba = MigrationRegionBase(shard) + j * options_.stripe_sectors;
+    return true;
+  }
+  return false;
+}
+
+void ShardMap::FreeMigrationSlot(int shard_index, uint64_t slot_lba) {
+  Shard& shard = shards_[static_cast<size_t>(shard_index)];
+  const uint64_t base = MigrationRegionBase(shard);
+  REFLEX_CHECK(slot_lba >= base);
+  const uint64_t j = (slot_lba - base) / options_.stripe_sectors;
+  REFLEX_CHECK(j < shard.migration_slot_used.size());
+  REFLEX_CHECK(shard.migration_slot_used[j]);
+  shard.migration_slot_used[j] = false;
+}
+
+std::vector<MigrationAssignment> ShardMap::PlanStripeMoves(
+    const std::vector<StripeMove>& desired) {
+  // Plan each stripe's ordinals jointly: R-distinctness must hold for
+  // the post-move placement as a whole, not per individual move.
+  std::map<uint64_t, std::vector<StripeMove>> by_stripe;
+  for (const StripeMove& m : desired) {
+    REFLEX_CHECK(m.ordinal >= 0 && m.ordinal < replication());
+    REFLEX_CHECK(m.target_shard_index >= 0 &&
+                 m.target_shard_index < num_shards());
+    by_stripe[m.stripe].push_back(m);
+  }
+  std::vector<MigrationAssignment> plan;
+  for (auto& [stripe, moves] : by_stripe) {
+    const std::vector<ReplicaTarget> current =
+        TargetsForStripe(stripe, /*within=*/0);
+    std::vector<int> post(current.size());
+    for (size_t k = 0; k < current.size(); ++k) {
+      post[k] = current[k].shard_index;
+    }
+    for (const StripeMove& m : moves) {
+      post[static_cast<size_t>(m.ordinal)] = m.target_shard_index;
+    }
+    bool distinct = true;
+    for (size_t a = 0; distinct && a < post.size(); ++a) {
+      for (size_t b = a + 1; b < post.size(); ++b) {
+        if (post[a] == post[b]) {
+          distinct = false;
+          break;
+        }
+      }
+    }
+    if (!distinct) continue;  // would co-locate two copies of a stripe
+    const std::vector<ReplicaTarget> base =
+        BaseTargetsForStripe(stripe, /*within=*/0);
+    std::vector<MigrationAssignment> stripe_plan;
+    bool ok = true;
+    for (const StripeMove& m : moves) {
+      const ReplicaTarget& from = current[static_cast<size_t>(m.ordinal)];
+      if (from.shard_index == m.target_shard_index) continue;  // no-op
+      MigrationAssignment a;
+      a.stripe = stripe;
+      a.ordinal = m.ordinal;
+      a.from = from;
+      a.from_is_override = overrides_.count({stripe, m.ordinal}) > 0;
+      const ReplicaTarget& home = base[static_cast<size_t>(m.ordinal)];
+      if (m.target_shard_index == home.shard_index) {
+        // Moving back to the base placement: its slot is permanently
+        // owned by this (stripe, ordinal), no reservation needed.
+        a.to = home;
+        a.to_is_base = true;
+      } else {
+        uint64_t slot_lba = 0;
+        if (!AllocMigrationSlot(m.target_shard_index, &slot_lba)) {
+          ok = false;  // target out of landing slots: skip the stripe
+          break;
+        }
+        a.to = ReplicaTarget{
+            m.target_shard_index,
+            shards_[static_cast<size_t>(m.target_shard_index)].id, slot_lba};
+      }
+      stripe_plan.push_back(a);
+    }
+    if (!ok) {
+      for (const MigrationAssignment& a : stripe_plan) {
+        if (!a.to_is_base) {
+          FreeMigrationSlot(a.to.shard_index, a.to.shard_lba);
+        }
+      }
+      continue;
+    }
+    plan.insert(plan.end(), stripe_plan.begin(), stripe_plan.end());
+  }
+  return plan;
+}
+
+std::vector<MigrationAssignment> ShardMap::PlanRangeMigration(
+    int source_index, int target_index, uint64_t first_stripe,
+    uint64_t stripe_count) {
+  std::vector<StripeMove> desired;
+  const uint64_t end =
+      std::min(first_stripe + stripe_count, num_stripes());
+  for (uint64_t stripe = first_stripe; stripe < end; ++stripe) {
+    const std::vector<ReplicaTarget> current =
+        TargetsForStripe(stripe, /*within=*/0);
+    for (int k = 0; k < static_cast<int>(current.size()); ++k) {
+      if (current[static_cast<size_t>(k)].shard_index == source_index) {
+        desired.push_back(StripeMove{stripe, k, target_index});
+      }
+    }
+  }
+  return PlanStripeMoves(desired);
+}
+
+void ShardMap::CommitMigration(
+    const std::vector<MigrationAssignment>& assignments) {
+  if (assignments.empty()) return;
+  for (const MigrationAssignment& a : assignments) {
+    if (a.from_is_override) {
+      FreeMigrationSlot(a.from.shard_index, a.from.shard_lba);
+    }
+    if (a.to_is_base) {
+      overrides_.erase({a.stripe, a.ordinal});
+    } else {
+      overrides_[{a.stripe, a.ordinal}] = a.to;
+    }
+  }
+  // One epoch per batch: every assignment cut over atomically.
+  ++epoch_;
+}
+
+void ShardMap::AbortMigration(
+    const std::vector<MigrationAssignment>& assignments) {
+  for (const MigrationAssignment& a : assignments) {
+    if (!a.to_is_base) {
+      FreeMigrationSlot(a.to.shard_index, a.to.shard_lba);
+    }
+  }
 }
 
 }  // namespace reflex::cluster

@@ -1,7 +1,10 @@
 #ifndef REFLEX_CLUSTER_SHARD_MAP_H_
 #define REFLEX_CLUSTER_SHARD_MAP_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 namespace reflex::cluster {
@@ -36,6 +39,16 @@ struct ShardMapOptions {
    * capacity, empty replica lists.
    */
   int replication = 1;
+
+  /**
+   * Stripe-slots reserved at the top of every shard's address space as
+   * landing space for live migration: a stripe moved onto a shard that
+   * is not its base placement lands in one of these slots. Shrinks the
+   * logical volume by `migration_slots` stripes per shard (striped) or
+   * per volume (hashed). 0 -- the default -- reserves nothing and
+   * reproduces the immobile map bit-for-bit.
+   */
+  uint32_t migration_slots = 0;
 };
 
 /**
@@ -46,6 +59,27 @@ struct ReplicaTarget {
   int shard_index = 0;
   uint32_t shard_id = 0;
   uint64_t shard_lba = 0;
+};
+
+/**
+ * One planned stripe move: replica ordinal `ordinal` of `stripe`
+ * relocates from its current placement to a new one. Produced by
+ * PlanStripeMoves / PlanRangeMigration (which also reserves the
+ * destination slot) and consumed by CommitMigration / AbortMigration.
+ */
+struct MigrationAssignment {
+  uint64_t stripe = 0;
+  int ordinal = 0;  // 0 = primary, 1..R-1 = replicas
+  /** Current placement (base or a previously-committed override). */
+  ReplicaTarget from;
+  /** Destination: a reserved migration slot, or the base placement
+   * when the stripe is moving back home. */
+  ReplicaTarget to;
+  /** True when `to` is the stripe's base placement (commit removes
+   * the override instead of installing one). */
+  bool to_is_base = false;
+  /** True when `from` is an override whose slot frees on commit. */
+  bool from_is_override = false;
 };
 
 /**
@@ -134,23 +168,101 @@ class ShardMap {
    */
   std::vector<ShardExtent> Split(uint64_t lba, uint32_t sectors) const;
 
+  // --- Live migration (DESIGN.md section 17) ---
+
+  /**
+   * Map epoch: bumped once per committed migration batch. Clients
+   * stamp requests with the epoch of the map copy that routed them;
+   * a moved range rejects pre-cutover epochs with kWrongShard.
+   */
+  uint64_t epoch() const { return epoch_; }
+
+  /** Stripes in the logical volume. */
+  uint64_t num_stripes() const {
+    return capacity_cache_ / options_.stripe_sectors;
+  }
+
+  /** Committed placement overrides currently in effect. */
+  size_t num_overrides() const { return overrides_.size(); }
+
+  /** Free migration landing slots on shard `shard_index`. */
+  uint32_t FreeMigrationSlots(int shard_index) const;
+
+  /** Desired placement of one replica ordinal (PlanStripeMoves input). */
+  struct StripeMove {
+    uint64_t stripe = 0;
+    int ordinal = 0;
+    int target_shard_index = 0;
+  };
+
+  /**
+   * Plans a batch of stripe moves: resolves current placements,
+   * reserves destination slots (or targets the base placement when a
+   * stripe moves back home) and returns the assignments to copy.
+   * Moves that are no-ops, would co-locate two replicas of one stripe,
+   * or find no free landing slot are skipped -- the plan is always
+   * safe to commit. Reserved slots are held until CommitMigration or
+   * AbortMigration.
+   */
+  std::vector<MigrationAssignment> PlanStripeMoves(
+      const std::vector<StripeMove>& desired);
+
+  /**
+   * Plans the evacuation of every placement that stripe range
+   * [first_stripe, first_stripe+stripe_count) has on shard
+   * `source_index` over to shard `target_index`.
+   */
+  std::vector<MigrationAssignment> PlanRangeMigration(int source_index,
+                                                      int target_index,
+                                                      uint64_t first_stripe,
+                                                      uint64_t stripe_count);
+
+  /**
+   * Atomically installs a planned batch: overrides flip (or clear, for
+   * moves back to base), slots vacated by superseded overrides free,
+   * and the epoch bumps exactly once. Callers must have copied the
+   * data before committing.
+   */
+  void CommitMigration(const std::vector<MigrationAssignment>& assignments);
+
+  /** Releases the slots a planned batch reserved; no epoch change. */
+  void AbortMigration(const std::vector<MigrationAssignment>& assignments);
+
  private:
   struct Shard {
     uint32_t id;
     uint64_t capacity_sectors;
+    /** Occupancy of this shard's reserved migration landing slots. */
+    std::vector<bool> migration_slot_used;
   };
 
   uint64_t ComputeCapacitySectors() const;
 
   /** All R placements of `stripe`, primary first, with `within`
-   * sectors of intra-stripe offset applied to every shard LBA. */
+   * sectors of intra-stripe offset applied to every shard LBA.
+   * Committed overrides are applied per ordinal. */
   std::vector<ReplicaTarget> TargetsForStripe(uint64_t stripe,
                                               uint32_t within) const;
+
+  /** Placements ignoring overrides (the immobile base map). */
+  std::vector<ReplicaTarget> BaseTargetsForStripe(uint64_t stripe,
+                                                  uint32_t within) const;
+
+  /** First shard-local LBA of `shard`'s reserved migration region. */
+  uint64_t MigrationRegionBase(const Shard& shard) const;
+
+  /** Reserves the lowest free landing slot; false if none free. */
+  bool AllocMigrationSlot(int shard_index, uint64_t* slot_lba);
+  void FreeMigrationSlot(int shard_index, uint64_t slot_lba);
 
   ShardMapOptions options_;
   std::vector<Shard> shards_;
   /** capacity_sectors() of the current shard set (0 when empty). */
   uint64_t capacity_cache_ = 0;
+
+  uint64_t epoch_ = 0;
+  /** Committed placement overrides, keyed (stripe, ordinal). */
+  std::map<std::pair<uint64_t, int>, ReplicaTarget> overrides_;
 };
 
 }  // namespace reflex::cluster

@@ -48,6 +48,17 @@ DataplaneThread::DataplaneThread(sim::Simulator& sim, ReflexServer& server,
 }
 
 DataplaneThread::~DataplaneThread() {
+  if (loop_active_ && loop_handle_) {
+    // The loop is parked on its wake future or a Delay whose resume
+    // event will never run (the server is being torn down and the
+    // simulation will not advance past it). Destroy the suspended
+    // frame explicitly; with suspend_never at final_suspend the frame
+    // only self-destructs when the body finishes, which a parked loop
+    // never does. Any already-queued resume for this frame is dead --
+    // the simulator must not run again after the server is destroyed.
+    loop_active_ = false;
+    loop_handle_.destroy();
+  }
   if (qp_ != nullptr && qp_->Outstanding() == 0) {
     device_.FreeQueuePair(qp_);
   }
@@ -131,6 +142,7 @@ double DataplaneThread::LlcFactor() const {
 
 sim::Task DataplaneThread::RunLoop() {
   loop_active_ = true;
+  co_await sim::SelfHandle(&loop_handle_);
   while (running_) {
     if (rx_ring_.empty() && cq_ring_.empty()) {
       // Nothing to poll. A real dataplane would spin; we sleep until a
@@ -254,9 +266,28 @@ sim::Task DataplaneThread::RunLoop() {
           continue;
         }
       }
+      // Migration range gates: a range being copied away tracks
+      // concurrent writes (dirty marking + in-flight accounting); a
+      // moved range bounces stale-epoch requests so the client
+      // refreshes its map and reissues against the new owner.
+      int gate_id = -1;
+      if (msg.type != ReqType::kBarrier && server_.HasRangeGates()) {
+        const ReqStatus gs = server_.CheckRangeGates(msg, &gate_id);
+        if (gs != ReqStatus::kOk) {
+          ResponseMsg resp;
+          resp.type = msg.type == ReqType::kRead ? RespType::kResponse
+                                                 : RespType::kWritten;
+          resp.status = gs;
+          resp.handle = msg.handle;
+          resp.cookie = msg.cookie;
+          SendResponse(item.conn, resp);
+          continue;
+        }
+      }
       PendingIo io;
       io.msg = msg;
       io.conn = item.conn;
+      io.gate_id = gate_id;
       // Route to the tenant's owning thread (tenants may have been
       // rebalanced after the connection was opened).
       DataplaneThread& owner = server_.thread(tenant->thread_index());
@@ -298,8 +329,13 @@ sim::Task DataplaneThread::RunLoop() {
       resp.sectors = item.io.msg.sectors;
       item.io.MarkStage(obs::Stage::kTxQueued, sim_.Now());
       SendResponse(item.io.conn, resp);
+      if (item.io.gate_id >= 0) server_.OnGatedIoDone(item.io.gate_id);
     }
   }
+  // Falling off the end self-destroys the frame (final_suspend is
+  // suspend_never); clear the handle so the destructor cannot
+  // double-destroy it.
+  loop_handle_ = nullptr;
   loop_active_ = false;
 }
 
@@ -387,6 +423,7 @@ void DataplaneThread::FailIo(const PendingIo& io, ReqStatus status) {
   resp.cookie = io.msg.cookie;
   io.MarkStage(obs::Stage::kTxQueued, sim_.Now());
   SendResponse(io.conn, resp);
+  if (io.gate_id >= 0) server_.OnGatedIoDone(io.gate_id);
 }
 
 }  // namespace reflex::core

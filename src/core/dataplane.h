@@ -1,6 +1,7 @@
 #ifndef REFLEX_CORE_DATAPLANE_H_
 #define REFLEX_CORE_DATAPLANE_H_
 
+#include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -180,6 +181,12 @@ class DataplaneThread {
                : 0.0;
   }
 
+  /** Load estimate piggybacked on every response (ResponseMsg::
+   * queue_depth_hint): requests queued or in flight on this thread.
+   * Also sampled by the cluster autoscaler as its SLO-pressure
+   * signal. */
+  uint32_t QueueDepthHint() const;
+
  private:
   struct RxItem {
     ServerConnection* conn;
@@ -199,9 +206,6 @@ class DataplaneThread {
   double LlcFactor() const;
   void HandleControlMsg(ServerConnection* conn, const RequestMsg& msg);
   void SubmitToFlash(Tenant& tenant, PendingIo&& io);
-  /** Load estimate piggybacked on every response (ResponseMsg::
-   * queue_depth_hint): requests queued or in flight on this thread. */
-  uint32_t QueueDepthHint() const;
   void SendResponse(ServerConnection* conn, const ResponseMsg& resp);
   void FailIo(const PendingIo& io, ReqStatus status);
 
@@ -221,6 +225,14 @@ class DataplaneThread {
   /** True while a RunLoop coroutine is alive (it may outlive running_
    * by one iteration after Shutdown). */
   bool loop_active_ = false;
+  /**
+   * The live RunLoop coroutine's own frame handle (captured via
+   * sim::SelfHandle, cleared when the loop finishes normally). At
+   * destruction the loop is usually still suspended on its wake future
+   * or a Delay whose resume event will never run -- the destructor
+   * destroys the frame through this handle so it cannot leak.
+   */
+  std::coroutine_handle<> loop_handle_;
   bool ever_started_ = false;
   bool idle_ = false;
   bool resched_armed_ = false;

@@ -62,7 +62,21 @@ enum class ReqStatus : uint8_t {
    * outcome, or re-issue if their update is idempotent.
    */
   kUnknownOutcome = 7,
+  /**
+   * The shard no longer owns the requested sector range: the range was
+   * migrated away and the client's shard map is older than the cutover
+   * epoch. Retryable -- the client refreshes its map copy and reissues
+   * against the new owner. Carried on the wire (it is a server
+   * decision), but synthesized only by migration range gates.
+   */
+  kWrongShard = 8,
 };
+
+/**
+ * Sentinel map epoch meaning "not stamped": requests from single-server
+ * clients (no shard map) bypass migration epoch checks entirely.
+ */
+inline constexpr uint64_t kMapEpochBypass = ~uint64_t{0};
 
 /** Logical sector size used by the ReFlex block protocol. */
 inline constexpr uint32_t kSectorBytes = 512;
@@ -88,6 +102,17 @@ struct RequestMsg {
   uint32_t sectors = 0;
   uint64_t cookie = 0;
   uint8_t* data = nullptr;
+
+  /**
+   * Shard-map epoch the client held when it routed this request. Range
+   * gates on a migrated-away range reject requests stamped with an
+   * epoch older than the cutover (kWrongShard) so stale routing can
+   * never read or write pre-migration sectors. Like queue_depth_hint,
+   * it rides in reserved bytes of the fixed 24-byte request header, so
+   * it adds no wire bytes and cannot perturb network timing. Defaults
+   * to the bypass sentinel: single-server clients are unaffected.
+   */
+  uint64_t map_epoch = kMapEpochBypass;
 
   // kRegister payload.
   SloSpec slo;

@@ -211,6 +211,76 @@ obs::MetricsRegistry& ReflexServer::SnapshotMetrics() {
   return metrics_;
 }
 
+int ReflexServer::AddRangeGate(uint64_t first_lba, uint64_t sectors) {
+  const int id = next_gate_id_++;
+  RangeGate gate;
+  gate.first_lba = first_lba;
+  gate.sectors = sectors;
+  // A re-migration supersedes whatever gate an earlier migration left
+  // on this range: fold the old epoch floor into the new gate (clients
+  // older than that cutover must still bounce -- the lba may hold a
+  // different stripe's bytes now) and drop the old gate. Without this,
+  // gates stack up on a range that moves away, back, and away again,
+  // and the oldest kMoved gate answers first with a floor low enough
+  // to wave stale clients through to freed data.
+  for (auto it = range_gates_.begin(); it != range_gates_.end();) {
+    if (it->second.Overlaps(first_lba, sectors)) {
+      gate.min_epoch = std::max(gate.min_epoch, it->second.min_epoch);
+      it = range_gates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  range_gates_.emplace(id, gate);
+  return id;
+}
+
+RangeGate* ReflexServer::FindRangeGate(int id) {
+  auto it = range_gates_.find(id);
+  return it == range_gates_.end() ? nullptr : &it->second;
+}
+
+void ReflexServer::RemoveRangeGate(int id) { range_gates_.erase(id); }
+
+ReqStatus ReflexServer::CheckRangeGates(const RequestMsg& msg,
+                                        int* counted_gate) {
+  *counted_gate = -1;
+  if (msg.map_epoch == kMapEpochBypass) return ReqStatus::kOk;
+  for (auto& [id, gate] : range_gates_) {
+    if (!gate.Overlaps(msg.lba, msg.sectors)) continue;
+    // The epoch floor applies in every state: a client older than the
+    // last cutover that moved this range is routing blind (the lba may
+    // belong to a different stripe by now), so it bounces even while a
+    // fresh migration is copying the range again.
+    if (msg.map_epoch < gate.min_epoch) return ReqStatus::kWrongShard;
+    switch (gate.state) {
+      case RangeGateState::kCopying:
+        if (msg.type == ReqType::kWrite) {
+          gate.dirty = true;
+          ++gate.inflight_writes;
+          *counted_gate = id;
+        }
+        return ReqStatus::kOk;
+      case RangeGateState::kDraining:
+        // Reads still serve (no write can commit under drain); writes
+        // bounce so the range quiesces. The client's bounded retry
+        // straddles the map flip.
+        return msg.type == ReqType::kWrite ? ReqStatus::kWrongShard
+                                           : ReqStatus::kOk;
+      case RangeGateState::kMoved:
+        return ReqStatus::kOk;  // floor already checked above
+    }
+  }
+  return ReqStatus::kOk;
+}
+
+void ReflexServer::OnGatedIoDone(int gate_id) {
+  RangeGate* gate = FindRangeGate(gate_id);
+  if (gate == nullptr) return;
+  REFLEX_CHECK(gate->inflight_writes > 0);
+  --gate->inflight_writes;
+}
+
 DataplaneStats ReflexServer::AggregateStats() const {
   DataplaneStats agg;
   for (const auto& t : threads_) {

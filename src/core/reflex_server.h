@@ -72,6 +72,43 @@ struct ServerOptions {
 inline constexpr uint32_t kControlHandle = 0;
 
 /**
+ * Lifecycle of a migration range gate (DESIGN.md section 17). A gate
+ * covers one shard-local sector range that is being migrated away:
+ *
+ *  - kCopying: the shard still owns the range. Reads and writes are
+ *    admitted; each admitted write marks the gate dirty (the copied
+ *    image is stale) and is counted in flight until its response is
+ *    on the wire.
+ *  - kDraining: cutover is imminent. New writes are refused with
+ *    kWrongShard (clients back off and retry; the map flips before
+ *    their retry budget runs out), reads still serve. The coordinator
+ *    waits for in-flight writes to quiesce, recopies dirty stripes,
+ *    then commits the map flip.
+ *  - kMoved: the range now lives elsewhere. Requests stamped with a
+ *    map epoch older than `min_epoch` get kWrongShard so stale routing
+ *    can never touch pre-migration sectors; fresh epochs pass (the
+ *    underlying sectors may have been reused for new placements).
+ */
+enum class RangeGateState : uint8_t { kCopying = 0, kDraining = 1, kMoved = 2 };
+
+/** One migration gate over a shard-local sector range. */
+struct RangeGate {
+  uint64_t first_lba = 0;
+  uint64_t sectors = 0;
+  RangeGateState state = RangeGateState::kCopying;
+  /** kMoved only: requests with map_epoch >= min_epoch pass. */
+  uint64_t min_epoch = 0;
+  /** A write landed in the range since the last copy pass. */
+  bool dirty = false;
+  /** Writes admitted under kCopying whose response is not yet sent. */
+  int64_t inflight_writes = 0;
+
+  bool Overlaps(uint64_t lba, uint32_t len) const {
+    return lba < first_lba + sectors && lba + len > first_lba;
+  }
+};
+
+/**
  * Result of ReflexServer::Accept(): the bound connection on success,
  * or a typed refusal (unknown/inactive tenant, ACL denial) with
  * `conn` null.
@@ -175,6 +212,27 @@ class ReflexServer {
   /** All registered tenants (including unregistered zombies). */
   const std::vector<Tenant*>& tenants() const { return tenant_list_; }
 
+  // --- Migration range gates (driven by cluster::MigrationCoordinator) ---
+  /** Installs a kCopying gate over [first_lba, first_lba+sectors). */
+  int AddRangeGate(uint64_t first_lba, uint64_t sectors);
+  /** Returns the gate, or null if already removed. */
+  RangeGate* FindRangeGate(int id);
+  void RemoveRangeGate(int id);
+  bool HasRangeGates() const { return !range_gates_.empty(); }
+
+  /**
+   * Gate admission for one parsed request (dataplane parse step).
+   * Returns kOk or kWrongShard; on an admitted write under a kCopying
+   * gate, marks the gate dirty, bumps its in-flight count and stores
+   * the gate id in *counted_gate (else -1). Requests stamped with the
+   * bypass epoch skip gating entirely (single-server clients and the
+   * migration coordinator's own copy traffic).
+   */
+  ReqStatus CheckRangeGates(const RequestMsg& msg, int* counted_gate);
+
+  /** Decrements the in-flight count of a still-installed gate. */
+  void OnGatedIoDone(int gate_id);
+
  private:
   friend class ControlPlane;
   friend class DataplaneThread;
@@ -217,6 +275,9 @@ class ReflexServer {
   std::unique_ptr<ControlPlane> control_plane_;
   sim::FaultPlan* fault_plan_ = nullptr;
   bool brownout_listener_added_ = false;
+
+  int next_gate_id_ = 0;
+  std::map<int, RangeGate> range_gates_;
 };
 
 }  // namespace reflex::core

@@ -20,6 +20,13 @@ struct PendingIo {
   sim::TimeNs enqueue_time = 0;
   /** Token cost, priced at enqueue time (section 3.2.1). */
   double cost = 0.0;
+  /**
+   * Migration range gate this write was counted against at admission
+   * (-1 for ungated requests). The gate's in-flight counter must be
+   * decremented exactly once, on completion or failure, so a draining
+   * migration knows when the range has quiesced.
+   */
+  int gate_id = -1;
 
   /** Trace span of a sampled request (null on the untraced path). */
   obs::TraceSpan* trace() const { return msg.trace.get(); }

@@ -43,6 +43,31 @@ class Task {
 };
 
 /**
+ * Awaitable that exposes the current coroutine's own handle without
+ * suspending it. A long-lived loop stores the handle into a member its
+ * owner can see; the owner may then destroy() the frame at teardown if
+ * the loop is still parked on an awaitable whose wake event will never
+ * run (e.g. a simulation that ends while the loop waits for work). The
+ * coroutine must clear the slot before finishing normally -- with
+ * suspend_never final_suspend the frame self-destructs and the stored
+ * handle would dangle.
+ */
+class SelfHandle {
+ public:
+  explicit SelfHandle(std::coroutine_handle<>* out) : out_(out) {}
+
+  bool await_ready() const noexcept { return false; }
+  bool await_suspend(std::coroutine_handle<> h) noexcept {
+    *out_ = h;
+    return false;  // capture only; resume immediately
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  std::coroutine_handle<>* out_;
+};
+
+/**
  * Awaitable that suspends the current task for `delay` of simulated
  * time. A zero (or negative) delay still round-trips through the event
  * queue so that same-time events retain FIFO ordering.

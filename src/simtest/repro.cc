@@ -49,7 +49,8 @@ std::string FindField(const std::string& json, const std::string& key) {
 
 std::string ReproToJson(const ScenarioSpec& spec, const RunReport& report,
                         Mutation mutation, int64_t max_ops,
-                        bool force_policy, bool force_replication) {
+                        bool force_policy, bool force_replication,
+                        bool force_migration) {
   std::ostringstream out;
   out << "{\n";
   // The replay key comes first: simtest_repro reads only these fields.
@@ -62,6 +63,9 @@ std::string ReproToJson(const ScenarioSpec& spec, const RunReport& report,
   }
   if (force_replication) {
     out << "\"forced_replication\": " << spec.replication << ",\n";
+  }
+  if (force_migration) {
+    out << "\"forced_migration\": true,\n";
   }
   out << "\"completed\": " << (report.completed ? "true" : "false")
       << ",\n";
@@ -109,6 +113,7 @@ bool ParseRepro(const std::string& json, ReproSpec* out) {
     out->replication =
         static_cast<int>(std::strtol(forced_r.c_str(), nullptr, 10));
   }
+  out->force_migration = FindField(json, "forced_migration") == "true";
   return true;
 }
 

@@ -33,6 +33,13 @@ struct ReproSpec {
    */
   bool force_replication = false;
   int replication = 1;
+
+  /**
+   * When true, the sweep forced `migrate` on for every seed (the
+   * drawn schedule parameters are kept); replay must apply the same
+   * override.
+   */
+  bool force_migration = false;
 };
 
 /**
@@ -47,12 +54,14 @@ struct ReproSpec {
 std::string ReproToJson(const ScenarioSpec& spec, const RunReport& report,
                         Mutation mutation, int64_t max_ops,
                         bool force_policy = false,
-                        bool force_replication = false);
+                        bool force_replication = false,
+                        bool force_migration = false);
 
 /**
  * Extracts the replay key back out of a repro artifact. A minimal
  * field scanner (looks for "seed", "max_ops", "mutation",
- * "forced_policy", "forced_replication" at the top level), not a
+ * "forced_policy", "forced_replication", "forced_migration" at the
+ * top level), not a
  * general JSON parser -- the artifact is always written by
  * ReproToJson. Returns false if `seed` is missing. (The "forced_*"
  * keys are distinct from the scenario's descriptive "qos_policy" and

@@ -7,6 +7,7 @@
 #include "cluster/cluster_client.h"
 #include "cluster/cluster_control_plane.h"
 #include "cluster/flash_cluster.h"
+#include "cluster/migration.h"
 #include "flash/calibration.h"
 #include "net/network.h"
 #include "sim/random.h"
@@ -74,6 +75,10 @@ const char* MutationName(Mutation m) {
       return "forge_tokens";
     case Mutation::kServeStaleReplica:
       return "serve_stale_replica";
+    case Mutation::kDropForwardedWrite:
+      return "drop_forwarded_write";
+    case Mutation::kServePremigrationRange:
+      return "serve_premigration_range";
   }
   return "none";
 }
@@ -82,6 +87,10 @@ Mutation MutationFromName(const std::string& name) {
   if (name == "skip_one_sub_write") return Mutation::kSkipOneSubWrite;
   if (name == "forge_tokens") return Mutation::kForgeTokens;
   if (name == "serve_stale_replica") return Mutation::kServeStaleReplica;
+  if (name == "drop_forwarded_write") return Mutation::kDropForwardedWrite;
+  if (name == "serve_premigration_range") {
+    return Mutation::kServePremigrationRange;
+  }
   return Mutation::kNone;
 }
 
@@ -94,6 +103,29 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
     // than the primary.
     spec.num_shards = std::max(spec.num_shards, 2);
     spec.replication = std::max(spec.replication, 2);
+  }
+  const bool migration_canary = mutation == Mutation::kDropForwardedWrite ||
+                                mutation == Mutation::kServePremigrationRange;
+  if (migration_canary) {
+    // The canary drives its own deterministic write/migrate/read
+    // sequence against stripe 0 (shard 0 under striped placement), so
+    // the scenario is pinned: no competing workload over the probe
+    // range, no faults that could abort the migration, no replica
+    // that could mask the missing copy.
+    spec.num_shards = std::max(spec.num_shards, 2);
+    spec.rendezvous = false;
+    spec.replication = 1;
+    spec.steering = cluster::SteeringPolicy::kPrimaryOnly;
+    spec.migrate = true;
+    spec.migrate_source = 0;
+    spec.migrate_target = 1;
+    spec.migrate_first_stripe = 0;
+    spec.migrate_stripe_count = 4;
+    spec.autoscale = false;
+    spec.kill_replica = false;
+    spec.probabilities.clear();
+    spec.windows.clear();
+    for (TenantSpec& t : spec.tenants) t.ops = 0;
   }
 
   sim::Simulator sim;
@@ -109,6 +141,12 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
                                     : cluster::Placement::kStriped;
   options.shard_map.stripe_sectors = spec.stripe_sectors;
   options.shard_map.replication = spec.replication;
+  // Reserve landing slots only when this scenario can migrate: slot
+  // reservation shrinks the logical volume, and seeds without
+  // migration must keep their exact pre-migration capacity and map.
+  const bool wants_migration =
+      (spec.migrate || spec.autoscale) && spec.num_shards >= 2;
+  if (wants_migration) options.shard_map.migration_slots = 64;
   options.seed = spec.seed;
   cluster::FlashCluster cluster(sim, net, options);
 
@@ -165,6 +203,30 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
                                            core::TenantClass::kBestEffort);
     }
     drivers.push_back(std::move(driver));
+  }
+
+  // Live-migration machinery, only for scenarios that can move data:
+  // everything else runs the exact event sequence it always did.
+  std::unique_ptr<cluster::MigrationCoordinator> coordinator;
+  const bool do_migrate = wants_migration && spec.migrate &&
+                          cluster.shard_map().num_stripes() > 0;
+  const bool do_autoscale = wants_migration && spec.autoscale;
+  if (do_migrate || do_autoscale) {
+    cluster::MigrationCoordinator::Options mopts;
+    mopts.mutate_drop_forwarded_write =
+        mutation == Mutation::kDropForwardedWrite;
+    mopts.mutate_serve_premigration_range =
+        mutation == Mutation::kServePremigrationRange;
+    coordinator = std::make_unique<cluster::MigrationCoordinator>(
+        cluster, net, mopts);
+  }
+  if (do_autoscale) {
+    cluster::ClusterControlPlane::AutoscalerOptions aopts;
+    aopts.period = sim::Millis(2);
+    aopts.hot_first_stripe = 0;
+    aopts.hot_stripes =
+        std::min<uint64_t>(32, cluster.shard_map().num_stripes());
+    cluster.control_plane().StartAutoscaler(*coordinator, aopts);
   }
 
   ConsistencyOracle oracle;
@@ -282,6 +344,43 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
                   d.probe_buffer);
   };
 
+  // Scheduled migration: clamp the drawn endpoints to the realized
+  // topology (source != target) and race it against the workload and
+  // fault plan from migrate_start on.
+  bool migrate_started = false;
+  sim::Future<bool> migrate_future;
+  auto start_migration = [&]() {
+    migrate_started = true;
+    const uint64_t stripes = cluster.shard_map().num_stripes();
+    const int src = spec.migrate_source % cluster.num_shards();
+    int dst = spec.migrate_target % cluster.num_shards();
+    if (dst == src) dst = (src + 1) % cluster.num_shards();
+    migrate_future =
+        coordinator->MigrateRange(src, dst, spec.migrate_first_stripe % stripes,
+                                  spec.migrate_stripe_count);
+  };
+
+  // Migration-canary probe (see the Mutation docs): write v1 to stripe
+  // 0, migrate it -- v2 is written at the coordinator's before-cutover
+  // point (kDropForwardedWrite) or stale-mapped after the cutover
+  // (kServePremigrationRange) -- then read stripe 0 back and let the
+  // oracle judge which version survived.
+  int canary_stage = migration_canary ? 1 : 0;
+  uint64_t canary_version = 0;
+  const uint32_t canary_sectors = spec.stripe_sectors;
+  uint8_t* canary_buffer = nullptr;
+  sim::Future<IoResult> canary_future;
+  sim::Future<IoResult> canary_hook_future;
+  bool canary_hook_pending = false;
+  auto canary_stamped_buffer = [&]() {
+    buffers.push_back(std::make_unique<std::vector<uint8_t>>(
+        static_cast<size_t>(canary_sectors) * core::kSectorBytes, 0));
+    uint8_t* buf = buffers.back()->data();
+    canary_version = oracle.BeginWrite(0, 0, canary_sectors, sim.Now());
+    ConsistencyOracle::StampPayload(buf, canary_version, 0, canary_sectors);
+    return buf;
+  };
+
   while (sim.Now() < kDeadline) {
     bool idle = true;
     for (size_t i = 0; i < drivers.size(); ++i) {
@@ -330,15 +429,99 @@ RunReport RunScenario(const ScenarioSpec& spec_in, Mutation mutation,
       tokens_forged = true;
       cluster.server(0).shared().global_bucket.Donate(50.0);
     }
-    if (idle && total_issued >= budget) break;
+
+    if (do_migrate && !migration_canary && !migrate_started &&
+        !coordinator->busy() &&
+        (sim.Now() >= spec.migrate_start ||
+         (idle && total_issued >= budget))) {
+      // Fire at the drawn time; if the workload drains first, fire
+      // anyway so every migrating seed exercises copy-and-cutover.
+      // Deferred (next poll tick) while an autoscaler rebalance batch
+      // holds the coordinator -- one batch runs at a time.
+      start_migration();
+    }
+
+    if (canary_stage == 1) {
+      canary_buffer = canary_stamped_buffer();
+      canary_future =
+          drivers[0]->session->Write(0, canary_sectors, canary_buffer);
+      canary_stage = 2;
+    } else if (canary_stage == 2 && canary_future.Ready()) {
+      oracle.EndWrite(canary_version, canary_future.Get());
+      if (mutation == Mutation::kDropForwardedWrite) {
+        coordinator->before_cutover = [&]() {
+          uint8_t* buf = canary_stamped_buffer();
+          canary_hook_future =
+              drivers[0]->session->Write(0, canary_sectors, buf);
+          canary_hook_pending = true;
+          return canary_hook_future;
+        };
+      }
+      start_migration();
+      canary_stage = 3;
+    } else if (canary_stage == 3) {
+      if (canary_hook_pending && canary_hook_future.Ready()) {
+        oracle.EndWrite(canary_version, canary_hook_future.Get());
+        canary_hook_pending = false;
+      }
+      if (migrate_future.Ready() && !canary_hook_pending) {
+        if (mutation == Mutation::kServePremigrationRange) {
+          // The client's local map still predates the cutover, so this
+          // write carries the stale epoch. Correct servers bounce it
+          // into a refresh-and-retry; the mutated one absorbs it.
+          canary_buffer = canary_stamped_buffer();
+          canary_future =
+              drivers[0]->session->Write(0, canary_sectors, canary_buffer);
+          canary_stage = 4;
+        } else {
+          canary_stage = 5;
+        }
+      }
+    } else if (canary_stage == 4 && canary_future.Ready()) {
+      oracle.EndWrite(canary_version, canary_future.Get());
+      canary_stage = 5;
+    } else if (canary_stage == 5) {
+      client.RefreshMap();
+      buffers.push_back(std::make_unique<std::vector<uint8_t>>(
+          static_cast<size_t>(canary_sectors) * core::kSectorBytes, 0));
+      canary_buffer = buffers.back()->data();
+      canary_future =
+          drivers[0]->session->Read(0, canary_sectors, canary_buffer);
+      canary_stage = 6;
+    } else if (canary_stage == 6 && canary_future.Ready()) {
+      IoResult observed = canary_future.Get();
+      observed.complete_time = std::max(observed.complete_time, sim.Now());
+      oracle.EndRead(0, canary_sectors, canary_buffer, observed);
+      canary_stage = 0;
+    }
+    if (canary_stage != 0) idle = false;
+
+    const bool migration_quiet =
+        !migrate_started || migrate_future.Ready();
+    if (idle && total_issued >= budget && migration_quiet) break;
     sim.RunUntil(sim.Now() + kPollStep);
   }
+
+  if (do_autoscale) cluster.control_plane().StopAutoscaler();
 
   RunReport report;
   report.completed = total_issued >= budget;
   for (const auto& d : drivers) {
     report.ops_executed += d->resolved;
     if (d->busy) report.completed = false;
+  }
+  if (migration_canary && canary_stage != 0) report.completed = false;
+  if (coordinator != nullptr) {
+    report.migrations_started = coordinator->stats().migrations_started;
+    report.migrations_committed = coordinator->stats().migrations_committed;
+    report.migrations_aborted = coordinator->stats().migrations_aborted;
+  }
+  if (do_autoscale) {
+    report.autoscaler_rebalances =
+        cluster.control_plane().autoscaler_stats().rebalances;
+  }
+  for (const auto& d : drivers) {
+    report.wrong_shard_retries += d->session->wrong_shard_retries();
   }
   report.reads_checked = oracle.reads_checked();
   report.writes_tracked = oracle.writes_tracked();

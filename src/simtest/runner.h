@@ -39,6 +39,24 @@ enum class Mutation {
    * so a replica exists to skip.
    */
   kServeStaleReplica,
+  /**
+   * Migration canary: the coordinator skips every dirty recopy, so a
+   * write raced into the copy window (issued by the canary probe at
+   * the coordinator's before-cutover point) is silently dropped at
+   * cutover. The post-migration probe read must surface it as a stale
+   * read. Forces a deterministic migration scenario (striped, R=1,
+   * fault-free, shard 0 -> 1) with the regular workload quiesced.
+   */
+  kDropForwardedWrite,
+  /**
+   * Migration canary: the coordinator removes the range gates at
+   * cutover instead of escalating them to kMoved, so the source keeps
+   * accepting stale-mapped writes for the migrated range. The canary's
+   * post-cutover stale write then lands on the source, and the
+   * refreshed probe read of the target must flag the loss as a stale
+   * read. Same forced scenario as kDropForwardedWrite.
+   */
+  kServePremigrationRange,
 };
 
 const char* MutationName(Mutation m);
@@ -51,6 +69,13 @@ struct RunReport {
   int64_t ops_executed = 0;
   int64_t reads_checked = 0;
   int64_t writes_tracked = 0;
+  /** Live-migration activity (zero for scenarios that drew none). */
+  int64_t migrations_started = 0;
+  int64_t migrations_committed = 0;
+  int64_t migrations_aborted = 0;
+  int64_t autoscaler_rebalances = 0;
+  /** Cluster-client kWrongShard refresh-and-retry loops taken. */
+  int64_t wrong_shard_retries = 0;
   std::vector<DataViolation> data_violations;
   std::vector<InvariantViolation> invariant_violations;
 

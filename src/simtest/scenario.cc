@@ -98,6 +98,18 @@ ScenarioSpec GenerateScenario(uint64_t seed) {
       sim::Millis(1 + static_cast<int64_t>(rng.NextBounded(5)));
   spec.kill_duration =
       sim::Millis(1 + static_cast<int64_t>(rng.NextBounded(3)));
+
+  // Migration draws come after the replication draws, unconditional
+  // for the same stream-alignment reason. The runner clamps shard
+  // indices and stripe ranges to the realized topology.
+  spec.migrate = rng.NextBernoulli(0.35);
+  spec.migrate_source = static_cast<int>(rng.NextBounded(4));
+  spec.migrate_target = static_cast<int>(rng.NextBounded(4));
+  spec.migrate_first_stripe = rng.NextBounded(64);
+  spec.migrate_stripe_count = 1 + rng.NextBounded(16);
+  spec.migrate_start =
+      sim::Millis(1 + static_cast<int64_t>(rng.NextBounded(6)));
+  spec.autoscale = rng.NextBernoulli(0.25);
   return spec;
 }
 
@@ -121,6 +133,16 @@ std::string ScenarioToJson(const ScenarioSpec& spec) {
   out << "  \"kill_shard\": " << spec.kill_shard << ",\n";
   out << "  \"kill_start_us\": " << spec.kill_start / 1000 << ",\n";
   out << "  \"kill_duration_us\": " << spec.kill_duration / 1000 << ",\n";
+  out << "  \"migrate\": " << (spec.migrate ? "true" : "false") << ",\n";
+  out << "  \"migrate_source\": " << spec.migrate_source << ",\n";
+  out << "  \"migrate_target\": " << spec.migrate_target << ",\n";
+  out << "  \"migrate_first_stripe\": " << spec.migrate_first_stripe
+      << ",\n";
+  out << "  \"migrate_stripe_count\": " << spec.migrate_stripe_count
+      << ",\n";
+  out << "  \"migrate_start_us\": " << spec.migrate_start / 1000 << ",\n";
+  out << "  \"autoscale\": " << (spec.autoscale ? "true" : "false")
+      << ",\n";
   out << "  \"tenants\": [\n";
   for (size_t i = 0; i < spec.tenants.size(); ++i) {
     const TenantSpec& t = spec.tenants[i];

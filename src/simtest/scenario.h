@@ -84,6 +84,21 @@ struct ScenarioSpec {
   sim::TimeNs kill_start = 0;
   sim::TimeNs kill_duration = 0;
 
+  // Live migration and autoscaling. Drawn after the replication
+  // fields (same stream-alignment rule: every draw is unconditional,
+  // so seeds predating these fields expand to identical scenarios).
+  // The runner applies them only when num_shards >= 2; migrations are
+  // raced against the fault plan and the regular workload.
+  /** Schedule one MigrateRange at migrate_start. */
+  bool migrate = false;
+  int migrate_source = 0;
+  int migrate_target = 0;
+  uint64_t migrate_first_stripe = 0;
+  uint64_t migrate_stripe_count = 1;
+  sim::TimeNs migrate_start = 0;
+  /** Run the SLO-aware autoscaler for the whole scenario. */
+  bool autoscale = false;
+
   std::vector<TenantSpec> tenants;
   std::vector<FaultProbSpec> probabilities;
   std::vector<FaultWindowSpec> windows;

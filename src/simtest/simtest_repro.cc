@@ -2,11 +2,11 @@
 //
 //   simtest_repro <repro.json>
 //   simtest_repro --seed S [--max-ops M] [--mutation NAME]
-//                 [--policy NAME] [--replication R]
+//                 [--policy NAME] [--replication R] [--migrate]
 //
-// --policy / --replication (or "forced_policy" / "forced_replication"
-// fields in the artifact) re-apply a sweep's overrides to the
-// regenerated scenario.
+// --policy / --replication / --migrate (or "forced_policy" /
+// "forced_replication" / "forced_migration" fields in the artifact)
+// re-apply a sweep's overrides to the regenerated scenario.
 //
 // Regenerates the scenario from the seed, re-runs it under the same
 // mutation and op budget, and prints the verdict. Exit status: 0 when
@@ -76,6 +76,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       repro.force_replication = true;
+    } else if (arg == "--migrate") {
+      repro.force_migration = true;
     } else if (!arg.empty() && arg[0] != '-') {
       std::string json;
       if (!ReadFile(arg, &json)) {
@@ -92,7 +94,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: simtest_repro <repro.json> | --seed S "
                    "[--max-ops M] [--mutation NAME] [--policy NAME] "
-                   "[--replication R]\n");
+                   "[--replication R] [--migrate]\n");
       return 2;
     }
   }
@@ -100,7 +102,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: simtest_repro <repro.json> | --seed S "
                  "[--max-ops M] [--mutation NAME] [--policy NAME] "
-                 "[--replication R]\n");
+                 "[--replication R] [--migrate]\n");
     return 2;
   }
 
@@ -114,15 +116,20 @@ int main(int argc, char** argv) {
   if (repro.force_replication) {
     spec.replication = repro.replication;
   }
+  if (repro.force_migration) {
+    spec.migrate = true;
+  }
   std::printf(
       "replaying seed=%llu max_ops=%lld mutation=%s policy=%s%s "
-      "replication=%d%s\n",
+      "replication=%d%s migrate=%s%s\n",
       static_cast<unsigned long long>(repro.seed),
       static_cast<long long>(repro.max_ops),
       simtest::MutationName(repro.mutation),
       core::QosPolicyKindName(spec.policy),
       repro.force_policy ? " (forced)" : "", spec.replication,
-      repro.force_replication ? " (forced)" : "");
+      repro.force_replication ? " (forced)" : "",
+      spec.migrate ? "true" : "false",
+      repro.force_migration ? " (forced)" : "");
   const simtest::RunReport report =
       simtest::RunScenario(spec, repro.mutation, repro.max_ops);
 

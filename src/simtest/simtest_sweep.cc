@@ -4,16 +4,18 @@
 //
 //   simtest_sweep [--seeds N] [--start S] [--mutation NAME]
 //                 [--max-ops M] [--out PATH] [--policy NAME]
-//                 [--replication R]
+//                 [--replication R] [--migrate]
 //
 // --policy overrides the QoS policy every seed would otherwise draw
 // (token_bucket, qwin, adaptive_be) and forces enforcement on, so a
 // sweep can pin coverage of one enforcement algorithm. --replication
 // likewise overrides the drawn replication factor (e.g. to force a
-// replicated sweep). Both overrides are applied post-expansion (the
-// RNG stream is untouched) and recorded in the repro artifact
-// ("forced_policy" / "forced_replication") so replays regenerate the
-// identical scenario.
+// replicated sweep), and --migrate forces every seed to schedule its
+// drawn live migration (raced against the drawn fault plan). All
+// overrides are applied post-expansion (the RNG stream is untouched)
+// and recorded in the repro artifact ("forced_policy" /
+// "forced_replication" / "forced_migration") so replays regenerate
+// the identical scenario.
 //
 // Exit status: 0 when every seed passed, 1 on a (shrunken, persisted)
 // failure, 2 on usage errors.
@@ -39,6 +41,9 @@ core::QosPolicyKind g_policy = core::QosPolicyKind::kTokenBucket;
 bool g_force_replication = false;
 int g_replication = 1;
 
+/** --migrate override: every seed schedules its drawn migration. */
+bool g_force_migration = false;
+
 simtest::ScenarioSpec Expand(uint64_t seed) {
   simtest::ScenarioSpec spec = simtest::GenerateScenario(seed);
   if (g_force_policy) {
@@ -49,6 +54,9 @@ simtest::ScenarioSpec Expand(uint64_t seed) {
   }
   if (g_force_replication) {
     spec.replication = g_replication;
+  }
+  if (g_force_migration) {
+    spec.migrate = true;
   }
   return spec;
 }
@@ -137,11 +145,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       g_force_replication = true;
+    } else if (arg == "--migrate") {
+      g_force_migration = true;
     } else {
       std::fprintf(stderr,
                    "usage: simtest_sweep [--seeds N] [--start S] "
                    "[--mutation NAME] [--max-ops M] [--out PATH] "
-                   "[--policy NAME] [--replication R]\n");
+                   "[--policy NAME] [--replication R] [--migrate]\n");
       return 2;
     }
   }
@@ -178,7 +188,7 @@ int main(int argc, char** argv) {
             : out_path;
     const std::string json =
         simtest::ReproToJson(spec, report, mutation, shrunk, g_force_policy,
-                             g_force_replication);
+                             g_force_replication, g_force_migration);
     if (!simtest::WriteRepro(path, json)) {
       std::fprintf(stderr, "  (could not write %s)\n", path.c_str());
     } else {

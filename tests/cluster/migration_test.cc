@@ -1,0 +1,320 @@
+// MigrationCoordinator end-to-end: copy-then-forward preserves data
+// across a live range handoff, writes racing the copy are recopied,
+// failures abort with the source still authoritative, concurrent
+// batches are refused, and the SLO-aware autoscaler resizes the
+// active set hitlessly through the coordinator.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "client/load_generator.h"
+#include "cluster/cluster_client.h"
+#include "cluster/cluster_control_plane.h"
+#include "cluster/migration.h"
+#include "cluster/shard_map.h"
+#include "sim/fault.h"
+#include "testing/cluster_harness.h"
+
+namespace reflex {
+namespace {
+
+using cluster::ClusterControlPlane;
+using cluster::FlashClusterOptions;
+using cluster::MigrationCoordinator;
+using core::SloSpec;
+using core::TenantClass;
+using testing::ClusterHarness;
+
+constexpr uint32_t kStripeSectors = 8;
+
+FlashClusterOptions MobileOptions(int num_shards, int replication = 1,
+                                  uint32_t migration_slots = 8) {
+  FlashClusterOptions options =
+      ClusterHarness::MakeOptions(num_shards, kStripeSectors, replication);
+  options.shard_map.migration_slots = migration_slots;
+  return options;
+}
+
+std::vector<uint8_t> Pattern(size_t bytes, uint8_t salt) {
+  std::vector<uint8_t> out(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    out[i] = static_cast<uint8_t>((i * 131 + salt) & 0xff);
+  }
+  return out;
+}
+
+template <typename T>
+bool Await(ClusterHarness& h, const sim::Future<T>& f,
+           sim::TimeNs deadline = sim::Seconds(30)) {
+  return h.RunUntilReady([&f] { return f.Ready(); }, deadline);
+}
+
+TEST(MigrationTest, LiveRangeMigrationPreservesDataAndFlipsTheMapOnce) {
+  ClusterHarness h(MobileOptions(2));
+  MigrationCoordinator coordinator(h.cluster, h.net);
+  auto session = h.client.OpenSession(SloSpec{}, TenantClass::kBestEffort);
+  ASSERT_NE(session, nullptr);
+
+  // Stripes 0 and 2 live on shard 0 (striped, 2 shards).
+  const auto a = Pattern(kStripeSectors * core::kSectorBytes, 3);
+  const auto b = Pattern(kStripeSectors * core::kSectorBytes, 7);
+  auto w0 = session->Write(0, kStripeSectors,
+                           const_cast<uint8_t*>(a.data()));
+  auto w2 = session->Write(2 * kStripeSectors, kStripeSectors,
+                           const_cast<uint8_t*>(b.data()));
+  ASSERT_TRUE(Await(h, w0) && w0.Get().ok());
+  ASSERT_TRUE(Await(h, w2) && w2.Get().ok());
+
+  auto done = coordinator.MigrateRange(0, 1, 0, 3);
+  ASSERT_TRUE(Await(h, done));
+  EXPECT_TRUE(done.Get());
+  EXPECT_EQ(coordinator.stats().migrations_committed, 1);
+  EXPECT_EQ(coordinator.stats().migrations_aborted, 0);
+  EXPECT_EQ(coordinator.stats().stripes_moved, 2);
+  EXPECT_EQ(h.cluster.shard_map().epoch(), 1u);
+  EXPECT_EQ(h.cluster.shard_map().num_overrides(), 2u);
+  EXPECT_EQ(h.cluster.shard_map().ShardIndexForStripe(0), 1);
+  EXPECT_EQ(h.cluster.shard_map().ShardIndexForStripe(2), 1);
+  // The moved ranges stay guarded on the source: stale-mapped traffic
+  // must bounce, not read pre-migration bytes.
+  EXPECT_TRUE(h.cluster.server(0).HasRangeGates());
+
+  h.client.RefreshMap();
+  std::vector<uint8_t> in(a.size(), 0);
+  auto r0 = session->Read(0, kStripeSectors, in.data());
+  ASSERT_TRUE(Await(h, r0) && r0.Get().ok());
+  EXPECT_EQ(std::memcmp(in.data(), a.data(), in.size()), 0);
+  auto r2 = session->Read(2 * kStripeSectors, kStripeSectors, in.data());
+  ASSERT_TRUE(Await(h, r2) && r2.Get().ok());
+  EXPECT_EQ(std::memcmp(in.data(), b.data(), in.size()), 0);
+}
+
+// A client write admitted during the copy window (the before_cutover
+// race point) dirties the gate and must reach the target via a recopy
+// round -- losing it is exactly the drop_forwarded_write mutation.
+TEST(MigrationTest, WriteRacingTheCopyIsRecopiedToTheTarget) {
+  ClusterHarness h(MobileOptions(2));
+  MigrationCoordinator coordinator(h.cluster, h.net);
+  auto session = h.client.OpenSession(SloSpec{}, TenantClass::kBestEffort);
+  ASSERT_NE(session, nullptr);
+
+  const auto old_data = Pattern(kStripeSectors * core::kSectorBytes, 11);
+  const auto new_data = Pattern(kStripeSectors * core::kSectorBytes, 42);
+  auto seed_write = session->Write(0, kStripeSectors,
+                                   const_cast<uint8_t*>(old_data.data()));
+  ASSERT_TRUE(Await(h, seed_write) && seed_write.Get().ok());
+
+  coordinator.before_cutover = [&]() {
+    // Issued through the still-stale client map: routed to the source,
+    // admitted by the kCopying gate, counted and dirty-tracked.
+    return session->Write(0, kStripeSectors,
+                          const_cast<uint8_t*>(new_data.data()));
+  };
+  auto done = coordinator.MigrateRange(0, 1, 0, 1);
+  ASSERT_TRUE(Await(h, done));
+  EXPECT_TRUE(done.Get());
+  EXPECT_GE(coordinator.stats().dirty_recopies, 1)
+      << "the raced write must force a recopy round";
+
+  h.client.RefreshMap();
+  std::vector<uint8_t> in(new_data.size(), 0);
+  auto read = session->Read(0, kStripeSectors, in.data());
+  ASSERT_TRUE(Await(h, read) && read.Get().ok());
+  EXPECT_EQ(std::memcmp(in.data(), new_data.data(), in.size()), 0)
+      << "the target must hold the write that raced the copy";
+}
+
+TEST(MigrationTest, SecondBatchWhileBusyIsRefusedWithoutLeakingSlots) {
+  ClusterHarness h(MobileOptions(2, 1, /*migration_slots=*/8));
+  MigrationCoordinator coordinator(h.cluster, h.net);
+
+  auto first = coordinator.MigrateRange(0, 1, 0, 1);
+  EXPECT_TRUE(coordinator.busy());
+  auto second = coordinator.MigrateRange(0, 1, 2, 1);
+
+  ASSERT_TRUE(Await(h, second));
+  EXPECT_FALSE(second.Get()) << "one batch at a time";
+  ASSERT_TRUE(Await(h, first));
+  EXPECT_TRUE(first.Get());
+  EXPECT_EQ(coordinator.stats().migrations_started, 1);
+  EXPECT_EQ(coordinator.stats().migrations_committed, 1);
+  // Only the committed batch's override holds a landing slot; the
+  // refused plan's reservation was released.
+  EXPECT_EQ(h.cluster.shard_map().num_overrides(), 1u);
+  EXPECT_EQ(h.cluster.shard_map().FreeMigrationSlots(1), 7u);
+
+  // The coordinator is reusable once idle.
+  auto third = coordinator.MigrateRange(0, 1, 2, 1);
+  ASSERT_TRUE(Await(h, third));
+  EXPECT_TRUE(third.Get());
+}
+
+TEST(MigrationTest, CopyFailureAbortsAndTheSourceStaysAuthoritative) {
+  ClusterHarness h(MobileOptions(2));
+  // Every copy write to the target fails for the whole test window.
+  sim::FaultPlan plan(h.sim, 17);
+  h.cluster.server(1).SetFaultPlan(&plan);
+  plan.ScheduleWindow(sim::FaultKind::kServerDeviceError, sim::Micros(1),
+                      sim::Seconds(30));
+  MigrationCoordinator coordinator(h.cluster, h.net);
+  auto session = h.client.OpenSession(SloSpec{}, TenantClass::kBestEffort);
+  ASSERT_NE(session, nullptr);
+
+  // Seed only stripe 0 (shard 0) -- shard 1 is the faulty target.
+  const auto data = Pattern(kStripeSectors * core::kSectorBytes, 23);
+  auto write = session->Write(0, kStripeSectors,
+                              const_cast<uint8_t*>(data.data()));
+  ASSERT_TRUE(Await(h, write) && write.Get().ok());
+
+  auto done = coordinator.MigrateRange(0, 1, 0, 1);
+  ASSERT_TRUE(Await(h, done));
+  EXPECT_FALSE(done.Get());
+  EXPECT_EQ(coordinator.stats().migrations_aborted, 1);
+  EXPECT_EQ(coordinator.stats().migrations_committed, 0);
+  // Abort is invisible: no epoch bump, no overrides, no gates, every
+  // landing slot free -- and the source still serves current data.
+  EXPECT_EQ(h.cluster.shard_map().epoch(), 0u);
+  EXPECT_EQ(h.cluster.shard_map().num_overrides(), 0u);
+  EXPECT_EQ(h.cluster.shard_map().FreeMigrationSlots(1), 8u);
+  EXPECT_FALSE(h.cluster.server(0).HasRangeGates());
+
+  std::vector<uint8_t> in(data.size(), 0);
+  auto read = session->Read(0, kStripeSectors, in.data());
+  ASSERT_TRUE(Await(h, read) && read.Get().ok());
+  EXPECT_EQ(std::memcmp(in.data(), data.data(), in.size()), 0);
+}
+
+TEST(MigrationTest, EmptyPlanResolvesFalseImmediately) {
+  ClusterHarness h(MobileOptions(2));
+  MigrationCoordinator coordinator(h.cluster, h.net);
+  auto none = coordinator.MigrateAssignments({});
+  ASSERT_TRUE(Await(h, none));
+  EXPECT_FALSE(none.Get());
+  EXPECT_FALSE(coordinator.busy());
+  EXPECT_EQ(coordinator.stats().migrations_started, 0);
+}
+
+// Idle cluster, shrink-happy thresholds: the autoscaler packs the hot
+// range onto the floor-size prefix through live migrations, and the
+// data written before the resize survives byte-exact.
+TEST(MigrationTest, AutoscalerShrinksIdleClusterToFloorAndKeepsData) {
+  ClusterHarness h(MobileOptions(3, 1, /*migration_slots=*/32));
+  MigrationCoordinator coordinator(h.cluster, h.net);
+  auto session = h.client.OpenSession(SloSpec{}, TenantClass::kBestEffort);
+  ASSERT_NE(session, nullptr);
+
+  const uint64_t kHotStripes = 6;
+  const auto data =
+      Pattern(kHotStripes * kStripeSectors * core::kSectorBytes, 29);
+  auto write =
+      session->Write(0, static_cast<uint32_t>(kHotStripes * kStripeSectors),
+                     const_cast<uint8_t*>(data.data()));
+  ASSERT_TRUE(Await(h, write) && write.Get().ok());
+
+  ClusterControlPlane::AutoscalerOptions aopts;
+  aopts.period = sim::Millis(1);
+  aopts.high_utilization = 2.0;  // unreachable: never grow
+  aopts.low_utilization = 2.0;   // idle always reads as underloaded
+  aopts.hot_first_stripe = 0;
+  aopts.hot_stripes = kHotStripes;
+  ClusterControlPlane& cp = h.cluster.control_plane();
+  EXPECT_EQ(cp.active_shards(), 0) << "no autoscaler, no active set yet";
+  cp.StartAutoscaler(coordinator, aopts);
+
+  ASSERT_TRUE(h.RunUntilReady(
+      [&] { return cp.active_shards() == 1 && !coordinator.busy(); },
+      sim::Seconds(5)));
+  cp.StopAutoscaler();
+  EXPECT_GE(cp.autoscaler_stats().shrink_events, 2);
+  EXPECT_GE(cp.autoscaler_stats().rebalances, 1);
+  EXPECT_GT(h.cluster.shard_map().epoch(), 0u);
+  for (uint64_t s = 0; s < kHotStripes; ++s) {
+    EXPECT_EQ(h.cluster.shard_map().ShardIndexForStripe(s), 0)
+        << "hot stripe " << s << " not packed onto the active prefix";
+  }
+
+  h.client.RefreshMap();
+  std::vector<uint8_t> in(data.size(), 0);
+  auto read =
+      session->Read(0, static_cast<uint32_t>(kHotStripes * kStripeSectors),
+                    in.data());
+  ASSERT_TRUE(Await(h, read) && read.Get().ok());
+  EXPECT_EQ(std::memcmp(in.data(), data.data(), in.size()), 0);
+}
+
+// With replication the active set must never drop below R: every hot
+// stripe keeps R placements on R distinct shards.
+TEST(MigrationTest, AutoscalerShrinkRespectsTheReplicationFloor) {
+  ClusterHarness h(MobileOptions(3, /*replication=*/2,
+                                 /*migration_slots=*/32));
+  MigrationCoordinator coordinator(h.cluster, h.net);
+
+  ClusterControlPlane::AutoscalerOptions aopts;
+  aopts.period = sim::Millis(1);
+  aopts.high_utilization = 2.0;
+  aopts.low_utilization = 2.0;
+  aopts.hot_stripes = 6;
+  ClusterControlPlane& cp = h.cluster.control_plane();
+  cp.StartAutoscaler(coordinator, aopts);
+
+  ASSERT_TRUE(h.RunUntilReady(
+      [&] { return cp.active_shards() == 2 && !coordinator.busy(); },
+      sim::Seconds(5)));
+  // Give the loop more periods: it must hold at the floor.
+  h.sim.RunUntil(h.sim.Now() + sim::Millis(20));
+  cp.StopAutoscaler();
+  EXPECT_EQ(cp.active_shards(), 2);
+  for (uint64_t s = 0; s < 6; ++s) {
+    const auto targets = h.cluster.shard_map().ReplicasForStripe(s);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_NE(targets[0].shard_index, targets[1].shard_index);
+    EXPECT_LT(targets[0].shard_index, 2);
+    EXPECT_LT(targets[1].shard_index, 2);
+  }
+}
+
+// Shrink when idle, then grow back under real load: the full elastic
+// round trip, all placement changes riding live migrations.
+TEST(MigrationTest, AutoscalerGrowsBackUnderLoad) {
+  ClusterHarness h(MobileOptions(3, 1, /*migration_slots=*/32));
+  MigrationCoordinator coordinator(h.cluster, h.net);
+  auto session = h.client.OpenSession(SloSpec{}, TenantClass::kBestEffort);
+  ASSERT_NE(session, nullptr);
+
+  ClusterControlPlane::AutoscalerOptions aopts;
+  aopts.period = sim::Millis(1);
+  aopts.high_utilization = 0.05;
+  aopts.low_utilization = 0.02;
+  aopts.hot_stripes = 6;
+  ClusterControlPlane& cp = h.cluster.control_plane();
+  cp.StartAutoscaler(coordinator, aopts);
+
+  ASSERT_TRUE(h.RunUntilReady(
+      [&] { return cp.active_shards() == 1 && !coordinator.busy(); },
+      sim::Seconds(5)));
+
+  client::LoadGenSpec spec;
+  spec.read_fraction = 0.7;
+  spec.queue_depth = 32;
+  spec.stop_after_ops = 30000;
+  client::LoadGenerator gen(h.sim, *session, spec);
+  gen.Run(0, 0);
+  ASSERT_TRUE(h.RunUntilReady([&] { return cp.active_shards() >= 2; },
+                              sim::Seconds(10)))
+      << "sustained load must grow the active set";
+  EXPECT_GE(cp.autoscaler_stats().grow_events, 1);
+  EXPECT_GE(cp.autoscaler_stats().shrink_events, 1);
+  // Drain the workload (and any in-flight rebalance) before teardown.
+  ASSERT_TRUE(h.RunUntilReady([&] { return gen.Done().Ready(); },
+                              sim::Seconds(60)));
+  cp.StopAutoscaler();
+  ASSERT_TRUE(h.RunUntilReady([&] { return !coordinator.busy(); },
+                              sim::Seconds(5)));
+  EXPECT_EQ(gen.errors(), 0) << "scaling must be hitless for the workload";
+}
+
+}  // namespace
+}  // namespace reflex
