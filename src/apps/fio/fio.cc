@@ -52,11 +52,12 @@ sim::Task FioRunner::Worker(int thread_id) {
     const bool is_read = rng_.NextBernoulli(job_.read_fraction);
     const uint64_t offset = NextOffset(thread_id);
     co_await sim::Delay(sim_, job_.app_cpu_per_io);
-    client::IoResult r =
-        is_read
-            ? co_await backend_.ReadBytes(offset, job_.block_bytes, nullptr)
-            : co_await backend_.WriteBytes(offset, job_.block_bytes,
-                                           nullptr);
+    client::IoResult r;
+    if (is_read) {
+      r = co_await backend_.ReadBytes(offset, job_.block_bytes, nullptr);
+    } else {
+      r = co_await backend_.WriteBytes(offset, job_.block_bytes, nullptr);
+    }
     if (!r.ok()) {
       ++result_.errors;
       continue;

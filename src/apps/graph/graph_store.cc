@@ -36,15 +36,14 @@ void FillCsr(const std::vector<Edge>& edges, uint32_t n, bool reverse,
               (n + 1) * sizeof(uint64_t));
 }
 
-sim::Task WriteImageTask(sim::Simulator& /*sim*/,
-                         client::StorageBackend& backend,
+sim::Task WriteImageTask(client::StorageBackend* backend,
                          std::vector<uint8_t> image, uint64_t base_offset,
                          GraphMeta meta, sim::Promise<GraphMeta> promise) {
   for (uint64_t off = 0; off < image.size(); off += kWriteChunk) {
     const auto n = static_cast<uint32_t>(
         std::min<uint64_t>(kWriteChunk, image.size() - off));
-    client::IoResult r =
-        co_await backend.WriteBytes(base_offset + off, n, image.data() + off);
+    client::IoResult r = co_await backend->WriteBytes(base_offset + off, n,
+                                                      image.data() + off);
     if (!r.ok()) {
       REFLEX_PANIC("graph image write failed at offset %llu",
                    static_cast<unsigned long long>(off));
@@ -53,8 +52,7 @@ sim::Task WriteImageTask(sim::Simulator& /*sim*/,
   promise.Set(meta);
 }
 
-sim::Task LoadIndexTask(sim::Simulator& /*sim*/,
-                        client::StorageBackend& backend, uint64_t offset,
+sim::Task LoadIndexTask(client::StorageBackend* backend, uint64_t offset,
                         uint32_t num_vertices,
                         sim::Promise<std::vector<uint64_t>> promise) {
   const uint64_t bytes = (static_cast<uint64_t>(num_vertices) + 1) * 8;
@@ -63,7 +61,7 @@ sim::Task LoadIndexTask(sim::Simulator& /*sim*/,
     const auto n = static_cast<uint32_t>(
         std::min<uint64_t>(kWriteChunk, buf.size() - off));
     client::IoResult r =
-        co_await backend.ReadBytes(offset + off, n, buf.data() + off);
+        co_await backend->ReadBytes(offset + off, n, buf.data() + off);
     if (!r.ok()) REFLEX_PANIC("graph index read failed");
   }
   std::vector<uint64_t> index(num_vertices + 1);
@@ -108,7 +106,7 @@ sim::Future<GraphMeta> BuildGraphOnFlash(sim::Simulator& sim,
 
   sim::Promise<GraphMeta> promise(sim);
   auto future = promise.GetFuture();
-  WriteImageTask(sim, backend, std::move(image), base_offset, meta,
+  WriteImageTask(&backend, std::move(image), base_offset, meta,
                  std::move(promise));
   return future;
 }
@@ -118,7 +116,7 @@ sim::Future<std::vector<uint64_t>> LoadIndex(
     uint32_t num_vertices) {
   sim::Promise<std::vector<uint64_t>> promise(sim);
   auto future = promise.GetFuture();
-  LoadIndexTask(sim, backend, offset, num_vertices, std::move(promise));
+  LoadIndexTask(&backend, offset, num_vertices, std::move(promise));
   return future;
 }
 

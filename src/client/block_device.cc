@@ -118,9 +118,12 @@ sim::Task BlockDevice::DoChunk(int ctx_index, bool is_read, uint64_t lba,
   ctx.core_free = submit_start + submit_cost;
   co_await sim::Delay(sim_, ctx.core_free - sim_.Now());
 
-  IoResult r = is_read
-                   ? co_await session_->Read(lba, sectors, data, ctx_index)
-                   : co_await session_->Write(lba, sectors, data, ctx_index);
+  IoResult r;
+  if (is_read) {
+    r = co_await session_->Read(lba, sectors, data, ctx_index);
+  } else {
+    r = co_await session_->Write(lba, sectors, data, ctx_index);
+  }
   // blk-mq requeue: transient failures (device error, allocation
   // pressure, timeout) put the request back on the hardware context
   // after a delay; permanent errors (bad range, no such tenant) are
@@ -134,8 +137,11 @@ sim::Task BlockDevice::DoChunk(int ctx_index, bool is_read, uint64_t lba,
     --requeues_left;
     ++requeues_;
     co_await sim::Delay(sim_, options_.requeue_delay);
-    r = is_read ? co_await session_->Read(lba, sectors, data, ctx_index)
-                : co_await session_->Write(lba, sectors, data, ctx_index);
+    if (is_read) {
+      r = co_await session_->Read(lba, sectors, data, ctx_index);
+    } else {
+      r = co_await session_->Write(lba, sectors, data, ctx_index);
+    }
   }
   if (!r.ok()) *status_out = r.status;
 

@@ -93,10 +93,12 @@ void LoadGenerator::MaybeFinish() {
 sim::Task LoadGenerator::ClosedLoopWorker(int conn_index) {
   while (sim_.Now() < end_) {
     auto [lba, is_read] = PickOp();
-    IoResult result =
-        is_read ? co_await session_.Read(lba, sectors_, nullptr, conn_index)
-                : co_await session_.Write(lba, sectors_, nullptr,
-                                          conn_index);
+    IoResult result;
+    if (is_read) {
+      result = co_await session_.Read(lba, sectors_, nullptr, conn_index);
+    } else {
+      result = co_await session_.Write(lba, sectors_, nullptr, conn_index);
+    }
     Record(result, is_read);
   }
   --outstanding_;
@@ -108,8 +110,12 @@ sim::Task LoadGenerator::ProbeWorker() {
   while (probe_ops_left_ > 0) {
     --probe_ops_left_;
     auto [lba, is_read] = PickOp();
-    IoResult result = is_read ? co_await session_.Read(lba, sectors_)
-                              : co_await session_.Write(lba, sectors_);
+    IoResult result;
+    if (is_read) {
+      result = co_await session_.Read(lba, sectors_);
+    } else {
+      result = co_await session_.Write(lba, sectors_);
+    }
     Record(result, is_read);
   }
   --outstanding_;
@@ -136,9 +142,12 @@ void LoadGenerator::ScheduleNextArrival() {
 
 sim::Task LoadGenerator::IssueOpenLoopOp(int conn_index) {
   auto [lba, is_read] = PickOp();
-  IoResult result =
-      is_read ? co_await session_.Read(lba, sectors_, nullptr, conn_index)
-              : co_await session_.Write(lba, sectors_, nullptr, conn_index);
+  IoResult result;
+  if (is_read) {
+    result = co_await session_.Read(lba, sectors_, nullptr, conn_index);
+  } else {
+    result = co_await session_.Write(lba, sectors_, nullptr, conn_index);
+  }
   Record(result, is_read);
   --outstanding_;
   MaybeFinish();

@@ -1,0 +1,69 @@
+#ifndef REFLEX_SIM_CORO_DEBUG_H_
+#define REFLEX_SIM_CORO_DEBUG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/**
+ * REFLEX_CORO_DEBUG frame registry: the dynamic half of the coroutine
+ * ownership rulebook (DESIGN.md section 18; corolint is the static
+ * half).
+ *
+ * When the build is configured with -DREFLEX_CORO_DEBUG=ON, every
+ * sim::Task coroutine frame registers itself on creation (tagged with
+ * the creation site) and unregisters on destruction, and ~Simulator()
+ * asserts that no frames are left alive. This catches exactly the leak
+ * class LeakSanitizer cannot: a forever-suspended frame whose handle is
+ * still stored somewhere is *reachable*, so LSan stays silent, yet the
+ * frame (and everything it owns) outlives the simulation.
+ *
+ * The API below is declared unconditionally -- in a non-debug build
+ * the counters are all zero and CoroDebugEnabled() is false, so tests
+ * can skip rather than fail -- but the promise hooks in sim::Task
+ * compile away entirely unless the macro is set.
+ */
+namespace reflex::sim {
+
+/** Monotonic frame counters. live == created - destroyed. */
+struct CoroDebugStats {
+  uint64_t created = 0;
+  uint64_t destroyed = 0;
+  uint64_t live = 0;
+};
+
+/** True when the registry is compiled in (REFLEX_CORO_DEBUG=ON). */
+bool CoroDebugEnabled();
+
+CoroDebugStats CoroDebugGetStats();
+
+/** True if `frame` (a coroutine_handle<>::address()) is registered and
+ * not yet destroyed. Always false in a non-debug build. */
+bool CoroDebugIsLive(const void* frame);
+
+/** Creation-site tags of every live frame, in creation order. */
+std::vector<std::string> CoroDebugLiveTags();
+
+/**
+ * Panics (listing the creation site of every live frame) if any frame
+ * is still alive. Called from ~Simulator(); tests that intentionally
+ * park frames across simulator lifetimes must destroy them first.
+ * No-op in a non-debug build.
+ */
+void CoroDebugAssertNoLiveFrames();
+
+namespace internal {
+
+/** Registers a frame address with its creation-site tag. */
+void CoroDebugRegister(const void* frame, const char* function,
+                       const char* file, uint32_t line);
+
+/** Removes a frame address; unknown addresses are ignored (frames
+ * created before the registry was reset). */
+void CoroDebugUnregister(const void* frame);
+
+}  // namespace internal
+
+}  // namespace reflex::sim
+
+#endif  // REFLEX_SIM_CORO_DEBUG_H_

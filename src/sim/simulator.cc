@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include "sim/coro_debug.h"
 #include "sim/logging.h"
 
 namespace reflex::sim {
@@ -28,6 +29,14 @@ inline uint64_t RingDistance(uint32_t from, uint32_t to, uint32_t size) {
 Simulator::Simulator() : slots_(kNumSlots) {}
 
 Simulator::~Simulator() {
+  // Under REFLEX_CORO_DEBUG, every coroutine frame must already be
+  // destroyed: completed tasks self-destructed, parked tasks were
+  // destroy()ed by their owners (via their SelfHandle slots) before
+  // the simulator. A frame still alive here is the leak class LSan
+  // cannot see -- its handle is stored, so it is reachable, yet
+  // nothing will ever run or free it. Checked before callbacks are
+  // torn down so the report fires ahead of any use-after-free.
+  CoroDebugAssertNoLiveFrames();
   // Destroy the callbacks of events that never fired. Nodes are walked
   // through the slab rather than the wheel so the teardown cost is
   // independent of wheel state.

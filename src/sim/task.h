@@ -11,6 +11,12 @@
 #include "sim/simulator.h"
 #include "sim/time.h"
 
+#ifdef REFLEX_CORO_DEBUG
+#include <source_location>
+
+#include "sim/coro_debug.h"
+#endif
+
 namespace reflex::sim {
 
 /**
@@ -21,8 +27,23 @@ namespace reflex::sim {
  * processes communicate through Future/Promise pairs, Semaphores, or
  * explicit callbacks rather than by joining Task objects.
  *
+ * Ownership rulebook (DESIGN.md section 18, enforced by corolint):
+ * a Task that can outlive the code that spawned it -- any infinite
+ * polling loop, or any await on an event that may never fire -- must
+ * publish its handle via `co_await SelfHandle(&slot_)` so a designated
+ * owner can destroy() the parked frame at teardown, and must clear
+ * that slot on every normal-return path. Parameters are passed by
+ * value or pointer, never by reference, and coroutine lambdas never
+ * capture: the frame suspends, and referents/captures die under it.
+ *
+ * With -DREFLEX_CORO_DEBUG=ON every frame registers itself with the
+ * coro_debug registry on creation (tagged with the coroutine's name)
+ * and unregisters on destruction; ~Simulator() asserts that no frames
+ * are left alive. See src/sim/coro_debug.h.
+ *
  * Usage:
  *   Task ServerLoop(Simulator& sim, ...) {
+ *     co_await SelfHandle(&loop_handle_);
  *     for (;;) {
  *       co_await Delay(sim, 5 * kMicrosecond);
  *       ...
@@ -32,6 +53,21 @@ namespace reflex::sim {
 class Task {
  public:
   struct promise_type {
+#ifdef REFLEX_CORO_DEBUG
+    // The defaulted source_location resolves to the coroutine that
+    // this promise is synthesized into, tagging the frame with its
+    // creation site for the teardown report.
+    explicit promise_type(
+        std::source_location loc = std::source_location::current()) {
+      internal::CoroDebugRegister(
+          std::coroutine_handle<promise_type>::from_promise(*this).address(),
+          loc.function_name(), loc.file_name(), loc.line());
+    }
+    ~promise_type() {
+      internal::CoroDebugUnregister(
+          std::coroutine_handle<promise_type>::from_promise(*this).address());
+    }
+#endif
     Task get_return_object() noexcept { return Task{}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
@@ -175,6 +211,15 @@ using VoidPromise = Promise<Unit>;
 /**
  * Counted resource with FIFO waiters. Models bounded resources such as
  * Flash write-buffer slots or client queue-depth limits.
+ *
+ * Ownership rule: a coroutine parked in Acquire() is owned by whoever
+ * may destroy() its frame, and that owner must not destroy the frame
+ * while it is still queued here -- Release() would resume freed
+ * memory. Either drain the semaphore (release until Waiters()==0 and
+ * let the waiters finish) before tearing frames down, or never
+ * destroy a frame that is mid-Acquire. Under REFLEX_CORO_DEBUG the
+ * resume path asserts the frame is still registered and panics with a
+ * diagnosis instead of corrupting memory.
  */
 class Semaphore {
  public:
@@ -212,7 +257,17 @@ class Semaphore {
     if (!waiters_.empty()) {
       auto h = waiters_.front();
       waiters_.pop_front();
-      sim_.ScheduleAfter(0, [h] { h.resume(); });
+      sim_.ScheduleAfter(0, [h] {
+#ifdef REFLEX_CORO_DEBUG
+        if (!CoroDebugIsLive(h.address())) {
+          REFLEX_PANIC(
+              "sim::Semaphore::Release would resume a destroyed coroutine "
+              "frame: the waiter was destroy()ed while still queued in the "
+              "semaphore (see the ownership rule on sim::Semaphore)");
+        }
+#endif
+        h.resume();
+      });
     } else {
       ++available_;
     }

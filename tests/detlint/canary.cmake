@@ -1,0 +1,22 @@
+# Runs detlint over one planted fixture and asserts both halves of the
+# canary contract: the expected rule fires in the report AND the exit
+# status is nonzero. ctest's PASS_REGULAR_EXPRESSION alone would accept
+# a matching report from a binary that wrongly exited 0, which is
+# exactly the regression CI must catch.
+#
+# Variables: DETLINT (binary path), FIXTURE (file to lint), RULE
+# (expected rule id).
+execute_process(
+  COMMAND "${DETLINT}" "${FIXTURE}"
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "canary not caught: detlint exited 0 on ${FIXTURE}\n${out}${err}")
+endif()
+if(NOT out MATCHES "\\[${RULE}\\]")
+  message(FATAL_ERROR
+    "canary caught for the wrong reason: expected [${RULE}] in the "
+    "report for ${FIXTURE} (exit ${rc})\n${out}${err}")
+endif()

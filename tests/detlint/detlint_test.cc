@@ -1,8 +1,10 @@
-// Unit tests for the detlint determinism linter: lexer behavior,
-// rule positives/negatives, suppression parsing and targeting,
-// allowlist handling, and driver exit codes / report formats.
-// Fixture files live in FIXTURE_DIR (set by CMake); each canary_*.cc
-// plants exactly one rule's violations, clean.cc must stay silent.
+// Unit tests for the detlint multi-analyzer linter (determinism +
+// coroutine rule families): lexer behavior, function/coroutine
+// context recovery, rule positives/negatives, suppression parsing and
+// targeting, allowlist handling, analyzer selection, and driver exit
+// codes / report formats. Fixture files live in FIXTURE_DIR (set by
+// CMake); each canary_*.cc plants exactly one rule's violations,
+// clean.cc and coro_clean.cc must stay silent.
 
 #include "detlint.h"
 
@@ -424,19 +426,337 @@ TEST(DetlintDriver, ReportOrderIsSortedByPath) {
   EXPECT_LT(rng, wall);
 }
 
-TEST(DetlintCatalog, HasAllSixRules) {
+TEST(DetlintCatalog, HasAllTwelveRulesAcrossTwoAnalyzers) {
   const auto& catalog = RuleCatalog();
-  ASSERT_EQ(catalog.size(), 6u);
+  ASSERT_EQ(catalog.size(), 12u);
   std::vector<std::string> ids;
-  for (const auto& [id, desc] : catalog) {
-    ids.push_back(id);
-    EXPECT_FALSE(desc.empty());
+  for (const RuleInfo& r : catalog) {
+    ids.push_back(r.id);
+    EXPECT_FALSE(r.description.empty());
+    EXPECT_TRUE(r.analyzer == "determinism" || r.analyzer == "coroutine")
+        << r.id << " -> " << r.analyzer;
   }
   for (const char* want :
        {"wall-clock", "ambient-rng", "unordered-container",
-        "unordered-iter", "pointer-key", "bare-suppression"}) {
+        "unordered-iter", "pointer-key", "bare-suppression",
+        "coawait-ternary", "coro-ref-param", "coro-lambda-capture",
+        "coro-untracked-loop", "coro-selfhandle-clear",
+        "coro-manual-resume"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), want), ids.end()) << want;
   }
+  EXPECT_EQ(AnalyzerNames().size(), 2u);
+  EXPECT_EQ(AnalyzerForRule("wall-clock"), "determinism");
+  EXPECT_EQ(AnalyzerForRule("coawait-ternary"), "coroutine");
+  EXPECT_EQ(AnalyzerForRule("no-such-rule"), "");
+}
+
+// ------------------------------------------------------ context builder
+
+TEST(DetlintContexts, RecoversTaskFunctionWithParams) {
+  const LexResult lex = Lex(
+      "sim::Task Worker(sim::Simulator& sim, int id,\n"
+      "                 std::vector<int> data) {\n"
+      "  co_await Delay(sim, 1);\n"
+      "}\n");
+  const auto ctxs = BuildFunctionContexts(lex);
+  ASSERT_EQ(ctxs.size(), 1u);
+  EXPECT_EQ(ctxs[0].name, "Worker");
+  EXPECT_FALSE(ctxs[0].is_lambda);
+  EXPECT_TRUE(ctxs[0].returns_task);
+  EXPECT_TRUE(ctxs[0].is_coroutine);
+  ASSERT_EQ(ctxs[0].params.size(), 3u);
+  EXPECT_TRUE(ctxs[0].params[0].is_reference);
+  EXPECT_FALSE(ctxs[0].params[1].is_reference);
+  EXPECT_FALSE(ctxs[0].params[2].is_reference);
+}
+
+TEST(DetlintContexts, RecoversQualifiedMemberDefinition) {
+  const LexResult lex = Lex(
+      "sim::Task Dataplane::RunLoop() {\n"
+      "  co_await sim::SelfHandle(&loop_handle_);\n"
+      "  loop_handle_ = nullptr;\n"
+      "}\n");
+  const auto ctxs = BuildFunctionContexts(lex);
+  ASSERT_EQ(ctxs.size(), 1u);
+  EXPECT_EQ(ctxs[0].name, "RunLoop");
+  EXPECT_TRUE(ctxs[0].registers_self_handle);
+}
+
+TEST(DetlintContexts, SkipsDeclarationsWithoutBody) {
+  const LexResult lex = Lex("sim::Task Worker(int id);\n");
+  EXPECT_TRUE(BuildFunctionContexts(lex).empty());
+}
+
+TEST(DetlintContexts, RecoversLambdaAndDistinguishesSubscript) {
+  const LexResult lex = Lex(
+      "void f(std::vector<int>& v) {\n"
+      "  auto add = [&v](int x) { v[0] += x; };\n"
+      "  add(v[1]);\n"
+      "}\n");
+  const auto ctxs = BuildFunctionContexts(lex);
+  ASSERT_EQ(ctxs.size(), 1u);
+  EXPECT_TRUE(ctxs[0].is_lambda);
+  EXPECT_TRUE(ctxs[0].has_capture);
+  EXPECT_FALSE(ctxs[0].returns_task);
+}
+
+TEST(DetlintContexts, TaskLambdaWithTrailingReturnType) {
+  const LexResult lex = Lex(
+      "auto spawn = [](sim::Simulator* sim) -> sim::Task {\n"
+      "  co_await Delay(*sim, 1);\n"
+      "};\n");
+  const auto ctxs = BuildFunctionContexts(lex);
+  ASSERT_EQ(ctxs.size(), 1u);
+  EXPECT_TRUE(ctxs[0].is_lambda);
+  EXPECT_FALSE(ctxs[0].has_capture);
+  EXPECT_TRUE(ctxs[0].returns_task);
+  EXPECT_TRUE(ctxs[0].is_coroutine);
+}
+
+// ------------------------------------------------------- corolint rules
+
+FileReport LintCoro(const std::string& src) {
+  return LintSource("t.cc", src, {}, {"coroutine"});
+}
+
+TEST(CorolintRules, CoawaitOnTernaryOperand) {
+  const FileReport r = LintCoro(
+      "sim::Task F(Session* s, bool w) {\n"
+      "  auto res = co_await (w ? s->Write(1) : s->Read(1));\n"
+      "}\n");
+  EXPECT_TRUE(OnlyRule(r, "coawait-ternary"));
+  EXPECT_EQ(r.findings[0].line, 2);
+}
+
+TEST(CorolintRules, CoawaitInTernaryArms) {
+  const FileReport r = LintCoro(
+      "sim::Task F(Session* s, bool w) {\n"
+      "  auto res = w ? co_await s->Write(1) : co_await s->Read(1);\n"
+      "}\n");
+  EXPECT_TRUE(OnlyRule(r, "coawait-ternary"));
+}
+
+TEST(CorolintRules, CoawaitTernaryNegatives) {
+  // Ternaries inside call arguments, and ternaries with no co_await at
+  // the top level, are fine.
+  const FileReport r = LintCoro(
+      "sim::Task F(sim::Simulator* sim, bool fast) {\n"
+      "  co_await sim::Delay(*sim, fast ? 1 : 100);\n"
+      "  int x = fast ? 1 : 2;\n"
+      "  (void)x;\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings[0].rule << " at " << r.findings[0].line;
+}
+
+TEST(CorolintRules, RefParamOnCoroutine) {
+  const FileReport r = LintCoro(
+      "sim::Task F(Backend& backend, int id) {\n"
+      "  co_await backend.Read(id);\n"
+      "}\n");
+  EXPECT_TRUE(OnlyRule(r, "coro-ref-param"));
+}
+
+TEST(CorolintRules, RefParamNegatives) {
+  // Pointers and by-value params are fine; non-coroutine Task factories
+  // (no co_await in the body) take references legitimately.
+  const FileReport r = LintCoro(
+      "sim::Task F(Backend* backend, std::vector<int> data) {\n"
+      "  co_await backend->Read(data[0]);\n"
+      "}\n"
+      "sim::Task G(Backend& backend) { return F(&backend, {}); }\n");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings[0].rule << " at " << r.findings[0].line;
+}
+
+TEST(CorolintRules, CapturingLambdaCoroutine) {
+  const FileReport r = LintCoro(
+      "void Spawn(sim::Simulator* sim) {\n"
+      "  auto t = [sim]() -> sim::Task { co_await Delay(*sim, 1); };\n"
+      "  t();\n"
+      "}\n");
+  EXPECT_TRUE(OnlyRule(r, "coro-lambda-capture"));
+}
+
+TEST(CorolintRules, CapturelessLambdaCoroutineIsClean) {
+  const FileReport r = LintCoro(
+      "void Spawn(sim::Simulator* sim) {\n"
+      "  auto t = [](sim::Simulator* s) -> sim::Task {\n"
+      "    co_await Delay(*s, 1);\n"
+      "  };\n"
+      "  t(sim);\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(CorolintRules, UntrackedInfiniteLoop) {
+  const FileReport r = LintCoro(
+      "sim::Task Poll(sim::Simulator* sim) {\n"
+      "  for (;;) {\n"
+      "    co_await sim::Delay(*sim, 100);\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(OnlyRule(r, "coro-untracked-loop"));
+}
+
+TEST(CorolintRules, TrackedOrTerminatingLoopsAreClean) {
+  const FileReport r = LintCoro(
+      // Registered frame: owner can destroy it.
+      "sim::Task Monitor(Plane* p) {\n"
+      "  co_await sim::SelfHandle(&p->monitor_handle_);\n"
+      "  for (;;) {\n"
+      "    co_await sim::Delay(p->sim(), 100);\n"
+      "  }\n"
+      "}\n"
+      // Loop with a top-level break terminates.
+      "sim::Task Fetch(Cache* c) {\n"
+      "  for (;;) {\n"
+      "    co_await c->Wait();\n"
+      "    if (c->Ready()) break;\n"
+      "  }\n"
+      "}\n"
+      // co_return inside the loop terminates it too.
+      "sim::Task Drain(Queue* q) {\n"
+      "  while (true) {\n"
+      "    co_await q->Pop();\n"
+      "    if (q->Empty()) co_return;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings[0].rule << " at " << r.findings[0].line;
+}
+
+TEST(CorolintRules, BreakInNestedLoopDoesNotTerminateOuter) {
+  const FileReport r = LintCoro(
+      "sim::Task Poll(Plane* p) {\n"
+      "  for (;;) {\n"
+      "    co_await p->Tick();\n"
+      "    for (int i = 0; i < 4; ++i) {\n"
+      "      if (p->Done(i)) break;\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(OnlyRule(r, "coro-untracked-loop"));
+}
+
+TEST(CorolintRules, SelfHandleSlotNeverCleared) {
+  const FileReport r = LintCoro(
+      "sim::Task Worker::Run() {\n"
+      "  co_await sim::SelfHandle(&loop_handle_);\n"
+      "  while (running_) {\n"
+      "    co_await Tick();\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(OnlyRule(r, "coro-selfhandle-clear"));
+}
+
+TEST(CorolintRules, SelfHandleClearedByAssignOrErase) {
+  const FileReport r = LintCoro(
+      "sim::Task Worker::Run() {\n"
+      "  co_await sim::SelfHandle(&loop_handle_);\n"
+      "  while (running_) {\n"
+      "    co_await Tick();\n"
+      "  }\n"
+      "  loop_handle_ = nullptr;\n"
+      "}\n"
+      "sim::Task Copier::Run(int id) {\n"
+      "  co_await sim::SelfHandle(&copy_handles_[id]);\n"
+      "  co_await Copy(id);\n"
+      "  copy_handles_.erase(id);\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings[0].rule << " at " << r.findings[0].line;
+}
+
+TEST(CorolintRules, SelfHandleEqualityCompareIsNotAClear) {
+  const FileReport r = LintCoro(
+      "sim::Task Worker::Run() {\n"
+      "  co_await sim::SelfHandle(&loop_handle_);\n"
+      "  co_await Tick();\n"
+      "  if (loop_handle_ == nullptr) { co_return; }\n"
+      "}\n");
+  EXPECT_TRUE(OnlyRule(r, "coro-selfhandle-clear"));
+}
+
+TEST(CorolintRules, ManualResumeOutsideEventQueue) {
+  const FileReport r = LintCoro(
+      "void Deliver(std::coroutine_handle<> h) {\n"
+      "  h.resume();\n"
+      "}\n");
+  EXPECT_TRUE(OnlyRule(r, "coro-manual-resume"));
+}
+
+TEST(CorolintRules, ResumeViaScheduleAfterIsClean) {
+  const FileReport r = LintCoro(
+      "void Deliver(sim::Simulator& sim, std::coroutine_handle<> h) {\n"
+      "  sim.ScheduleAfter(0, [h] { h.resume(); });\n"
+      "}\n"
+      "void Later(sim::Simulator& sim, std::coroutine_handle<> h) {\n"
+      "  sim.ScheduleAt(100, [h]() { h.resume(); });\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings[0].rule << " at " << r.findings[0].line;
+}
+
+TEST(CorolintRules, SuppressionsCoverCorolintRules) {
+  const FileReport r = LintCoro(
+      "// detlint: allow(coro-ref-param) backend outlives the sim; owner\n"
+      "// joins all workers before teardown.\n"
+      "sim::Task F(Backend& backend) {\n"
+      "  co_await backend.Read(0);\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty());
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "coro-ref-param");
+}
+
+// ---------------------------------------------------- analyzer selection
+
+TEST(DetlintAnalyzers, SelectionFiltersRuleFamilies) {
+  const std::string src =
+      "std::unordered_map<int, int> m;\n"
+      "sim::Task F(Backend& b) { co_await b.Read(0); }\n";
+  const FileReport det = LintSource("t.cc", src, {}, {"determinism"});
+  EXPECT_TRUE(OnlyRule(det, "unordered-container"));
+  const FileReport coro = LintSource("t.cc", src, {}, {"coroutine"});
+  EXPECT_TRUE(OnlyRule(coro, "coro-ref-param"));
+  const FileReport both = LintSource("t.cc", src, {}, {});
+  EXPECT_TRUE(HasRule(both, "unordered-container"));
+  EXPECT_TRUE(HasRule(both, "coro-ref-param"));
+}
+
+TEST(DetlintAnalyzers, JsonReportCarriesAnalyzerField) {
+  std::ostringstream out, err;
+  RunOptions opts;
+  opts.json = true;
+  const int rc = RunDetlint(
+      {std::string(FIXTURE_DIR) + "/canary_coawait_ternary.cc"}, opts, out,
+      err);
+  EXPECT_EQ(rc, kExitViolations);
+  EXPECT_NE(out.str().find("\"analyzer\": \"coroutine\""),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(DetlintFixtures, CorolintCanariesTripTheirRules) {
+  EXPECT_TRUE(OnlyRule(LintFixture("canary_coawait_ternary.cc"),
+                       "coawait-ternary"));
+  EXPECT_TRUE(
+      OnlyRule(LintFixture("canary_coro_ref_param.cc"), "coro-ref-param"));
+  EXPECT_TRUE(OnlyRule(LintFixture("canary_coro_lambda_capture.cc"),
+                       "coro-lambda-capture"));
+  EXPECT_TRUE(OnlyRule(LintFixture("canary_coro_untracked_loop.cc"),
+                       "coro-untracked-loop"));
+  EXPECT_TRUE(OnlyRule(LintFixture("canary_coro_selfhandle_clear.cc"),
+                       "coro-selfhandle-clear"));
+  EXPECT_TRUE(OnlyRule(LintFixture("canary_coro_manual_resume.cc"),
+                       "coro-manual-resume"));
+}
+
+TEST(DetlintFixtures, CoroCleanFixtureIsSilent) {
+  const FileReport r = LintFixture("coro_clean.cc");
+  EXPECT_TRUE(r.findings.empty()) << r.findings[0].rule << " at line "
+                                  << r.findings[0].line;
 }
 
 }  // namespace

@@ -1,0 +1,13 @@
+// Planted canary: co_await combined with conditional expressions, in
+// both shapes. corolint must flag every site.
+#include "fake_sim.h"
+
+sim::Task OperandForm(Session* s, bool is_write) {
+  auto r = co_await (is_write ? s->Write(1) : s->Read(1));
+  (void)r;
+}
+
+sim::Task ArmForm(Session* s, bool is_write) {
+  auto r = is_write ? co_await s->Write(1) : co_await s->Read(1);
+  (void)r;
+}

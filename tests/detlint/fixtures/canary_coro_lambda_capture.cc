@@ -1,0 +1,11 @@
+// Planted canary: capturing-lambda coroutine. The captures live in the
+// lambda object, a temporary that dies before the first resume.
+#include "fake_sim.h"
+
+void Spawn(sim::Simulator* sim, Session* session) {
+  auto task = [sim, session]() -> sim::Task {
+    co_await sim::Delay(*sim, 100);
+    co_await session->Read(0);
+  };
+  task();
+}

@@ -1,0 +1,11 @@
+// Planted canary: coroutine_handle::resume() called directly instead
+// of through the simulator event queue.
+#include "fake_sim.h"
+
+void Deliver(std::coroutine_handle<> h) {
+  h.resume();
+}
+
+void DeliverLater(Waiter* w) {
+  w->handle->resume();
+}

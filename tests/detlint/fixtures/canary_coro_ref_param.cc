@@ -1,0 +1,9 @@
+// Planted canary: sim::Task coroutine taking parameters by reference.
+// The frame suspends and may outlive the referents.
+#include "fake_sim.h"
+
+sim::Task Worker(Session& session, const std::vector<int>& lbas) {
+  for (int lba : lbas) {
+    co_await session.Read(lba);
+  }
+}

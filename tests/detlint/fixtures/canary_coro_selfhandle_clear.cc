@@ -1,0 +1,11 @@
+// Planted canary: a coroutine registers its frame in a SelfHandle
+// slot, can return normally, and never clears the slot -- the frame
+// self-destructs on return and the stored handle dangles.
+#include "fake_sim.h"
+
+sim::Task Worker::Run() {
+  co_await sim::SelfHandle(&loop_handle_);
+  while (running_) {
+    co_await Tick();
+  }
+}

@@ -11,10 +11,15 @@ namespace {
 void PrintUsage(std::ostream& out) {
   out << "usage: detlint [options] <path>...\n"
          "\n"
-         "Lints C++ sources against the simulation determinism rulebook\n"
-         "(DESIGN.md section 13). Directories are walked recursively.\n"
+         "Multi-analyzer simulation-hygiene linter. Analyzer\n"
+         "'determinism' enforces the determinism rulebook (DESIGN.md\n"
+         "section 13); analyzer 'coroutine' (corolint) enforces the\n"
+         "coroutine ownership rulebook (DESIGN.md section 18).\n"
+         "Directories are walked recursively.\n"
          "\n"
          "options:\n"
+         "  --analyzer NAME    run only this analyzer (repeatable;\n"
+         "                     default: all)\n"
          "  --allowlist FILE   whole-file exemptions, one\n"
          "                     '<rule-or-*> <path-substring>' per line\n"
          "  --format text|json report format (default text)\n"
@@ -37,10 +42,32 @@ int main(int argc, char** argv) {
       return detlint::kExitClean;
     }
     if (arg == "--list-rules") {
-      for (const auto& [id, desc] : detlint::RuleCatalog()) {
-        std::cout << id << ": " << desc << "\n";
+      for (const detlint::RuleInfo& r : detlint::RuleCatalog()) {
+        std::cout << r.id << " [" << r.analyzer << "]: " << r.description
+                  << "\n";
       }
       return detlint::kExitClean;
+    }
+    if (arg == "--analyzer") {
+      if (i + 1 >= argc) {
+        std::cerr << "detlint: --analyzer requires a name\n";
+        return detlint::kExitError;
+      }
+      const std::string name = argv[++i];
+      bool known = false;
+      for (const std::string& a : detlint::AnalyzerNames()) {
+        known |= a == name;
+      }
+      if (!known) {
+        std::cerr << "detlint: unknown analyzer '" << name << "' (have:";
+        for (const std::string& a : detlint::AnalyzerNames()) {
+          std::cerr << " " << a;
+        }
+        std::cerr << ")\n";
+        return detlint::kExitError;
+      }
+      opts.analyzers.insert(name);
+      continue;
     }
     if (arg == "--allowlist") {
       if (i + 1 >= argc) {

@@ -1,3 +1,8 @@
+// Shared lint driver plus the determinism rule family. The driver in
+// LintSource runs the selected analyzers over one lexed file, then
+// applies the shared suppression/allowlist machinery; each analyzer is
+// one function appending Findings (see detlint.h internal::).
+
 #include <algorithm>
 #include <array>
 #include <cctype>
@@ -174,36 +179,68 @@ void Add(std::vector<Finding>* findings, const std::string& rule, int line,
 
 }  // namespace
 
-const std::vector<std::pair<std::string, std::string>>& RuleCatalog() {
-  static const std::vector<std::pair<std::string, std::string>> kCatalog = {
-      {"wall-clock",
+// ------------------------------------------------------------- registry
+
+const std::vector<RuleInfo>& RuleCatalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"wall-clock", "determinism",
        "no wall-clock reads (std::chrono clocks, time(), gettimeofday, "
        "clock_gettime); use sim::Simulator::Now()"},
-      {"ambient-rng",
+      {"ambient-rng", "determinism",
        "no ambient randomness (std::rand, std::random_device, std::mt19937 "
        "& friends); use seeded sim::Rng streams"},
-      {"unordered-container",
+      {"unordered-container", "determinism",
        "no std::unordered_map/unordered_set; use std::map/std::set or "
        "suppress with a written reason"},
-      {"unordered-iter",
+      {"unordered-iter", "determinism",
        "no range-for or .begin() iteration over unordered containers"},
-      {"pointer-key",
+      {"pointer-key", "determinism",
        "no pointer-valued keys in associative containers or "
        "std::less/greater/hash over pointers"},
-      {"bare-suppression",
+      {"bare-suppression", "determinism",
        "every detlint suppression must carry a written reason"},
+      {"coawait-ternary", "coroutine",
+       "no co_await combined with a conditional expression (GCC-12 "
+       "materializes temporaries from both ternary operands); use if/else"},
+      {"coro-ref-param", "coroutine",
+       "no reference parameters on sim::Task coroutines; pass by value or "
+       "pointer, or suppress with a written lifetime argument"},
+      {"coro-lambda-capture", "coroutine",
+       "no capturing-lambda coroutines; captures die with the lambda "
+       "temporary at the first suspension"},
+      {"coro-untracked-loop", "coroutine",
+       "infinite-loop tasks must register via `co_await sim::SelfHandle` "
+       "so an owner can destroy the frame at teardown"},
+      {"coro-selfhandle-clear", "coroutine",
+       "a registered SelfHandle slot must be cleared before the coroutine "
+       "returns normally (the frame self-destructs; the handle dangles)"},
+      {"coro-manual-resume", "coroutine",
+       "no coroutine_handle::resume() outside the simulator event queue; "
+       "use sim.ScheduleAfter(0, [h] { h.resume(); })"},
   };
   return kCatalog;
 }
 
-FileReport LintSource(const std::string& path, std::string_view src,
-                      const std::vector<AllowEntry>& allowlist) {
-  FileReport report;
-  report.path = path;
-  const LexResult lex = Lex(src);
-  const TokenVec& toks = lex.tokens;
+const std::vector<std::string>& AnalyzerNames() {
+  static const std::vector<std::string> kNames = {"determinism", "coroutine"};
+  return kNames;
+}
 
-  std::vector<Finding> all;
+std::string AnalyzerForRule(const std::string& rule) {
+  for (const RuleInfo& r : RuleCatalog()) {
+    if (r.id == rule) return r.analyzer;
+  }
+  return "";
+}
+
+// -------------------------------------------- determinism rule family
+
+namespace internal {
+
+void RunDeterminismRules(const AnalyzerInput& in,
+                         std::vector<Finding>* findings) {
+  const TokenVec& toks = in.lex.tokens;
+  std::vector<Finding>& all = *findings;
 
   // ---- Pass A: declarations. Collects unordered container variable
   // and alias names, and emits unordered-container / pointer-key
@@ -226,12 +263,6 @@ FileReport LintSource(const std::string& path, std::string_view src,
         if (after < toks.size() &&
             toks[after].kind == Token::Kind::kIdent) {
           unordered_vars.insert(toks[after].text);
-          // `using Alias = std::unordered_map<...>;` tracks the alias.
-          if (i >= 3 && IsPunct(toks, i - 1, "::") &&
-              IsIdent(toks, i - 2, "std") && IsPunct(toks, i - 3, "=") &&
-              i >= 5 && IsIdent(toks, i - 5, "using")) {
-            // (the token after the template args is not a variable here)
-          }
         }
         // Alias form: using A = std::unordered_map<...>;
         size_t base = i;
@@ -360,18 +391,44 @@ FileReport LintSource(const std::string& path, std::string_view src,
       }
     }
   }
+}
 
-  // ---- Suppressions.
+}  // namespace internal
+
+// --------------------------------------------------------------- driver
+
+FileReport LintSource(const std::string& path, std::string_view src,
+                      const std::vector<AllowEntry>& allowlist,
+                      const std::set<std::string>& analyzers) {
+  FileReport report;
+  report.path = path;
+  const LexResult lex = Lex(src);
+  const TokenVec& toks = lex.tokens;
+  const std::vector<FunctionContext> functions = BuildFunctionContexts(lex);
+  const internal::AnalyzerInput input{path, lex, functions};
+
+  const auto enabled = [&](const char* name) {
+    return analyzers.empty() || analyzers.count(name) > 0;
+  };
+
+  std::vector<Finding> all;
+  if (enabled("determinism")) internal::RunDeterminismRules(input, &all);
+  if (enabled("coroutine")) internal::RunCoroutineRules(input, &all);
+
+  // ---- Suppressions (shared across analyzers). bare-suppression
+  // findings belong to the determinism family.
   std::vector<std::pair<int, std::string>> malformed;
   std::vector<Suppression> sups = ParseSuppressions(lex.comments, &malformed);
-  for (const auto& [line, message] : malformed) {
-    Add(&all, "bare-suppression", line, message);
-  }
-  for (const Suppression& s : sups) {
-    if (s.reason.empty()) {
-      Add(&all, "bare-suppression", s.line,
-          "suppression without a reason: write why this site cannot "
-          "affect event order");
+  if (enabled("determinism")) {
+    for (const auto& [line, message] : malformed) {
+      Add(&all, "bare-suppression", line, message);
+    }
+    for (const Suppression& s : sups) {
+      if (s.reason.empty()) {
+        Add(&all, "bare-suppression", s.line,
+            "suppression without a reason: write why this site cannot "
+            "affect event order");
+      }
     }
   }
 
@@ -455,7 +512,7 @@ bool ParseAllowlist(std::string_view text, std::vector<AllowEntry>* out,
     e.rule = line.substr(0, space);
     e.path_substring = Trim(line.substr(space + 1));
     bool known = e.rule == "*";
-    for (const auto& [id, desc] : RuleCatalog()) known |= id == e.rule;
+    for (const RuleInfo& r : RuleCatalog()) known |= r.id == e.rule;
     if (!known) {
       if (error != nullptr) {
         *error = "allowlist line " + std::to_string(lineno) +

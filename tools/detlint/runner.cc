@@ -95,7 +95,7 @@ int RunDetlint(const std::vector<std::string>& paths, const RunOptions& opts,
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string src = buf.str();
-    FileReport r = LintSource(file, src, opts.allowlist);
+    FileReport r = LintSource(file, src, opts.allowlist, opts.analyzers);
     total_findings += static_cast<int>(r.findings.size());
     total_suppressed += static_cast<int>(r.suppressed.size());
     total_allowlisted += r.allowlisted;
@@ -115,6 +115,7 @@ int RunDetlint(const std::vector<std::string>& paths, const RunOptions& opts,
         first = false;
         out << "\n    {\"file\": \"" << JsonEscape(r.path)
             << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+            << "\", \"analyzer\": \"" << AnalyzerForRule(f.rule)
             << "\", \"message\": \"" << JsonEscape(f.message) << "\"}";
       }
     }
